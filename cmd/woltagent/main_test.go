@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestParseFloats(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    string
+		want    []float64
+		wantErr bool
+	}{
+		{name: "empty", give: "", want: nil},
+		{name: "single", give: "15", want: []float64{15}},
+		{name: "negative rssi", give: "-60,-70", want: []float64{-60, -70}},
+		{name: "spaces", give: " 15 , 10 ", want: []float64{15, 10}},
+		{name: "garbage", give: "15,?", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := parseFloats(tt.give)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("got %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing rates: want error")
+	}
+	if err := run([]string{"-rates", "bogus"}); err == nil {
+		t.Error("garbage rates: want error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag: want error")
+	}
+	// No controller listening on a reserved port: dial must fail.
+	if err := run([]string{"-rates", "15,10", "-addr", "127.0.0.1:1"}); err == nil {
+		t.Error("unreachable controller: want error")
+	}
+}

@@ -1,0 +1,98 @@
+// Command woltcc runs the WOLT Central Controller: it listens for user
+// agents (see cmd/woltagent), collects their scan reports, computes
+// associations under the configured policy and pushes directives.
+//
+// Example:
+//
+//	woltcc -addr 127.0.0.1:9650 -caps 60,20 -policy wolt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/plcwifi/wolt/internal/control"
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "woltcc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("woltcc", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9650", "listen address")
+		capsFlag = fs.String("caps", "", "comma-separated PLC isolation capacities in Mbps, one per extender (required)")
+		policy   = fs.String("policy", "wolt", "association policy: wolt, greedy or rssi")
+		statsSec = fs.Duration("stats-interval", 10*time.Second, "interval between stats log lines (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	caps, err := parseCaps(*capsFlag)
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "woltcc: ", log.LstdFlags)
+	server, err := control.NewServer(*addr, control.ServerConfig{
+		PLCCaps:   caps,
+		Policy:    control.PolicyKind(*policy),
+		ModelOpts: model.Options{Redistribute: true},
+		Logger:    logger,
+	})
+	if err != nil {
+		return err
+	}
+	logger.Printf("central controller listening on %s (policy=%s, %d extenders)",
+		server.Addr(), *policy, len(caps))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *statsSec > 0 {
+		ticker := time.NewTicker(*statsSec)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				st := server.StatsSnapshot()
+				logger.Printf("users=%d joins=%d leaves=%d reassociations=%d",
+					st.Users, st.Joins, st.Leaves, st.Reassociations)
+			case <-stop:
+				logger.Print("shutting down")
+				return server.Close()
+			}
+		}
+	}
+	<-stop
+	logger.Print("shutting down")
+	return server.Close()
+}
+
+func parseCaps(s string) ([]float64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-caps is required (e.g. -caps 60,20)")
+	}
+	parts := strings.Split(s, ",")
+	caps := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad capacity %q: %w", p, err)
+		}
+		caps[i] = v
+	}
+	return caps, nil
+}

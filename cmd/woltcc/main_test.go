@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestParseCaps(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    string
+		want    []float64
+		wantErr bool
+	}{
+		{name: "empty", give: "", wantErr: true},
+		{name: "single", give: "60", want: []float64{60}},
+		{name: "pair", give: "60,20", want: []float64{60, 20}},
+		{name: "spaces", give: " 60 , 20 ", want: []float64{60, 20}},
+		{name: "garbage", give: "60,x", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := parseCaps(tt.give)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("got %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-caps", ""}); err == nil {
+		t.Error("missing caps: want error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag: want error")
+	}
+	// Unknown policy is rejected by the server constructor.
+	if err := run([]string{"-caps", "60,20", "-policy", "bogus", "-addr", "127.0.0.1:0", "-stats-interval", "0s"}); err == nil {
+		t.Error("unknown policy: want error")
+	}
+}

@@ -1,0 +1,160 @@
+// Command woltsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	woltsim [flags] <experiment>
+//
+// Experiments: fig2a fig2b fig2c fig3 fig4a fig4b fig4c fig5 fig6a
+// fig6b fig6c fairness nphard gap sweep mobility channels qos verify all
+//
+// Each experiment prints one or more paper-style tables. See DESIGN.md
+// for the experiment ↔ paper mapping and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/plcwifi/wolt/internal/experiments"
+	"github.com/plcwifi/wolt/internal/export"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "woltsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("woltsim", flag.ContinueOnError)
+	var (
+		seed      = fs.Int64("seed", 2020, "random seed for all experiments")
+		trials    = fs.Int("trials", 0, "override trial count (0 = paper defaults)")
+		users     = fs.Int("users", 0, "override simulated user count (0 = 36)")
+		extenders = fs.Int("extenders", 0, "override simulated extender count (0 = 10)")
+		macDur    = fs.Float64("mac-duration", 0, "simulated seconds for MAC-level runs (0 = 20)")
+		emuDur    = fs.Duration("emu-duration", 0, "wall-clock window per emulated flow (0 = 1s)")
+		csvDir    = fs.String("csv", "", "also write each table as CSV into this directory")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: woltsim [flags] <experiment>\n\nexperiments: %s\n\nflags:\n",
+			experimentList())
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment, got %d", fs.NArg())
+	}
+	opts := experiments.Options{
+		Seed:        *seed,
+		Trials:      *trials,
+		Users:       *users,
+		Extenders:   *extenders,
+		MACDuration: *macDur,
+		EmuDuration: *emuDur,
+	}
+
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, id := range experimentIDs() {
+			if err := runOne(id, opts, *csvDir); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		return nil
+	}
+	return runOne(name, opts, *csvDir)
+}
+
+// runOne executes one experiment, prints its tables and optionally
+// exports them as CSV.
+func runOne(name string, opts experiments.Options, csvDir string) error {
+	runner, ok := registry()[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want one of: %s)", name, experimentList())
+	}
+	start := time.Now()
+	result, err := runner(opts)
+	if err != nil {
+		return err
+	}
+	for _, tab := range result.Tables() {
+		fmt.Println(tab.String())
+	}
+	if csvDir != "" {
+		paths, err := export.WriteTables(filepath.Join(csvDir, name), result)
+		if err != nil {
+			return fmt.Errorf("csv export: %w", err)
+		}
+		for _, p := range paths {
+			fmt.Printf("wrote %s\n", p)
+		}
+	}
+	fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+type runnerFunc func(experiments.Options) (experiments.Tabler, error)
+
+func registry() map[string]runnerFunc {
+	wrap := func(f func(experiments.Options) (experiments.Tabler, error)) runnerFunc { return f }
+	fig4 := wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Fig4(o) })
+	fig6bc := wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Fig6bc(o) })
+	return map[string]runnerFunc{
+		"fig2a": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Fig2a(o) }),
+		"fig2b": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Fig2b(o) }),
+		"fig2c": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Fig2c(o) }),
+		"fig3":  wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Fig3() }),
+		// Fig 4a/4b/4c share one run; each id prints the full set.
+		"fig4a": fig4,
+		"fig4b": fig4,
+		"fig4c": fig4,
+		"fig5":  wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Fig5(o) }),
+		"fig6a": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Fig6a(o) }),
+		// Fig 6b/6c share one dynamic run.
+		"fig6b":    fig6bc,
+		"fig6c":    fig6bc,
+		"fairness": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Fairness(o) }),
+		"nphard":   wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.NPHard(o) }),
+		"gap":      wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Gap(o) }),
+		"sweep":    wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Sweep(o) }),
+		"mobility": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Mobility(o) }),
+		"channels": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Channels(o) }),
+		"verify":   wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Verify(o) }),
+		"qos":      wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.QoS(o) }),
+	}
+}
+
+// experimentIDs returns the canonical run order for "all" (deduplicating
+// shared runs).
+func experimentIDs() []string {
+	return []string{
+		"fig2a", "fig2b", "fig2c", "fig3", "fig4a", "fig5",
+		"fig6a", "fig6b", "fairness", "nphard", "gap", "sweep", "mobility", "channels", "qos",
+	}
+}
+
+func experimentList() string {
+	ids := make([]string, 0, len(registry())+1)
+	for id := range registry() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := ""
+	for i, id := range ids {
+		if i > 0 {
+			out += " "
+		}
+		out += id
+	}
+	return out + " all"
+}

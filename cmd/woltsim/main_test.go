@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/experiments"
+)
+
+func TestRegistryCoversAllExperimentIDs(t *testing.T) {
+	reg := registry()
+	for _, id := range experimentIDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment id %q missing from registry", id)
+		}
+	}
+}
+
+func TestExperimentListMentionsAll(t *testing.T) {
+	list := experimentList()
+	for id := range registry() {
+		if !strings.Contains(list, id) {
+			t.Errorf("experiment list missing %q: %s", id, list)
+		}
+	}
+	if !strings.Contains(list, "all") {
+		t.Error("experiment list missing 'all'")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no experiment: want error")
+	}
+	if err := run([]string{"fig3", "fig4a"}); err == nil {
+		t.Error("two experiments: want error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("unknown flag: want error")
+	}
+}
+
+func TestRunOneFig3(t *testing.T) {
+	if err := runOne("fig3", experiments.Options{Seed: 1}, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := runOne("fig3", experiments.Options{Seed: 1}, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "fig3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Error("no CSV files written")
+	}
+}
+
+func TestRunWithFlags(t *testing.T) {
+	if err := run([]string{"-seed", "7", "-trials", "5", "fig2c", "-mac-duration", "2"}); err != nil {
+		// Flags must precede the positional arg with the flag package;
+		// the trailing flag is treated as a second positional arg.
+		if !strings.Contains(err.Error(), "expected exactly one experiment") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if err := run([]string{"-seed", "7", "-mac-duration", "2", "fig2a"}); err != nil {
+		t.Fatal(err)
+	}
+}

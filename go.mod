@@ -1,0 +1,3 @@
+module github.com/plcwifi/wolt
+
+go 1.22

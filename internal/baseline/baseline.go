@@ -1,0 +1,271 @@
+// Package baseline implements the association policies WOLT is compared
+// against in the paper's evaluation (§V-B, §V-C):
+//
+//   - RSSI: every user associates with the extender offering the strongest
+//     received signal, ignoring PLC backhaul quality and WiFi contention.
+//     This is the default behaviour of commodity PLC-WiFi extenders.
+//
+//   - Greedy: a centralized online policy. Users arrive one at a time;
+//     each new user is placed on the extender that maximizes the aggregate
+//     end-to-end throughput given all earlier placements. Existing users
+//     are never reassigned.
+//
+//   - Optimal: exhaustive search over all |A|^|U| associations (tractable
+//     only at case-study scale); the gold standard for small instances.
+//
+//   - Random: uniformly random association, a sanity floor.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+// RSSI associates each user with the extender of strongest signal.
+// signal[i][j] is any monotone signal-quality metric (dBm RSSI in the
+// experiments); entries for unreachable extenders (WiFiRates <= 0) are
+// skipped so every user lands on an extender it can actually use.
+func RSSI(n *model.Network, signal [][]float64) (model.Assignment, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if len(signal) != n.NumUsers() {
+		return nil, fmt.Errorf("baseline: signal matrix covers %d users, network has %d",
+			len(signal), n.NumUsers())
+	}
+	assign := make(model.Assignment, n.NumUsers())
+	for i, row := range signal {
+		if len(row) != n.NumExtenders() {
+			return nil, fmt.Errorf("baseline: signal row %d has %d entries, want %d",
+				i, len(row), n.NumExtenders())
+		}
+		best, bestSig := model.Unassigned, math.Inf(-1)
+		for j, sig := range row {
+			if n.WiFiRates[i][j] <= 0 {
+				continue
+			}
+			if sig > bestSig {
+				best, bestSig = j, sig
+			}
+		}
+		if best == model.Unassigned {
+			return nil, fmt.Errorf("baseline: user %d reaches no extender", i)
+		}
+		assign[i] = best
+	}
+	return assign, nil
+}
+
+// RSSIByRate uses the WiFi PHY rate itself as the signal metric: with a
+// monotone rate table, strongest-RSSI and highest-rate association
+// coincide. Convenient when no explicit RSSI matrix is available.
+func RSSIByRate(n *model.Network) (model.Assignment, error) {
+	return RSSI(n, n.WiFiRates)
+}
+
+// Greedy places users one at a time in the given arrival order; each user
+// picks the extender that maximizes the aggregate end-to-end throughput of
+// the network so far (ties keep the lowest extender index). Users never
+// move afterwards. If order is nil, users arrive in index order.
+func Greedy(n *model.Network, order []int, opts model.Options) (model.Assignment, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if order == nil {
+		order = make([]int, n.NumUsers())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != n.NumUsers() {
+		return nil, fmt.Errorf("baseline: order covers %d users, network has %d",
+			len(order), n.NumUsers())
+	}
+	seen := make(map[int]bool, len(order))
+	for _, i := range order {
+		if i < 0 || i >= n.NumUsers() || seen[i] {
+			return nil, fmt.Errorf("baseline: order is not a permutation of users")
+		}
+		seen[i] = true
+	}
+
+	assign := make(model.Assignment, n.NumUsers())
+	for i := range assign {
+		assign[i] = model.Unassigned
+	}
+	for _, i := range order {
+		if _, err := GreedyAdd(n, assign, i, opts); err != nil {
+			return nil, err
+		}
+	}
+	return assign, nil
+}
+
+// GreedyAdd places a single user into an existing partial assignment on
+// the extender maximizing the resulting aggregate throughput, mutating
+// assign, and returns the chosen extender. This is the online step used
+// by the control plane when a user joins under the Greedy policy.
+func GreedyAdd(n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error) {
+	if user < 0 || user >= n.NumUsers() {
+		return 0, fmt.Errorf("baseline: user %d out of range", user)
+	}
+	best, bestAgg := model.Unassigned, math.Inf(-1)
+	for j := 0; j < n.NumExtenders(); j++ {
+		if n.WiFiRates[user][j] <= 0 {
+			continue
+		}
+		assign[user] = j
+		res, err := model.Evaluate(n, assign, opts)
+		if err != nil {
+			assign[user] = model.Unassigned
+			return 0, err
+		}
+		if res.Aggregate > bestAgg+1e-12 {
+			best, bestAgg = j, res.Aggregate
+		}
+	}
+	if best == model.Unassigned {
+		assign[user] = model.Unassigned
+		return 0, fmt.Errorf("baseline: user %d reaches no extender", user)
+	}
+	assign[user] = best
+	return best, nil
+}
+
+// Selfish places users one at a time in the given arrival order; each
+// user picks the extender that maximizes its *own* end-to-end throughput
+// given the users already present (the online greedy narrated in the
+// paper's §III-B case study: "User 1 arrives and chooses extender 1 since
+// this maximizes its own throughput"). Nobody ever moves afterwards. If
+// order is nil, users arrive in index order.
+//
+// Selfish and Greedy coincide on the paper's Fig 3 example but diverge in
+// general: a slow user maximizes its own share by joining the
+// best-performing cell — exactly the cell it damages most through the
+// 802.11 performance anomaly.
+func Selfish(n *model.Network, order []int, opts model.Options) (model.Assignment, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if order == nil {
+		order = make([]int, n.NumUsers())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != n.NumUsers() {
+		return nil, fmt.Errorf("baseline: order covers %d users, network has %d",
+			len(order), n.NumUsers())
+	}
+	assign := make(model.Assignment, n.NumUsers())
+	for i := range assign {
+		assign[i] = model.Unassigned
+	}
+	for _, i := range order {
+		if _, err := SelfishAdd(n, assign, i, opts); err != nil {
+			return nil, err
+		}
+	}
+	return assign, nil
+}
+
+// SelfishAdd places a single user on the extender maximizing that user's
+// own resulting throughput, mutating assign, and returns the chosen
+// extender.
+func SelfishAdd(n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error) {
+	if user < 0 || user >= n.NumUsers() {
+		return 0, fmt.Errorf("baseline: user %d out of range", user)
+	}
+	best, bestOwn := model.Unassigned, math.Inf(-1)
+	for j := 0; j < n.NumExtenders(); j++ {
+		if n.WiFiRates[user][j] <= 0 {
+			continue
+		}
+		assign[user] = j
+		res, err := model.Evaluate(n, assign, opts)
+		if err != nil {
+			assign[user] = model.Unassigned
+			return 0, err
+		}
+		if res.PerUser[user] > bestOwn+1e-12 {
+			best, bestOwn = j, res.PerUser[user]
+		}
+	}
+	if best == model.Unassigned {
+		assign[user] = model.Unassigned
+		return 0, fmt.Errorf("baseline: user %d reaches no extender", user)
+	}
+	assign[user] = best
+	return best, nil
+}
+
+// OptimalMaxStates caps the exhaustive search: |A|^|U| must not exceed
+// this many evaluations.
+const OptimalMaxStates = 50_000_000
+
+// Optimal exhaustively searches all associations and returns the best
+// assignment and its aggregate throughput. It errors out when the state
+// space exceeds OptimalMaxStates.
+func Optimal(n *model.Network, opts model.Options) (model.Assignment, float64, error) {
+	if err := n.Validate(); err != nil {
+		return nil, 0, err
+	}
+	states := math.Pow(float64(n.NumExtenders()), float64(n.NumUsers()))
+	if states > OptimalMaxStates {
+		return nil, 0, fmt.Errorf("baseline: %d^%d states exceed brute-force budget",
+			n.NumExtenders(), n.NumUsers())
+	}
+	assign := make(model.Assignment, n.NumUsers())
+	best := make(model.Assignment, n.NumUsers())
+	bestAgg := math.Inf(-1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n.NumUsers() {
+			res, err := model.Evaluate(n, assign, opts)
+			if err != nil {
+				return
+			}
+			if res.Aggregate > bestAgg {
+				bestAgg = res.Aggregate
+				copy(best, assign)
+			}
+			return
+		}
+		for j := 0; j < n.NumExtenders(); j++ {
+			if n.WiFiRates[i][j] <= 0 {
+				continue
+			}
+			assign[i] = j
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if math.IsInf(bestAgg, -1) {
+		return nil, 0, fmt.Errorf("baseline: no feasible association")
+	}
+	return best, bestAgg, nil
+}
+
+// Random associates every user with a uniformly random reachable extender.
+func Random(n *model.Network, rng *rand.Rand) (model.Assignment, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	assign := make(model.Assignment, n.NumUsers())
+	for i := range assign {
+		var reachable []int
+		for j, r := range n.WiFiRates[i] {
+			if r > 0 {
+				reachable = append(reachable, j)
+			}
+		}
+		if len(reachable) == 0 {
+			return nil, fmt.Errorf("baseline: user %d reaches no extender", i)
+		}
+		assign[i] = reachable[rng.Intn(len(reachable))]
+	}
+	return assign, nil
+}

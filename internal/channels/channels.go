@@ -1,0 +1,150 @@
+// Package channels handles WiFi channel allocation across extenders.
+//
+// The paper assumes each extender operates on a non-overlapping channel
+// (§V-A, citing prior small-deployment measurements). That holds for up
+// to three extenders in 2.4 GHz (channels 1/6/11) but not for the 10–15
+// extender enterprises the paper simulates, where co-channel cells share
+// airtime. This package provides:
+//
+//   - Allocate: greedy interference-aware coloring (largest-degree
+//     first) of extenders onto a fixed set of orthogonal channels, and
+//
+//   - EvaluateWithChannels: the concatenated-link evaluation extended
+//     with co-channel contention — cells on the same channel within
+//     interference range time-share the air, scaling each cell's WiFi
+//     capacity by its co-channel contender count.
+package channels
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/topology"
+)
+
+// DefaultChannels is the 2.4 GHz orthogonal set (1, 6, 11).
+var DefaultChannels = []int{1, 6, 11}
+
+// Allocation maps extender index to channel.
+type Allocation []int
+
+// Allocate colors extenders onto the given channels so that extenders
+// within interferenceRange of each other avoid sharing a channel where
+// possible. Greedy largest-degree-first coloring: optimal coloring is
+// NP-hard, and the greedy bound suffices for channel planning. With
+// len(channels) == 0 the default 2.4 GHz set is used.
+func Allocate(topo *topology.Topology, channels []int, interferenceRange float64) (Allocation, error) {
+	if topo == nil || len(topo.Extenders) == 0 {
+		return nil, fmt.Errorf("channels: no extenders")
+	}
+	if interferenceRange <= 0 {
+		return nil, fmt.Errorf("channels: non-positive interference range %v", interferenceRange)
+	}
+	if len(channels) == 0 {
+		channels = DefaultChannels
+	}
+	n := len(topo.Extenders)
+
+	// Interference graph.
+	adj := make([][]bool, n)
+	degree := make([]int, n)
+	for j := range adj {
+		adj[j] = make([]bool, n)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if topo.Extenders[a].Pos.Distance(topo.Extenders[b].Pos) <= interferenceRange {
+				adj[a][b], adj[b][a] = true, true
+				degree[a]++
+				degree[b]++
+			}
+		}
+	}
+
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if degree[order[a]] != degree[order[b]] {
+			return degree[order[a]] > degree[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	alloc := make(Allocation, n)
+	for j := range alloc {
+		alloc[j] = -1
+	}
+	for _, j := range order {
+		// Count conflicts per candidate channel; pick the least used.
+		bestCh, bestConflicts := channels[0], n+1
+		for _, ch := range channels {
+			conflicts := 0
+			for k := 0; k < n; k++ {
+				if adj[j][k] && alloc[k] == ch {
+					conflicts++
+				}
+			}
+			if conflicts < bestConflicts {
+				bestCh, bestConflicts = ch, conflicts
+			}
+		}
+		alloc[j] = bestCh
+	}
+	return alloc, nil
+}
+
+// Contenders returns, for each extender, the number of extenders (itself
+// included) sharing its channel within interference range. A value of 1
+// means an interference-free cell — the paper's assumption.
+func Contenders(topo *topology.Topology, alloc Allocation, interferenceRange float64) ([]int, error) {
+	n := len(topo.Extenders)
+	if len(alloc) != n {
+		return nil, fmt.Errorf("channels: allocation covers %d extenders, topology has %d",
+			len(alloc), n)
+	}
+	out := make([]int, n)
+	for a := 0; a < n; a++ {
+		out[a] = 1
+		for b := 0; b < n; b++ {
+			if a == b || alloc[a] != alloc[b] {
+				continue
+			}
+			if topo.Extenders[a].Pos.Distance(topo.Extenders[b].Pos) <= interferenceRange {
+				out[a]++
+			}
+		}
+	}
+	return out, nil
+}
+
+// EvaluateWithChannels evaluates an assignment under co-channel
+// contention: each cell's WiFi side is scaled by 1/contenders before the
+// PLC time-sharing is applied. With every contender count at 1 this is
+// exactly model.Evaluate.
+func EvaluateWithChannels(n *model.Network, assign model.Assignment, contenders []int, opts model.Options) (*model.Result, error) {
+	if len(contenders) != n.NumExtenders() {
+		return nil, fmt.Errorf("channels: %d contender counts for %d extenders",
+			len(contenders), n.NumExtenders())
+	}
+	// Scale each user's rate on extender j by the cell's airtime share:
+	// co-channel cells time-share the air, so every frame takes
+	// contenders[j]× longer in wall-clock terms.
+	scaled := &model.Network{
+		WiFiRates: make([][]float64, n.NumUsers()),
+		PLCCaps:   n.PLCCaps,
+	}
+	for i, row := range n.WiFiRates {
+		scaled.WiFiRates[i] = make([]float64, len(row))
+		for j, r := range row {
+			c := contenders[j]
+			if c < 1 {
+				return nil, fmt.Errorf("channels: contender count %d < 1 for extender %d", c, j)
+			}
+			scaled.WiFiRates[i][j] = r / float64(c)
+		}
+	}
+	return model.Evaluate(scaled, assign, opts)
+}

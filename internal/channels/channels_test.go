@@ -1,0 +1,204 @@
+package channels
+
+import (
+	"math"
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/topology"
+)
+
+func lineTopology(positions []float64) *topology.Topology {
+	topo := &topology.Topology{Width: 200, Height: 10}
+	for j, x := range positions {
+		topo.Extenders = append(topo.Extenders, topology.Extender{
+			ID:              j,
+			Pos:             topology.Point{X: x, Y: 0},
+			PLCCapacityMbps: 100,
+		})
+	}
+	return topo
+}
+
+func TestAllocateValidation(t *testing.T) {
+	if _, err := Allocate(nil, nil, 10); err == nil {
+		t.Error("nil topology: want error")
+	}
+	if _, err := Allocate(lineTopology([]float64{0}), nil, 0); err == nil {
+		t.Error("zero range: want error")
+	}
+}
+
+func TestThreeSpreadExtendersGetDistinctChannels(t *testing.T) {
+	// Three extenders all within range: a proper coloring uses all three
+	// orthogonal channels — the paper's assumption realized.
+	topo := lineTopology([]float64{0, 10, 20})
+	alloc, err := Allocate(topo, nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, ch := range alloc {
+		seen[ch] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("allocation %v uses %d channels, want 3", alloc, len(seen))
+	}
+	contenders, err := Contenders(topo, alloc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range contenders {
+		if c != 1 {
+			t.Errorf("extender %d has %d contenders, want 1", j, c)
+		}
+	}
+}
+
+func TestFarApartExtendersCanReuse(t *testing.T) {
+	// Two extenders far apart may share a channel without contention.
+	topo := lineTopology([]float64{0, 150})
+	alloc, err := Allocate(topo, []int{1}, 50) // single channel forces reuse
+	if err != nil {
+		t.Fatal(err)
+	}
+	contenders, err := Contenders(topo, alloc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range contenders {
+		if c != 1 {
+			t.Errorf("extender %d has %d contenders despite distance", j, c)
+		}
+	}
+}
+
+func TestOverloadedColoringMinimizesConflicts(t *testing.T) {
+	// Five mutually interfering extenders on three channels: at least
+	// two pairs must share, but no channel should carry three when two
+	// suffice (greedy least-used choice).
+	topo := lineTopology([]float64{0, 5, 10, 15, 20})
+	alloc, err := Allocate(topo, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, ch := range alloc {
+		counts[ch]++
+	}
+	for ch, c := range counts {
+		if c > 2 {
+			t.Errorf("channel %d carries %d extenders; balanced coloring puts ≤2", ch, c)
+		}
+	}
+}
+
+func TestContendersValidation(t *testing.T) {
+	topo := lineTopology([]float64{0, 10})
+	if _, err := Contenders(topo, Allocation{1}, 50); err == nil {
+		t.Error("short allocation: want error")
+	}
+}
+
+func TestEvaluateWithChannelsNoContentionMatchesModel(t *testing.T) {
+	n := &model.Network{
+		WiFiRates: [][]float64{{15, 10}, {40, 20}},
+		PLCCaps:   []float64{60, 20},
+	}
+	assign := model.Assignment{1, 0}
+	opts := model.Options{Redistribute: true}
+	plain, err := model.Evaluate(n, assign, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCh, err := EvaluateWithChannels(n, assign, []int{1, 1}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Aggregate-withCh.Aggregate) > 1e-12 {
+		t.Errorf("contender-free evaluation %v != plain %v", withCh.Aggregate, plain.Aggregate)
+	}
+}
+
+func TestEvaluateWithChannelsContentionHurts(t *testing.T) {
+	n := &model.Network{
+		WiFiRates: [][]float64{{15, 10}, {40, 20}},
+		PLCCaps:   []float64{1000, 1000}, // WiFi-bound so contention shows
+	}
+	assign := model.Assignment{0, 1}
+	opts := model.Options{Redistribute: true}
+	free, err := EvaluateWithChannels(n, assign, []int{1, 1}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contended, err := EvaluateWithChannels(n, assign, []int{2, 2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(contended.Aggregate-free.Aggregate/2) > 1e-9 {
+		t.Errorf("2-way contention aggregate %v, want half of %v", contended.Aggregate, free.Aggregate)
+	}
+}
+
+func TestEvaluateWithChannelsValidation(t *testing.T) {
+	n := &model.Network{
+		WiFiRates: [][]float64{{15, 10}},
+		PLCCaps:   []float64{60, 20},
+	}
+	if _, err := EvaluateWithChannels(n, model.Assignment{0}, []int{1}, model.Options{}); err == nil {
+		t.Error("short contender slice: want error")
+	}
+	if _, err := EvaluateWithChannels(n, model.Assignment{0}, []int{0, 1}, model.Options{}); err == nil {
+		t.Error("zero contender count: want error")
+	}
+}
+
+// TestChannelScarcityShape quantifies the assumption the paper makes:
+// with ≤3 extenders, orthogonal channels make contention vanish; with
+// many extenders in range, co-channel sharing bites.
+func TestChannelScarcityShape(t *testing.T) {
+	topo := lineTopology([]float64{0, 5, 10, 15, 20, 25, 30, 35, 40})
+	n := &model.Network{
+		WiFiRates: make([][]float64, 18),
+		PLCCaps:   make([]float64, 9),
+	}
+	for j := range n.PLCCaps {
+		n.PLCCaps[j] = 1000
+	}
+	assign := make(model.Assignment, 18)
+	for i := range n.WiFiRates {
+		n.WiFiRates[i] = make([]float64, 9)
+		for j := range n.WiFiRates[i] {
+			n.WiFiRates[i][j] = 54
+		}
+		assign[i] = i % 9
+	}
+	aggAt := func(numChannels int) float64 {
+		chans := make([]int, numChannels)
+		for k := range chans {
+			chans[k] = k + 1
+		}
+		alloc, err := Allocate(topo, chans, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contenders, err := Contenders(topo, alloc, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := EvaluateWithChannels(n, assign, contenders, model.Options{Redistribute: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Aggregate
+	}
+	one, three, nine := aggAt(1), aggAt(3), aggAt(9)
+	if !(one < three && three < nine) {
+		t.Errorf("aggregate should grow with channels: %v, %v, %v", one, three, nine)
+	}
+	// Nine orthogonal channels remove contention entirely: 18 users at
+	// 54 Mbps across 9 cells of 2 = 9 × 54.
+	if math.Abs(nine-9*54) > 1e-9 {
+		t.Errorf("contention-free aggregate %v, want %v", nine, 9*54.0)
+	}
+}

@@ -1,0 +1,216 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"net"
+
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+// Agent is a user-side client of the central controller. It sends the
+// user's scan report on Join and tracks the association directives the
+// controller pushes (including later re-associations).
+type Agent struct {
+	userID int
+	jc     *jsonConn
+
+	mu       sync.Mutex
+	extender int
+	moves    int // directives that changed an existing association
+	lastErr  error
+
+	directives chan Message
+	done       chan struct{}
+	readerWG   sync.WaitGroup
+}
+
+// Dial connects an agent to the controller at addr.
+func Dial(addr string, userID int) (*Agent, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("control: dial %s: %w", addr, err)
+	}
+	a := &Agent{
+		userID:     userID,
+		jc:         newJSONConn(conn),
+		extender:   model.Unassigned,
+		directives: make(chan Message, 16),
+		done:       make(chan struct{}),
+	}
+	a.readerWG.Add(1)
+	go a.readLoop()
+	return a, nil
+}
+
+func (a *Agent) readLoop() {
+	defer a.readerWG.Done()
+	defer close(a.directives)
+	for {
+		msg, err := a.jc.recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case MsgAssociate:
+			a.mu.Lock()
+			if a.extender != model.Unassigned && msg.Extender != a.extender {
+				a.moves++
+			}
+			a.extender = msg.Extender
+			a.mu.Unlock()
+		case MsgError:
+			a.mu.Lock()
+			a.lastErr = errors.New(msg.Error)
+			a.mu.Unlock()
+		}
+		select {
+		case a.directives <- msg:
+		default:
+			// Slow consumer: drop the notification; state above is
+			// already updated.
+		}
+	}
+}
+
+// Join sends the agent's scan report (per-extender WiFi rates and RSSI)
+// and waits for the controller's first association directive.
+func (a *Agent) Join(rates, rssi []float64, timeout time.Duration) (int, error) {
+	if err := a.jc.send(Message{
+		Type:   MsgJoin,
+		UserID: a.userID,
+		Rates:  rates,
+		RSSI:   rssi,
+	}); err != nil {
+		return 0, fmt.Errorf("control: join: %w", err)
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case msg, ok := <-a.directives:
+			if !ok {
+				return 0, errors.New("control: connection closed before directive")
+			}
+			switch msg.Type {
+			case MsgAssociate:
+				if msg.UserID == a.userID {
+					return msg.Extender, nil
+				}
+			case MsgError:
+				return 0, errors.New(msg.Error)
+			}
+		case <-deadline.C:
+			return 0, errors.New("control: timed out waiting for association directive")
+		}
+	}
+}
+
+// Extender returns the agent's current association (model.Unassigned
+// before the first directive).
+func (a *Agent) Extender() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.extender
+}
+
+// Moves returns how many times the controller re-associated this agent.
+func (a *Agent) Moves() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.moves
+}
+
+// Err returns the last error message the controller pushed to this agent
+// (nil if none). Asynchronous rejections — e.g. an invalid scan update —
+// surface here.
+func (a *Agent) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastErr
+}
+
+// WaitForMove blocks until the agent's association changes from the given
+// extender or the timeout expires, returning the new extender.
+func (a *Agent) WaitForMove(from int, timeout time.Duration) (int, error) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		if cur := a.Extender(); cur != from && cur != model.Unassigned {
+			return cur, nil
+		}
+		select {
+		case _, ok := <-a.directives:
+			if !ok {
+				if cur := a.Extender(); cur != from && cur != model.Unassigned {
+					return cur, nil
+				}
+				return 0, errors.New("control: connection closed while waiting for move")
+			}
+		case <-deadline.C:
+			return 0, errors.New("control: timed out waiting for re-association")
+		}
+	}
+}
+
+// Stats asks the controller for its snapshot.
+func (a *Agent) Stats(timeout time.Duration) (Stats, error) {
+	if err := a.jc.send(Message{Type: MsgStats}); err != nil {
+		return Stats{}, err
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case msg, ok := <-a.directives:
+			if !ok {
+				return Stats{}, errors.New("control: connection closed before stats reply")
+			}
+			if msg.Type == MsgStatsReply && msg.Stats != nil {
+				return *msg.Stats, nil
+			}
+		case <-deadline.C:
+			return Stats{}, errors.New("control: timed out waiting for stats")
+		}
+	}
+}
+
+// UpdateScan reports a fresh radio scan to the controller (mobility).
+// Any resulting re-association arrives asynchronously; use Extender or
+// WaitForMove to observe it.
+func (a *Agent) UpdateScan(rates, rssi []float64) error {
+	return a.jc.send(Message{
+		Type:   MsgUpdate,
+		UserID: a.userID,
+		Rates:  rates,
+		RSSI:   rssi,
+	})
+}
+
+// Leave tells the controller the user is departing and closes the
+// connection.
+func (a *Agent) Leave() error {
+	err := a.jc.send(Message{Type: MsgLeave, UserID: a.userID})
+	closeErr := a.Close()
+	if err != nil {
+		return err
+	}
+	return closeErr
+}
+
+// Close tears the connection down without a leave message (an abrupt
+// disconnect, which the controller also treats as a departure).
+func (a *Agent) Close() error {
+	select {
+	case <-a.done:
+		return nil
+	default:
+		close(a.done)
+	}
+	err := a.jc.close()
+	a.readerWG.Wait()
+	return err
+}

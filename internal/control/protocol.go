@@ -1,0 +1,102 @@
+// Package control implements WOLT's control plane (§V-A of the paper): a
+// Central Controller (CC) process and per-user agents that talk JSON over
+// TCP. An agent scans the reachable extenders, estimates its WiFi rate to
+// each (from the NIC's modulation and coding feedback — here, the radio
+// model), and reports the estimates to the CC; the CC runs the configured
+// association policy (WOLT, Greedy or RSSI) and pushes association
+// directives back. WOLT may re-associate existing users when topology
+// changes; Greedy and RSSI never do.
+package control
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+// Message types exchanged between agents and the controller.
+const (
+	// MsgJoin is sent by an agent when it needs an association. It
+	// carries the agent's user ID and its scan report.
+	MsgJoin MsgType = "join"
+	// MsgLeave is sent by an agent that is disconnecting.
+	MsgLeave MsgType = "leave"
+	// MsgUpdate is sent by an associated agent whose radio environment
+	// changed (mobility): it carries a fresh scan report. The controller
+	// may push re-association directives in response.
+	MsgUpdate MsgType = "update"
+	// MsgAssociate is sent by the CC to direct an agent to an extender.
+	MsgAssociate MsgType = "associate"
+	// MsgStats asks the CC for a snapshot of controller statistics.
+	MsgStats MsgType = "stats"
+	// MsgStatsReply answers MsgStats.
+	MsgStatsReply MsgType = "stats_reply"
+	// MsgError reports a protocol or policy failure to the agent.
+	MsgError MsgType = "error"
+)
+
+// Message is the single wire format; fields are used according to Type.
+type Message struct {
+	Type MsgType `json:"type"`
+	// UserID identifies the agent (join, leave, associate).
+	UserID int `json:"userId,omitempty"`
+	// Rates is the scan report: estimated WiFi PHY rate in Mbps to each
+	// extender, indexed by extender ID (join).
+	Rates []float64 `json:"ratesMbps,omitempty"`
+	// RSSI is the scan report's signal strengths in dBm (join).
+	RSSI []float64 `json:"rssiDbm,omitempty"`
+	// Extender is the association directive target (associate).
+	Extender int `json:"extender,omitempty"`
+	// Reassociation marks a directive that moves an already-associated
+	// user (associate).
+	Reassociation bool `json:"reassociation,omitempty"`
+	// Stats is the controller snapshot (stats_reply).
+	Stats *Stats `json:"stats,omitempty"`
+	// Error carries a human-readable failure description (error).
+	Error string `json:"error,omitempty"`
+}
+
+// Stats is a controller snapshot.
+type Stats struct {
+	Policy         string      `json:"policy"`
+	Users          int         `json:"users"`
+	Joins          int         `json:"joins"`
+	Leaves         int         `json:"leaves"`
+	Reassociations int         `json:"reassociations"`
+	Assignment     map[int]int `json:"assignment"`
+}
+
+// conn wraps a TCP connection with newline-delimited JSON framing.
+type jsonConn struct {
+	c   net.Conn
+	r   *bufio.Reader
+	enc *json.Encoder
+}
+
+func newJSONConn(c net.Conn) *jsonConn {
+	return &jsonConn{c: c, r: bufio.NewReader(c), enc: json.NewEncoder(c)}
+}
+
+func (jc *jsonConn) send(m Message) error {
+	return jc.enc.Encode(m)
+}
+
+func (jc *jsonConn) recv() (Message, error) {
+	line, err := jc.r.ReadBytes('\n')
+	if err != nil {
+		return Message{}, err
+	}
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return Message{}, fmt.Errorf("control: bad message %q: %w", line, err)
+	}
+	return m, nil
+}
+
+func (jc *jsonConn) close() error {
+	return jc.c.Close()
+}

@@ -1,0 +1,399 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+
+	"github.com/plcwifi/wolt/internal/baseline"
+	"github.com/plcwifi/wolt/internal/core"
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+// PolicyKind selects the controller's association policy.
+type PolicyKind string
+
+// Supported controller policies.
+const (
+	PolicyWOLT   PolicyKind = "wolt"
+	PolicyGreedy PolicyKind = "greedy"
+	PolicyRSSI   PolicyKind = "rssi"
+)
+
+// ServerConfig configures a central controller.
+type ServerConfig struct {
+	// PLCCaps are the offline-estimated PLC isolation capacities c_j,
+	// indexed by extender ID (§V-A: measured by saturating each link).
+	PLCCaps []float64
+	// Policy is the association policy (default PolicyWOLT).
+	Policy PolicyKind
+	// ModelOpts selects the evaluation model used by the greedy policy.
+	ModelOpts model.Options
+	// Logger receives connection-level errors; nil discards them.
+	Logger *log.Logger
+}
+
+// Server is the WOLT Central Controller: it accepts agent connections,
+// collects scan reports, computes associations and pushes directives.
+type Server struct {
+	cfg      ServerConfig
+	listener net.Listener
+
+	mu             sync.Mutex
+	users          map[int]*userState
+	conns          map[*jsonConn]struct{}
+	joins          int
+	leaves         int
+	reassociations int
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type userState struct {
+	rates    []float64
+	rssi     []float64
+	extender int
+	conn     *jsonConn
+}
+
+// NewServer starts a controller listening on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	if len(cfg.PLCCaps) == 0 {
+		return nil, errors.New("control: no PLC capacities configured")
+	}
+	for j, c := range cfg.PLCCaps {
+		if c <= 0 {
+			return nil, fmt.Errorf("control: extender %d has non-positive capacity %v", j, c)
+		}
+	}
+	switch cfg.Policy {
+	case "":
+		cfg.Policy = PolicyWOLT
+	case PolicyWOLT, PolicyGreedy, PolicyRSSI:
+	default:
+		return nil, fmt.Errorf("control: unknown policy %q", cfg.Policy)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("control: listen: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		listener: ln,
+		users:    make(map[int]*userState),
+		conns:    make(map[*jsonConn]struct{}),
+		closed:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the controller's listen address.
+func (s *Server) Addr() string {
+	return s.listener.Addr().String()
+}
+
+// Close shuts the controller down and waits for its goroutines. Every
+// open connection is closed, whether or not its agent ever joined.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.listener.Close()
+	s.mu.Lock()
+	for jc := range s.conns {
+		_ = jc.close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// StatsSnapshot returns the controller's counters and current assignment.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Server) statsLocked() Stats {
+	assignment := make(map[int]int, len(s.users))
+	for id, u := range s.users {
+		assignment[id] = u.extender
+	}
+	return Stats{
+		Policy:         string(s.cfg.Policy),
+		Users:          len(s.users),
+		Joins:          s.joins,
+		Leaves:         s.leaves,
+		Reassociations: s.reassociations,
+		Assignment:     assignment,
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logf("accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go s.handle(newJSONConn(conn))
+	}
+}
+
+func (s *Server) handle(jc *jsonConn) {
+	defer s.wg.Done()
+	// Register under the same lock that Close sweeps the map with, and
+	// re-check the shutdown flag: a connection accepted concurrently
+	// with Close could otherwise register after the sweep and leave this
+	// goroutine blocked in recv forever.
+	s.mu.Lock()
+	s.conns[jc] = struct{}{}
+	var shuttingDown bool
+	select {
+	case <-s.closed:
+		shuttingDown = true
+	default:
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, jc)
+		s.mu.Unlock()
+		_ = jc.close()
+	}()
+	if shuttingDown {
+		return
+	}
+	var joinedUser = -1
+	for {
+		msg, err := jc.recv()
+		if err != nil {
+			// Connection gone: treat as an implicit leave.
+			if joinedUser >= 0 {
+				s.removeUser(joinedUser)
+			}
+			return
+		}
+		switch msg.Type {
+		case MsgJoin:
+			if err := s.handleJoin(jc, msg); err != nil {
+				_ = jc.send(Message{Type: MsgError, Error: err.Error()})
+				continue
+			}
+			joinedUser = msg.UserID
+		case MsgUpdate:
+			if joinedUser < 0 || msg.UserID != joinedUser {
+				_ = jc.send(Message{Type: MsgError, Error: "update before join"})
+				continue
+			}
+			if err := s.handleUpdate(msg); err != nil {
+				_ = jc.send(Message{Type: MsgError, Error: err.Error()})
+			}
+		case MsgLeave:
+			if joinedUser >= 0 {
+				s.removeUser(joinedUser)
+				joinedUser = -1
+			}
+			return
+		case MsgStats:
+			s.mu.Lock()
+			stats := s.statsLocked()
+			s.mu.Unlock()
+			if err := jc.send(Message{Type: MsgStatsReply, Stats: &stats}); err != nil {
+				return
+			}
+		default:
+			_ = jc.send(Message{Type: MsgError, Error: fmt.Sprintf("unexpected message %q", msg.Type)})
+		}
+	}
+}
+
+func (s *Server) handleJoin(jc *jsonConn, msg Message) error {
+	numExt := len(s.cfg.PLCCaps)
+	if len(msg.Rates) != numExt {
+		return fmt.Errorf("scan report has %d rates, controller manages %d extenders",
+			len(msg.Rates), numExt)
+	}
+	if len(msg.RSSI) != 0 && len(msg.RSSI) != numExt {
+		return fmt.Errorf("scan report has %d RSSI entries, want %d", len(msg.RSSI), numExt)
+	}
+	reachable := false
+	for _, r := range msg.Rates {
+		if r > 0 {
+			reachable = true
+			break
+		}
+	}
+	if !reachable {
+		return fmt.Errorf("user %d reaches no extender", msg.UserID)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[msg.UserID]; ok {
+		return fmt.Errorf("user %d already joined", msg.UserID)
+	}
+	s.users[msg.UserID] = &userState{
+		rates:    append([]float64(nil), msg.Rates...),
+		rssi:     append([]float64(nil), msg.RSSI...),
+		extender: model.Unassigned,
+		conn:     jc,
+	}
+	s.joins++
+	if err := s.recomputeLocked(msg.UserID); err != nil {
+		delete(s.users, msg.UserID)
+		s.joins--
+		return err
+	}
+	return nil
+}
+
+// handleUpdate refreshes an associated user's scan report and lets the
+// policy react: WOLT recomputes the full association (it may move
+// anyone), RSSI re-places just the reporting user (client roaming), and
+// Greedy — which never reassigns — leaves everything as is.
+func (s *Server) handleUpdate(msg Message) error {
+	numExt := len(s.cfg.PLCCaps)
+	if len(msg.Rates) != numExt {
+		return fmt.Errorf("scan report has %d rates, controller manages %d extenders",
+			len(msg.Rates), numExt)
+	}
+	if len(msg.RSSI) != 0 && len(msg.RSSI) != numExt {
+		return fmt.Errorf("scan report has %d RSSI entries, want %d", len(msg.RSSI), numExt)
+	}
+	reachable := false
+	for _, r := range msg.Rates {
+		if r > 0 {
+			reachable = true
+			break
+		}
+	}
+	if !reachable {
+		return fmt.Errorf("user %d reaches no extender", msg.UserID)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.users[msg.UserID]
+	if !ok {
+		return fmt.Errorf("user %d not joined", msg.UserID)
+	}
+	u.rates = append([]float64(nil), msg.Rates...)
+	u.rssi = append([]float64(nil), msg.RSSI...)
+	switch s.cfg.Policy {
+	case PolicyGreedy:
+		// Greedy never reassigns; the refreshed report only affects
+		// placements of future arrivals.
+		return nil
+	default:
+		return s.recomputeLocked(msg.UserID)
+	}
+}
+
+func (s *Server) removeUser(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[id]; !ok {
+		return
+	}
+	delete(s.users, id)
+	s.leaves++
+	// The paper's CC recomputes on joins (directives accompany new
+	// associations); departures simply free capacity.
+}
+
+// recomputeLocked runs the policy after newUser joined and pushes
+// directives. Callers hold s.mu.
+func (s *Server) recomputeLocked(newUser int) error {
+	ids := make([]int, 0, len(s.users))
+	for id := range s.users {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	n := &model.Network{
+		WiFiRates: make([][]float64, len(ids)),
+		PLCCaps:   s.cfg.PLCCaps,
+	}
+	assign := make(model.Assignment, len(ids))
+	newRow := -1
+	for row, id := range ids {
+		u := s.users[id]
+		n.WiFiRates[row] = u.rates
+		assign[row] = u.extender
+		if id == newUser {
+			newRow = row
+		}
+	}
+
+	switch s.cfg.Policy {
+	case PolicyWOLT:
+		res, err := core.Assign(n, core.Options{})
+		if err != nil {
+			return err
+		}
+		assign = res.Assign
+	case PolicyGreedy:
+		if _, err := baseline.GreedyAdd(n, assign, newRow, s.cfg.ModelOpts); err != nil {
+			return err
+		}
+	case PolicyRSSI:
+		u := s.users[newUser]
+		best, bestSig := model.Unassigned, -1e18
+		for j, r := range u.rates {
+			if r <= 0 {
+				continue
+			}
+			sig := r
+			if len(u.rssi) == len(u.rates) {
+				sig = u.rssi[j]
+			}
+			if sig > bestSig {
+				best, bestSig = j, sig
+			}
+		}
+		assign[newRow] = best
+	}
+
+	// Push directives for every changed user.
+	for row, id := range ids {
+		u := s.users[id]
+		if assign[row] == u.extender {
+			continue
+		}
+		reassoc := u.extender != model.Unassigned
+		u.extender = assign[row]
+		if reassoc {
+			s.reassociations++
+		}
+		if u.conn != nil {
+			if err := u.conn.send(Message{
+				Type:          MsgAssociate,
+				UserID:        id,
+				Extender:      u.extender,
+				Reassociation: reassoc,
+			}); err != nil {
+				s.logf("push directive to user %d: %v", id, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}

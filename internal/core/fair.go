@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/nlp"
+)
+
+// AssignProportionalFair is the fairness extension of WOLT: Phase I is
+// unchanged (it seeds every extender with one well-matched user), but
+// Phase II places the remaining users to maximize Σ_i log(throughput_i)
+// instead of Σ_j T_WiFi_j. Under throughput-fair WiFi sharing every user
+// on extender j receives 1/S_j, so the objective is -Σ_j N_j·ln(S_j).
+//
+// The paper optimizes efficiency and accepts the fairness that falls out
+// (§V-D); this variant makes the efficiency/fairness trade-off explicit
+// and is benchmarked against plain Assign in BenchmarkFairnessVariant.
+func AssignProportionalFair(n *model.Network, opts Options) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if n.NumUsers() == 0 {
+		return &Result{Assign: model.Assignment{}}, nil
+	}
+
+	// Phase I: identical to Assign.
+	plain := opts
+	plain.Solver = Phase2Coordinate
+	base, err := Assign(n, plain)
+	if err != nil {
+		return nil, err
+	}
+	if len(base.PhaseIUsers) == n.NumUsers() {
+		return base, nil
+	}
+
+	// Rebuild the Phase I pinning and run the proportional-fair Phase II.
+	fixed := make(model.Assignment, n.NumUsers())
+	for i := range fixed {
+		fixed[i] = model.Unassigned
+	}
+	for _, i := range base.PhaseIUsers {
+		fixed[i] = base.Assign[i]
+	}
+	sol, err := nlp.SolveCoordinateWith(
+		nlp.Problem{Rates: n.WiFiRates, Fixed: fixed},
+		nlp.ProportionalFair,
+	)
+	if err != nil {
+		return nil, fmt.Errorf("fair phase II: %w", err)
+	}
+	return &Result{
+		Assign:        sol.Assign,
+		PhaseIUsers:   base.PhaseIUsers,
+		PhaseIUtility: base.PhaseIUtility,
+		Phase2:        sol,
+	}, nil
+}

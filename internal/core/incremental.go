@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+// IncrementalResult is the outcome of a budgeted re-association.
+type IncrementalResult struct {
+	// Assign is the new association.
+	Assign model.Assignment
+	// Moves lists the already-associated users that changed extender, in
+	// the order the moves were applied.
+	Moves []int
+	// Placed lists previously unassociated users given an extender
+	// (arrivals; these do not count against the budget).
+	Placed []int
+	// TargetAggregate is the aggregate throughput of the unconstrained
+	// WOLT association; AchievedAggregate is the budgeted result's.
+	TargetAggregate   float64
+	AchievedAggregate float64
+}
+
+// AssignIncremental moves the network toward the full WOLT association
+// while re-associating at most budget existing users — the knob the
+// paper's Fig 6c motivates: full recomputation may move many users, and
+// every move disrupts a client's traffic.
+//
+// New users (prev[i] == Unassigned) are always placed and do not consume
+// budget. Among the existing users whose WOLT target differs from their
+// current extender, moves are applied greedily by marginal aggregate
+// gain under the evaluation model, stopping at the budget or when no
+// remaining move improves the aggregate. A negative budget means
+// unlimited (equivalent to full recomputation restricted to
+// target-directed moves).
+func AssignIncremental(n *model.Network, prev model.Assignment, budget int, opts Options, evalOpts model.Options) (*IncrementalResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if len(prev) != n.NumUsers() {
+		return nil, fmt.Errorf("core: previous assignment covers %d users, network has %d",
+			len(prev), n.NumUsers())
+	}
+
+	target, err := Assign(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &IncrementalResult{Assign: prev.Clone()}
+
+	// Arrivals go straight to their target (free).
+	for i, j := range prev {
+		if j == model.Unassigned {
+			res.Assign[i] = target.Assign[i]
+			res.Placed = append(res.Placed, i)
+		}
+	}
+
+	// Candidate moves: existing users whose target differs.
+	var candidates []int
+	for i, j := range prev {
+		if j != model.Unassigned && target.Assign[i] != j {
+			candidates = append(candidates, i)
+		}
+	}
+
+	current, err := model.Evaluate(n, res.Assign, evalOpts)
+	if err != nil {
+		return nil, err
+	}
+	currentAgg := current.Aggregate
+	remaining := budget
+	for remaining != 0 && len(candidates) > 0 {
+		bestIdx, bestAgg := -1, currentAgg
+		for idx, user := range candidates {
+			old := res.Assign[user]
+			res.Assign[user] = target.Assign[user]
+			eval, err := model.Evaluate(n, res.Assign, evalOpts)
+			res.Assign[user] = old
+			if err != nil {
+				return nil, err
+			}
+			if eval.Aggregate > bestAgg+1e-12 {
+				bestIdx, bestAgg = idx, eval.Aggregate
+			}
+		}
+		if bestIdx < 0 {
+			break // no remaining single move helps
+		}
+		user := candidates[bestIdx]
+		res.Assign[user] = target.Assign[user]
+		res.Moves = append(res.Moves, user)
+		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
+		currentAgg = bestAgg
+		if remaining > 0 {
+			remaining--
+		}
+	}
+
+	res.AchievedAggregate = currentAgg
+	res.TargetAggregate = model.Aggregate(n, target.Assign, evalOpts)
+	if math.IsNaN(res.TargetAggregate) {
+		return nil, fmt.Errorf("core: target aggregate is NaN")
+	}
+	return res, nil
+}

@@ -1,0 +1,210 @@
+// Package core implements WOLT's user-association algorithm (Algorithm 1
+// in the paper), the paper's primary contribution.
+//
+// The full problem (Problem 1) — maximize Σ_j min(T_WiFi_j, T_PLC_j) over
+// all associations — is NP-hard (Theorem 1, reduction from PARTITION).
+// WOLT therefore solves it in two polynomial phases:
+//
+//	Phase I: relax "every user must connect" and require "every extender
+//	serves ≥1 user". Lemma 2 shows an optimum then assigns exactly one
+//	user per extender, and Theorem 2 shows the relaxed problem is exactly
+//	an assignment problem with utilities u_ij = min(c_j/|A|, r_ij) —
+//	solved optimally by the Hungarian algorithm in O(|A|³).
+//
+//	Phase II: pin the Phase I users and place the remaining users to
+//	maximize the total WiFi throughput (Problem 2), a nonlinear program
+//	with provably integral optima (Theorem 3), solved by internal/nlp.
+package core
+
+import (
+	"fmt"
+
+	"github.com/plcwifi/wolt/internal/hungarian"
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/nlp"
+)
+
+// unreachableUtility marks user-extender pairs with no WiFi connectivity
+// in the Phase I utility matrix. It is finite (the Hungarian solver
+// rejects infinities) but dominated by any real pairing, so such a pair is
+// only matched when a user or extender has no alternative; those matches
+// are discarded afterwards.
+const unreachableUtility = -1e12
+
+// Phase2Solver selects the Phase II engine.
+type Phase2Solver int
+
+const (
+	// Phase2ProjectedGradient solves the continuous relaxation with
+	// projected gradient ascent and extracts an integral solution
+	// (the paper's approach). The default.
+	Phase2ProjectedGradient Phase2Solver = iota + 1
+	// Phase2Coordinate uses the discrete best-response solver.
+	Phase2Coordinate
+)
+
+// Phase1Solver selects the assignment-problem engine for Phase I.
+type Phase1Solver int
+
+const (
+	// Phase1Hungarian is the O(|A|³) shortest-augmenting-path solver the
+	// paper specifies. The default.
+	Phase1Hungarian Phase1Solver = iota + 1
+	// Phase1Auction uses Bertsekas' auction algorithm with ε-scaling —
+	// an alternative with different practical scaling and a natural
+	// distributed implementation.
+	Phase1Auction
+)
+
+// Options configures Assign.
+type Options struct {
+	// Phase1 selects the assignment engine (default Hungarian).
+	Phase1 Phase1Solver
+	// Solver selects the Phase II engine (default projected gradient).
+	Solver Phase2Solver
+	// NLP tunes the projected-gradient solver.
+	NLP nlp.Options
+}
+
+// Result is a complete WOLT association.
+type Result struct {
+	// Assign maps every user to an extender.
+	Assign model.Assignment
+	// PhaseIUsers lists the users selected in Phase I (the set U1),
+	// one per extender where possible.
+	PhaseIUsers []int
+	// PhaseIUtility is the total assignment utility Σ u_ij of Phase I.
+	PhaseIUtility float64
+	// Phase2 carries the Phase II solver diagnostics (nil when every
+	// user was already placed in Phase I).
+	Phase2 *nlp.Solution
+}
+
+// Utilities returns the Phase I utility matrix u_ij = min(c_j/|A|, r_ij)
+// (Algorithm 1 lines 1–3). Unreachable pairs get unreachableUtility.
+func Utilities(n *model.Network) [][]float64 {
+	numExt := float64(n.NumExtenders())
+	u := make([][]float64, n.NumUsers())
+	for i, row := range n.WiFiRates {
+		u[i] = make([]float64, len(row))
+		for j, r := range row {
+			if r <= 0 {
+				u[i][j] = unreachableUtility
+				continue
+			}
+			fair := n.PLCCaps[j] / numExt
+			if r < fair {
+				u[i][j] = r
+			} else {
+				u[i][j] = fair
+			}
+		}
+	}
+	return u
+}
+
+// Assign runs the full two-phase WOLT algorithm on a network.
+func Assign(n *model.Network, opts Options) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if n.NumUsers() == 0 {
+		return &Result{Assign: model.Assignment{}}, nil
+	}
+	switch opts.Solver {
+	case 0:
+		opts.Solver = Phase2ProjectedGradient
+	case Phase2ProjectedGradient, Phase2Coordinate:
+	default:
+		return nil, fmt.Errorf("core: unknown phase II solver %d", opts.Solver)
+	}
+	switch opts.Phase1 {
+	case 0:
+		opts.Phase1 = Phase1Hungarian
+	case Phase1Hungarian, Phase1Auction:
+	default:
+		return nil, fmt.Errorf("core: unknown phase I solver %d", opts.Phase1)
+	}
+
+	// Phase I: assignment problem over u_ij.
+	utilities := Utilities(n)
+	// The solver's total is not used directly: forced unreachable
+	// pairings are discarded below, so the utility is re-summed over the
+	// retained pairs only.
+	var (
+		match []int
+		err   error
+	)
+	if opts.Phase1 == Phase1Auction {
+		match, _, err = hungarian.AuctionMaximize(utilities)
+	} else {
+		match, _, err = hungarian.Maximize(utilities)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("phase I: %w", err)
+	}
+
+	fixed := make(model.Assignment, n.NumUsers())
+	var phase1 []int
+	phase1Utility := 0.0
+	for i, j := range match {
+		if j == hungarian.Unmatched || n.WiFiRates[i][j] <= 0 {
+			// Either more users than extenders (left for Phase II) or a
+			// forced unreachable pairing (discarded).
+			fixed[i] = model.Unassigned
+			continue
+		}
+		fixed[i] = j
+		phase1 = append(phase1, i)
+		phase1Utility += utilities[i][j]
+	}
+
+	res := &Result{
+		PhaseIUsers:   phase1,
+		PhaseIUtility: phase1Utility,
+	}
+
+	// Phase II: place the remaining users.
+	if len(phase1) == n.NumUsers() {
+		res.Assign = fixed
+		return res, nil
+	}
+	problem := nlp.Problem{Rates: n.WiFiRates, Fixed: fixed}
+	var sol *nlp.Solution
+	switch opts.Solver {
+	case Phase2ProjectedGradient:
+		sol, err = nlp.SolveProjectedGradient(problem, opts.NLP)
+	case Phase2Coordinate:
+		sol, err = nlp.SolveCoordinate(problem)
+	default:
+		return nil, fmt.Errorf("core: unknown phase II solver %d", opts.Solver)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("phase II: %w", err)
+	}
+	res.Assign = sol.Assign
+	res.Phase2 = sol
+	return res, nil
+}
+
+// Lemma1Improves reports whether, per Lemma 1, connecting a user with WiFi
+// rate r to a cell whose current members have the given rates increases
+// (or preserves) the cell's aggregate WiFi throughput. The condition is
+// that the user's inverse rate does not exceed the cell's mean inverse
+// rate: 1/r ≤ (1/|N|)·Σ 1/r_i.
+func Lemma1Improves(memberRates []float64, r float64) bool {
+	if r <= 0 {
+		return false
+	}
+	if len(memberRates) == 0 {
+		return true
+	}
+	var invSum float64
+	for _, m := range memberRates {
+		if m <= 0 {
+			return false
+		}
+		invSum += 1 / m
+	}
+	return 1/r <= invSum/float64(len(memberRates))
+}

@@ -1,0 +1,160 @@
+// Package emu is the emulated PLC-WiFi testbed: it replaces the paper's
+// laptops, TP-Link extenders and iperf3 runs with real TCP flows over
+// loopback, shaped to the rates the concatenated-link sharing model
+// assigns. The substitution preserves what the testbed experiments
+// measure — per-user and aggregate saturated TCP throughput under a given
+// association — while adding the genuine concurrency, socket behaviour
+// and measurement noise of a real network stack.
+//
+// Each associated user becomes one downlink flow: a shaped sender (the
+// "server side" behind the extender's concatenated PLC+WiFi path) pushing
+// into a counting receiver. The per-user shaping rate is the user's fair
+// share under the PLC time-sharing + WiFi throughput-fair model, which is
+// exactly how the real system's long-term TCP shares settle (§IV: "TCP
+// shares capacity across flows in a fair manner").
+package emu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/plcwifi/wolt/internal/emu/iperf"
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+// Config describes one testbed run.
+type Config struct {
+	// Net is the network under test.
+	Net *model.Network
+	// Assign is the association to measure.
+	Assign model.Assignment
+	// Opts selects the sharing model (redistribution on for all paper
+	// experiments).
+	Opts model.Options
+	// Duration is the measurement window (iperf3 run length). Default
+	// 300 ms — long enough for shaped loopback flows to converge.
+	Duration time.Duration
+}
+
+// FlowResult is one user's measured throughput.
+type FlowResult struct {
+	User int
+	// TargetMbps is the model-predicted fair share.
+	TargetMbps float64
+	// MeasuredMbps is the receiver-side measured goodput.
+	MeasuredMbps float64
+}
+
+// Result is a complete testbed run.
+type Result struct {
+	Flows []FlowResult
+	// AggregateMbps is the sum of measured per-user goodputs.
+	AggregateMbps float64
+	// ModelAggregateMbps is the model-predicted aggregate, for
+	// fidelity comparison (the paper's Fig 4c).
+	ModelAggregateMbps float64
+}
+
+// Run evaluates the association under the sharing model, then realizes
+// every per-user share as a real shaped TCP flow and measures it.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("emu: nil network")
+	}
+	eval, err := model.Evaluate(cfg.Net, cfg.Assign, cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	duration := cfg.Duration
+	if duration == 0 {
+		duration = 300 * time.Millisecond
+	}
+	if duration < 0 {
+		return nil, fmt.Errorf("emu: negative duration %v", duration)
+	}
+
+	server, err := iperf.NewServer("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = server.Close() }()
+
+	type flow struct {
+		user   int
+		target float64
+	}
+	var flows []flow
+	for user, share := range eval.PerUser {
+		if share > 0 {
+			flows = append(flows, flow{user: user, target: share})
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	starts := make([]time.Time, len(flows))
+	for k, f := range flows {
+		wg.Add(1)
+		go func(k int, f flow) {
+			defer wg.Done()
+			starts[k] = time.Now()
+			if _, err := iperf.Run(server.Addr(), uint64(f.user), f.target, duration); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("emu: flow for user %d: %w", f.user, err)
+				}
+				mu.Unlock()
+			}
+		}(k, f)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Give the receiver a moment to drain in-flight socket buffers.
+	time.Sleep(20 * time.Millisecond)
+
+	res := &Result{ModelAggregateMbps: eval.Aggregate}
+	for k, f := range flows {
+		elapsed := time.Since(starts[k]) - 20*time.Millisecond
+		if elapsed <= 0 {
+			elapsed = duration
+		}
+		measured := float64(server.Bytes(uint64(f.user))) * 8 / elapsed.Seconds() / 1e6
+		res.Flows = append(res.Flows, FlowResult{
+			User:         f.user,
+			TargetMbps:   f.target,
+			MeasuredMbps: measured,
+		})
+		res.AggregateMbps += measured
+	}
+	return res, nil
+}
+
+// MeasureCapacity performs the paper's offline PLC capacity estimation on
+// the emulated testbed: saturate a single link (no shaping beyond the
+// link capacity itself) and report the sustained throughput.
+func MeasureCapacity(capacityMbps float64, duration time.Duration) (float64, error) {
+	if capacityMbps <= 0 {
+		return 0, fmt.Errorf("emu: non-positive capacity %v", capacityMbps)
+	}
+	if duration <= 0 {
+		duration = 300 * time.Millisecond
+	}
+	server, err := iperf.NewServer("127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = server.Close() }()
+	start := time.Now()
+	if _, err := iperf.Run(server.Addr(), 1, capacityMbps, duration); err != nil {
+		return 0, err
+	}
+	time.Sleep(10 * time.Millisecond)
+	elapsed := time.Since(start) - 10*time.Millisecond
+	return float64(server.Bytes(1)) * 8 / elapsed.Seconds() / 1e6, nil
+}

@@ -1,0 +1,133 @@
+package emu
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+func fig3Network() *model.Network {
+	return &model.Network{
+		WiFiRates: [][]float64{
+			{15, 10},
+			{40, 20},
+		},
+		PLCCaps: []float64{60, 20},
+	}
+}
+
+var redistribute = model.Options{Redistribute: true}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil network: want error")
+	}
+	if _, err := Run(Config{Net: fig3Network(), Assign: model.Assignment{0}}); err == nil {
+		t.Error("short assignment: want error")
+	}
+	if _, err := Run(Config{
+		Net:      fig3Network(),
+		Assign:   model.Assignment{0, 0},
+		Duration: -time.Second,
+	}); err == nil {
+		t.Error("negative duration: want error")
+	}
+}
+
+// TestFig3OptimalOnEmulatedTestbed realizes the paper's optimal Fig 3d
+// association with real TCP flows: user 1 should measure ≈10 Mbps and
+// user 2 ≈30 Mbps.
+func TestFig3OptimalOnEmulatedTestbed(t *testing.T) {
+	res, err := Run(Config{
+		Net:      fig3Network(),
+		Assign:   model.Assignment{1, 0},
+		Opts:     redistribute,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 2 {
+		t.Fatalf("got %d flows", len(res.Flows))
+	}
+	wants := map[int]float64{0: 10, 1: 30}
+	for _, f := range res.Flows {
+		want := wants[f.User]
+		if math.Abs(f.TargetMbps-want) > 1e-9 {
+			t.Errorf("user %d target %v, want %v", f.User, f.TargetMbps, want)
+		}
+		if rel := math.Abs(f.MeasuredMbps-want) / want; rel > 0.25 {
+			t.Errorf("user %d measured %v Mbps, want ≈%v (%.0f%% off)",
+				f.User, f.MeasuredMbps, want, rel*100)
+		}
+	}
+	if math.Abs(res.ModelAggregateMbps-40) > 1e-9 {
+		t.Errorf("model aggregate %v, want 40", res.ModelAggregateMbps)
+	}
+	if rel := math.Abs(res.AggregateMbps-40) / 40; rel > 0.25 {
+		t.Errorf("measured aggregate %v, want ≈40", res.AggregateMbps)
+	}
+}
+
+// TestFidelity is the repository's Fig 4c: the emulated testbed and the
+// flow-level model agree on aggregate throughput.
+func TestFidelity(t *testing.T) {
+	for name, assign := range map[string]model.Assignment{
+		"RSSI":    {0, 0},
+		"Greedy":  {0, 1},
+		"Optimal": {1, 0},
+	} {
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(Config{
+				Net:      fig3Network(),
+				Assign:   assign,
+				Opts:     redistribute,
+				Duration: 300 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ModelAggregateMbps <= 0 {
+				t.Fatal("model aggregate missing")
+			}
+			// 300 ms windows track the model within a few percent on an
+			// idle machine; the tolerance leaves room for CPU contention
+			// when the whole suite (or the bench harness) runs alongside.
+			rel := math.Abs(res.AggregateMbps-res.ModelAggregateMbps) / res.ModelAggregateMbps
+			if rel > 0.35 {
+				t.Errorf("emulated %v vs model %v: %.0f%% apart",
+					res.AggregateMbps, res.ModelAggregateMbps, rel*100)
+			}
+		})
+	}
+}
+
+func TestUnassignedUsersHaveNoFlows(t *testing.T) {
+	res, err := Run(Config{
+		Net:      fig3Network(),
+		Assign:   model.Assignment{0, model.Unassigned},
+		Opts:     redistribute,
+		Duration: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 1 || res.Flows[0].User != 0 {
+		t.Errorf("flows = %+v, want only user 0", res.Flows)
+	}
+}
+
+func TestMeasureCapacity(t *testing.T) {
+	got, err := MeasureCapacity(60, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-60) > 12 {
+		t.Errorf("measured capacity %v, want ≈60", got)
+	}
+	if _, err := MeasureCapacity(0, time.Second); err == nil {
+		t.Error("zero capacity: want error")
+	}
+}

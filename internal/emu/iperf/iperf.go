@@ -1,0 +1,199 @@
+// Package iperf is a minimal iperf3-style throughput measurement tool
+// used by the emulated testbed: a server that counts received bytes per
+// flow and a client that sends saturating TCP traffic through a token-
+// bucket shaper (iperf3's -b flag). The paper uses iperf3 both for the
+// offline PLC capacity estimation (§V-A) and for all testbed throughput
+// measurements; this package plays that role against real sockets.
+package iperf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Shaper is a token-bucket rate limiter in bytes/second.
+type Shaper struct {
+	mu          sync.Mutex
+	bytesPerSec float64
+	burst       float64
+	tokens      float64
+	last        time.Time
+}
+
+// NewShaper builds a shaper for the given bit rate. The burst is one
+// 20 ms window of the rate, floored at 16 KiB so small rates still make
+// progress in whole TCP writes.
+func NewShaper(rateMbps float64) (*Shaper, error) {
+	if rateMbps <= 0 {
+		return nil, fmt.Errorf("iperf: non-positive rate %v", rateMbps)
+	}
+	bytesPerSec := rateMbps * 1e6 / 8
+	burst := bytesPerSec / 50
+	if burst < 16*1024 {
+		burst = 16 * 1024
+	}
+	return &Shaper{
+		bytesPerSec: bytesPerSec,
+		burst:       burst,
+		tokens:      burst,
+		last:        time.Now(),
+	}, nil
+}
+
+// Wait blocks until n bytes of budget are available and consumes them.
+func (s *Shaper) Wait(n int) {
+	for {
+		s.mu.Lock()
+		now := time.Now()
+		s.tokens += now.Sub(s.last).Seconds() * s.bytesPerSec
+		s.last = now
+		if s.tokens > s.burst {
+			s.tokens = s.burst
+		}
+		if s.tokens >= float64(n) {
+			s.tokens -= float64(n)
+			s.mu.Unlock()
+			return
+		}
+		deficit := float64(n) - s.tokens
+		s.mu.Unlock()
+		time.Sleep(time.Duration(deficit / s.bytesPerSec * float64(time.Second)))
+	}
+}
+
+// Server receives flows and counts bytes per flow ID. Each client opens a
+// TCP connection, writes an 8-byte big-endian flow ID, then streams data.
+type Server struct {
+	listener net.Listener
+
+	mu    sync.Mutex
+	bytes map[uint64]int64
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServer starts a measurement server on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("iperf: listen: %w", err)
+	}
+	s := &Server{
+		listener: ln,
+		bytes:    make(map[uint64]int64),
+		closed:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string {
+	return s.listener.Addr().String()
+}
+
+// Bytes returns the number of payload bytes received so far for a flow.
+func (s *Server) Bytes(flowID uint64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes[flowID]
+}
+
+// Close stops the server and waits for its goroutines.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() { _ = conn.Close() }()
+	var header [8]byte
+	if _, err := io.ReadFull(conn, header[:]); err != nil {
+		return
+	}
+	flowID := binary.BigEndian.Uint64(header[:])
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			s.mu.Lock()
+			s.bytes[flowID] += int64(n)
+			s.mu.Unlock()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// ClientResult is the sender-side outcome of one measurement run.
+type ClientResult struct {
+	BytesSent int64
+	Duration  time.Duration
+	Mbps      float64
+}
+
+// Run streams shaped traffic to the server for the given duration and
+// returns the sender-side result. rateMbps caps the sending rate (the
+// emulated link's fair share); the flow is otherwise saturating.
+func Run(addr string, flowID uint64, rateMbps float64, duration time.Duration) (ClientResult, error) {
+	if duration <= 0 {
+		return ClientResult{}, errors.New("iperf: non-positive duration")
+	}
+	shaper, err := NewShaper(rateMbps)
+	if err != nil {
+		return ClientResult{}, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return ClientResult{}, fmt.Errorf("iperf: dial %s: %w", addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	var header [8]byte
+	binary.BigEndian.PutUint64(header[:], flowID)
+	if _, err := conn.Write(header[:]); err != nil {
+		return ClientResult{}, fmt.Errorf("iperf: send header: %w", err)
+	}
+
+	chunk := make([]byte, 8*1024)
+	start := time.Now()
+	deadline := start.Add(duration)
+	var sent int64
+	for time.Now().Before(deadline) {
+		shaper.Wait(len(chunk))
+		n, err := conn.Write(chunk)
+		sent += int64(n)
+		if err != nil {
+			return ClientResult{}, fmt.Errorf("iperf: write: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	return ClientResult{
+		BytesSent: sent,
+		Duration:  elapsed,
+		Mbps:      float64(sent) * 8 / elapsed.Seconds() / 1e6,
+	}, nil
+}

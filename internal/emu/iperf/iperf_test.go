@@ -1,0 +1,163 @@
+package iperf
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShaperValidation(t *testing.T) {
+	if _, err := NewShaper(0); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := NewShaper(-5); err == nil {
+		t.Error("negative rate: want error")
+	}
+}
+
+func TestShaperRate(t *testing.T) {
+	// Draining tokens for 200 ms at 40 Mbps should pass ≈1 MB.
+	shaper, err := NewShaper(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 8 * 1024
+	start := time.Now()
+	var sent int64
+	for time.Since(start) < 200*time.Millisecond {
+		shaper.Wait(chunk)
+		sent += chunk
+	}
+	elapsed := time.Since(start).Seconds()
+	mbps := float64(sent) * 8 / elapsed / 1e6
+	if math.Abs(mbps-40) > 8 {
+		t.Errorf("shaped rate %v Mbps, want ≈40", mbps)
+	}
+}
+
+func TestClientServerSingleFlow(t *testing.T) {
+	server, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = server.Close() }()
+
+	res, err := Run(server.Addr(), 42, 20, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mbps-20) > 5 {
+		t.Errorf("client rate %v Mbps, want ≈20", res.Mbps)
+	}
+	time.Sleep(20 * time.Millisecond)
+	received := server.Bytes(42)
+	if received == 0 {
+		t.Fatal("server received nothing")
+	}
+	// Loopback should deliver nearly everything sent.
+	if ratio := float64(received) / float64(res.BytesSent); ratio < 0.9 {
+		t.Errorf("server received %v of %v bytes (%.0f%%)", received, res.BytesSent, ratio*100)
+	}
+}
+
+func TestConcurrentFlowsIsolated(t *testing.T) {
+	server, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = server.Close() }()
+
+	rates := map[uint64]float64{1: 10, 2: 30, 3: 50}
+	var wg sync.WaitGroup
+	for id, rate := range rates {
+		wg.Add(1)
+		go func(id uint64, rate float64) {
+			defer wg.Done()
+			if _, err := Run(server.Addr(), id, rate, 300*time.Millisecond); err != nil {
+				t.Errorf("flow %d: %v", id, err)
+			}
+		}(id, rate)
+	}
+	wg.Wait()
+	time.Sleep(20 * time.Millisecond)
+	for id, rate := range rates {
+		mbps := float64(server.Bytes(id)) * 8 / 0.3 / 1e6
+		if math.Abs(mbps-rate) > rate*0.3+3 {
+			t.Errorf("flow %d measured %v Mbps, want ≈%v", id, mbps, rate)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	server, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = server.Close() }()
+	if _, err := Run(server.Addr(), 1, 0, time.Second); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := Run(server.Addr(), 1, 10, 0); err == nil {
+		t.Error("zero duration: want error")
+	}
+	if _, err := Run("127.0.0.1:1", 1, 10, time.Second); err == nil {
+		t.Error("unreachable server: want error")
+	}
+}
+
+func TestBytesUnknownFlow(t *testing.T) {
+	server, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = server.Close() }()
+	if got := server.Bytes(99); got != 0 {
+		t.Errorf("unknown flow bytes = %d, want 0", got)
+	}
+}
+
+func TestServerCloseDuringActiveFlow(t *testing.T) {
+	// Failure injection: closing the server while a client is mid-run
+	// must not hang either side; the client surfaces a write error or
+	// finishes early.
+	server, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(server.Addr(), 5, 50, 2*time.Second)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+		// Either outcome (error or early success) is acceptable; what
+		// matters is that the client returned.
+	case <-time.After(5 * time.Second):
+		t.Fatal("client hung after server close")
+	}
+}
+
+func TestShaperBurstBounded(t *testing.T) {
+	// After a long idle period the bucket must not have accumulated more
+	// than one burst of credit.
+	shaper, err := NewShaper(80) // burst = 10 MB/s / 50 = 200 KB
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	start := time.Now()
+	var instant int64
+	for time.Since(start) < time.Millisecond {
+		shaper.Wait(8 * 1024)
+		instant += 8 * 1024
+	}
+	if instant > 300*1024 {
+		t.Errorf("shaper released %d bytes instantly, burst should cap near 200KiB", instant)
+	}
+}

@@ -1,0 +1,124 @@
+// Package eventsim is a minimal discrete-event simulation kernel: a
+// monotonic clock plus a time-ordered event queue. The network simulator
+// uses it to drive user arrival/departure dynamics; it is generic enough
+// for any future event-driven substrate.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrPast is returned when scheduling an event before the current time.
+var ErrPast = errors.New("eventsim: event scheduled in the past")
+
+// Handler is an event callback. It runs with the simulation clock set to
+// the event's time and may schedule further events.
+type Handler func(sim *Sim)
+
+type event struct {
+	at      float64
+	seq     uint64 // FIFO tie-break for simultaneous events
+	handler Handler
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator. The zero value is ready to use with
+// the clock at 0.
+type Sim struct {
+	queue eventQueue
+	now   float64
+	seq   uint64
+	// processed counts executed events.
+	processed uint64
+}
+
+// New returns a fresh simulator with the clock at 0.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// ScheduleAt queues handler to run at absolute time t.
+func (s *Sim) ScheduleAt(t float64, handler Handler) error {
+	if t < s.now {
+		return fmt.Errorf("%w: t=%v now=%v", ErrPast, t, s.now)
+	}
+	if handler == nil {
+		return errors.New("eventsim: nil handler")
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, handler: handler})
+	return nil
+}
+
+// Schedule queues handler to run delay time units from now.
+func (s *Sim) Schedule(delay float64, handler Handler) error {
+	if delay < 0 {
+		return fmt.Errorf("%w: negative delay %v", ErrPast, delay)
+	}
+	return s.ScheduleAt(s.now+delay, handler)
+}
+
+// Step executes the next event, advancing the clock to it. It reports
+// whether an event was executed.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	s.processed++
+	ev.handler(s)
+	return true
+}
+
+// RunUntil executes events in time order until the queue is empty or the
+// next event lies beyond horizon; the clock ends at min(horizon, last
+// event time). Events scheduled exactly at the horizon run.
+func (s *Sim) RunUntil(horizon float64) {
+	for len(s.queue) > 0 && s.queue[0].at <= horizon {
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run executes every queued event (including ones scheduled during the
+// run) up to maxEvents, returning the number executed.
+func (s *Sim) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for n < maxEvents && s.Step() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/plcwifi/wolt/internal/channels"
+	"github.com/plcwifi/wolt/internal/core"
+	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/stats"
+	"github.com/plcwifi/wolt/internal/topology"
+)
+
+// ChannelPoint is the evaluation under one channel budget.
+type ChannelPoint struct {
+	Channels int
+	// MeanContenders is the average co-channel contender count per
+	// extender (1.0 = the paper's interference-free assumption holds).
+	MeanContenders float64
+	// AggregateMbps is WOLT's aggregate under co-channel contention.
+	AggregateMbps float64
+}
+
+// ChannelsResult quantifies the paper's non-overlapping-channel
+// assumption (§V-A): how much aggregate throughput survives when the
+// enterprise's extenders must share 1, 2, 3 (the real 2.4 GHz budget) or
+// unlimited orthogonal channels.
+type ChannelsResult struct {
+	Extenders         int
+	Users             int
+	InterferenceRange float64
+	Points            []ChannelPoint
+}
+
+// Channels runs the channel-scarcity ablation on the enterprise
+// scenario, averaging over Options.Trials topologies (default 10).
+func Channels(opts Options) (*ChannelsResult, error) {
+	opts = opts.withDefaults(10)
+	const interferenceRange = 45.0 // meters; cells overlap well inside it
+
+	budgets := []int{1, 2, 3, 6, 0} // 0 = one channel per extender
+	res := &ChannelsResult{
+		Extenders:         opts.Extenders,
+		Users:             opts.Users,
+		InterferenceRange: interferenceRange,
+	}
+	aggregates := make([][]float64, len(budgets))
+	contenders := make([][]float64, len(budgets))
+
+	for trial := 0; trial < opts.Trials; trial++ {
+		scen := NewEnterpriseScenario(opts.Extenders, opts.Users, opts.Seed+int64(trial))
+		topo, err := topology.Generate(scen.Topology)
+		if err != nil {
+			return nil, err
+		}
+		inst := netsim.Build(topo, scen.Radio)
+		wolt, err := core.Assign(inst.Net, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for b, budget := range budgets {
+			numCh := budget
+			if numCh == 0 {
+				numCh = opts.Extenders
+			}
+			chans := make([]int, numCh)
+			for k := range chans {
+				chans[k] = k + 1
+			}
+			alloc, err := channels.Allocate(topo, chans, interferenceRange)
+			if err != nil {
+				return nil, err
+			}
+			cont, err := channels.Contenders(topo, alloc, interferenceRange)
+			if err != nil {
+				return nil, err
+			}
+			eval, err := channels.EvaluateWithChannels(inst.Net, wolt.Assign, cont, Redistribute)
+			if err != nil {
+				return nil, err
+			}
+			aggregates[b] = append(aggregates[b], eval.Aggregate)
+			var mean float64
+			for _, c := range cont {
+				mean += float64(c)
+			}
+			contenders[b] = append(contenders[b], mean/float64(len(cont)))
+		}
+	}
+	for b, budget := range budgets {
+		res.Points = append(res.Points, ChannelPoint{
+			Channels:       budget,
+			MeanContenders: stats.Mean(contenders[b]),
+			AggregateMbps:  stats.Mean(aggregates[b]),
+		})
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *ChannelsResult) Tables() []Table {
+	t := Table{
+		Caption: fmt.Sprintf(
+			"Channel scarcity — WOLT aggregate under co-channel contention (%d extenders, %d users, %.0f m range)",
+			r.Extenders, r.Users, r.InterferenceRange),
+		Header: []string{"orthogonal channels", "mean co-channel contenders", "aggregate Mbps"},
+	}
+	for _, p := range r.Points {
+		label := strconv.Itoa(p.Channels)
+		if p.Channels == 0 {
+			label = "unlimited"
+		}
+		t.Rows = append(t.Rows, []string{label, f2(p.MeanContenders), f1(p.AggregateMbps)})
+	}
+	return []Table{t}
+}

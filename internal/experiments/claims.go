@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/stats"
+	"github.com/plcwifi/wolt/internal/topology"
+)
+
+// Claim is one falsifiable statement from the paper, with a check that
+// measures it on this implementation.
+type Claim struct {
+	ID        string
+	Statement string
+	// Paper is the paper's reported value, as text.
+	Paper string
+	// Check measures the claim; it returns the measured value (as text)
+	// and whether the claim's *shape* held.
+	Check func(opts Options) (measured string, ok bool, err error)
+}
+
+// claimContext memoizes the expensive shared experiment runs so that
+// multiple claims can reuse one Fig 4 (emulated testbed) execution.
+type claimContext struct {
+	fig4     *Fig4Result
+	fig4Err  error
+	fig4Done bool
+}
+
+func (c *claimContext) getFig4(opts Options) (*Fig4Result, error) {
+	if !c.fig4Done {
+		c.fig4, c.fig4Err = Fig4(opts)
+		c.fig4Done = true
+	}
+	return c.fig4, c.fig4Err
+}
+
+// Claims returns every checked claim in paper order.
+func Claims() []Claim {
+	ctx := &claimContext{}
+	return []Claim{
+		{
+			ID:        "fig2a-fair",
+			Statement: "802.11 sharing is throughput-fair; a far client degrades both clients",
+			Paper:     "equal per-user throughputs; both drop as client 2 moves away",
+			Check: func(opts Options) (string, bool, error) {
+				res, err := Fig2a(opts)
+				if err != nil {
+					return "", false, err
+				}
+				fair := true
+				for _, loc := range res.Locations {
+					if rel := math.Abs(loc.User1Mbps-loc.User2Mbps) / loc.User1Mbps; rel > 0.1 {
+						fair = false
+					}
+				}
+				monotone := res.Locations[0].User1Mbps > res.Locations[1].User1Mbps &&
+					res.Locations[1].User1Mbps > res.Locations[2].User1Mbps
+				return fmt.Sprintf("per-user gap ≤10%%; stationary client %s",
+					map[bool]string{true: "degrades monotonically", false: "does not degrade"}[monotone]), fair && monotone, nil
+			},
+		},
+		{
+			ID:        "fig2c-timefair",
+			Statement: "PLC sharing is time-fair: A active extenders each deliver ≈ solo/A",
+			Paper:     "1/2, 1/3, 1/4 of isolation throughput",
+			Check: func(opts Options) (string, bool, error) {
+				res, err := Fig2c(opts)
+				if err != nil {
+					return "", false, err
+				}
+				worst := 0.0
+				for a, row := range res.Shared {
+					for j, tp := range row {
+						want := res.Solo[j] / float64(a+1)
+						if rel := math.Abs(tp-want) / want; rel > worst {
+							worst = rel
+						}
+					}
+				}
+				return fmt.Sprintf("worst deviation from solo/A: %.0f%%", worst*100), worst < 0.25, nil
+			},
+		},
+		{
+			ID:        "fig3-numbers",
+			Statement: "case study: RSSI 22, Greedy 30, Optimal 40 Mbps; WOLT finds the optimum",
+			Paper:     "22 / 30 / 40",
+			Check: func(Options) (string, bool, error) {
+				res, err := Fig3()
+				if err != nil {
+					return "", false, err
+				}
+				ok := math.Abs(res.RSSIMbps-240.0/11.0) < 1e-6 &&
+					math.Abs(res.GreedyMbps-30) < 1e-6 &&
+					math.Abs(res.OptimalMbps-40) < 1e-6 &&
+					math.Abs(res.WOLTMbps-40) < 1e-6
+				return fmt.Sprintf("%.1f / %.1f / %.1f (WOLT %.1f)",
+					res.RSSIMbps, res.GreedyMbps, res.OptimalMbps, res.WOLTMbps), ok, nil
+			},
+		},
+		{
+			ID:        "fig4a-ordering",
+			Statement: "testbed: WOLT beats Greedy and RSSI on mean aggregate throughput",
+			Paper:     "+26% vs Greedy, +70% vs RSSI",
+			Check: func(opts Options) (string, bool, error) {
+				res, err := ctx.getFig4(opts)
+				if err != nil {
+					return "", false, err
+				}
+				ok := res.ImprovementOverGreedy > 0 && res.ImprovementOverRSSI > 0
+				return fmt.Sprintf("%+.0f%% vs Greedy, %+.0f%% vs RSSI",
+					res.ImprovementOverGreedy*100, res.ImprovementOverRSSI*100), ok, nil
+			},
+		},
+		{
+			ID:        "fig4c-fidelity",
+			Statement: "simulation results are consistent with the testbed",
+			Paper:     "\"very consistent\"",
+			Check: func(opts Options) (string, bool, error) {
+				res, err := ctx.getFig4(opts)
+				if err != nil {
+					return "", false, err
+				}
+				ratios := make([]float64, len(res.Policies[0].ModelMbps))
+				worst := 0.0
+				for k := range ratios {
+					rel := math.Abs(res.Policies[0].MeasuredMbps[k]/res.Policies[0].ModelMbps[k] - 1)
+					if rel > worst {
+						worst = rel
+					}
+				}
+				// Shaped flows track the model within ±4% at the 1 s
+				// paper-scale window; short test windows (and CPU
+				// contention from parallel suites) warrant extra slack.
+				tolerance := 0.3
+				if opts.withDefaults(1).EmuDuration < 500*time.Millisecond {
+					tolerance = 0.5
+				}
+				return fmt.Sprintf("worst measured/model deviation: %.0f%%", worst*100), worst < tolerance, nil
+			},
+		},
+		{
+			ID:        "fig5-tradeoff",
+			Statement: "the worst users' loss under WOLT is modest next to the best users' gain",
+			Paper:     "-6 Mbps vs +38 Mbps",
+			// The check uses the deterministic model-predicted per-user
+			// throughputs; the Fig5 experiment itself measures the same
+			// assignment with real (noisy) TCP flows.
+			Check: func(opts Options) (string, bool, error) {
+				worst, best, err := fig5ModelDeltas(opts)
+				if err != nil {
+					return "", false, err
+				}
+				ok := best > 0 && best > -worst
+				return fmt.Sprintf("worst-3 Δ %.1f, best-3 Δ %+.1f Mbps (model)", worst, best), ok, nil
+			},
+		},
+		{
+			ID:        "fig6a-dominance",
+			Statement: "simulation: WOLT outperforms every baseline across the aggregate CDF",
+			Paper:     "2.5x over greedy on average",
+			Check: func(opts Options) (string, bool, error) {
+				res, err := Fig6a(opts)
+				if err != nil {
+					return "", false, err
+				}
+				ok := true
+				for _, ratio := range res.MeanImprovement {
+					if ratio <= 1 {
+						ok = false
+					}
+				}
+				return fmt.Sprintf("mean ratios: %.2fx Greedy, %.2fx Selfish, %.2fx RSSI",
+					res.MeanImprovement["Greedy"], res.MeanImprovement["Selfish"],
+					res.MeanImprovement["RSSI"]), ok, nil
+			},
+		},
+		{
+			ID:        "fig6c-overhead",
+			Statement: "WOLT re-assigns at most ~2 users per arrival",
+			Paper:     "up to twice the arrivals",
+			Check: func(opts Options) (string, bool, error) {
+				res, err := Fig6bc(opts)
+				if err != nil {
+					return "", false, err
+				}
+				var reassigned, arrivals float64
+				for _, er := range res.WOLT {
+					reassigned += float64(er.Reassignments)
+					arrivals += float64(er.Arrivals)
+				}
+				ratio := stats.Ratio(reassigned, arrivals)
+				return fmt.Sprintf("%.2f re-assignments per arrival", ratio), ratio <= 2, nil
+			},
+		},
+		{
+			ID:        "fairness",
+			Statement: "WOLT's Jain fairness is at least comparable to Greedy's",
+			Paper:     "0.66 vs 0.52 (and RSSI 0.65)",
+			Check: func(opts Options) (string, bool, error) {
+				res, err := Fairness(opts)
+				if err != nil {
+					return "", false, err
+				}
+				wolt, greedy, rssi := res.MeanJain("WOLT"), res.MeanJain("Greedy"), res.MeanJain("RSSI")
+				return fmt.Sprintf("%.2f / %.2f / %.2f (WOLT/Greedy/RSSI)", wolt, greedy, rssi),
+					wolt >= greedy, nil
+			},
+		},
+		{
+			ID:        "nphard",
+			Statement: "Problem 1 is NP-hard (PARTITION reduction is sound)",
+			Paper:     "Theorem 1",
+			Check: func(opts Options) (string, bool, error) {
+				res, err := NPHard(opts)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("reduction agreed with DP on %d/%d instances",
+					res.Agreed, res.Instances), res.Agreed == res.Instances, nil
+			},
+		},
+	}
+}
+
+// fig5ModelDeltas replays the Fig 5 comparison against the analytic
+// model, averaged over Options.Trials testbed topologies (the paper
+// reports "the results are very similar with all our scenarios"):
+// per-user WOLT-vs-Greedy deltas for the three WOLT-worst and three
+// WOLT-best users.
+func fig5ModelDeltas(opts Options) (worstDelta, bestDelta float64, err error) {
+	opts = opts.withDefaults(8)
+	for trial := 0; trial < opts.Trials; trial++ {
+		scen := NewTestbedScenario(opts.Seed + int64(trial))
+		topo, err := topology.Generate(scen.Topology)
+		if err != nil {
+			return 0, 0, err
+		}
+		inst := netsim.Build(topo, scen.Radio)
+		perUser := make(map[string][]float64)
+		for _, policy := range []netsim.Policy{netsim.WOLTPolicy{}, netsim.GreedyPolicy{ModelOpts: Redistribute}} {
+			assign, err := assignStatic(inst, policy)
+			if err != nil {
+				return 0, 0, err
+			}
+			eval, err := model.Evaluate(inst.Net, assign, Redistribute)
+			if err != nil {
+				return 0, 0, err
+			}
+			perUser[policy.Name()] = eval.PerUser
+		}
+		order := make([]int, len(inst.UserIDs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return perUser["WOLT"][order[a]] < perUser["WOLT"][order[b]]
+		})
+		k := 3
+		if len(order) < 2*k {
+			k = len(order) / 2
+		}
+		for _, i := range order[:k] {
+			worstDelta += perUser["WOLT"][i] - perUser["Greedy"][i]
+		}
+		for _, i := range order[len(order)-k:] {
+			bestDelta += perUser["WOLT"][i] - perUser["Greedy"][i]
+		}
+	}
+	n := float64(opts.Trials)
+	return worstDelta / n, bestDelta / n, nil
+}
+
+// VerifyResult is the outcome of running every claim.
+type VerifyResult struct {
+	Rows []VerifyRow
+}
+
+// VerifyRow is one claim's verdict.
+type VerifyRow struct {
+	Claim    Claim
+	Measured string
+	OK       bool
+	Err      error
+}
+
+// Verify runs every claim check.
+func Verify(opts Options) (*VerifyResult, error) {
+	out := &VerifyResult{}
+	for _, c := range Claims() {
+		measured, ok, err := c.Check(opts)
+		out.Rows = append(out.Rows, VerifyRow{Claim: c, Measured: measured, OK: ok, Err: err})
+		if err != nil {
+			return out, fmt.Errorf("claim %s: %w", c.ID, err)
+		}
+	}
+	return out, nil
+}
+
+// Passed counts holding claims.
+func (r *VerifyResult) Passed() int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.OK && row.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Tables implements Tabler.
+func (r *VerifyResult) Tables() []Table {
+	t := Table{
+		Caption: fmt.Sprintf("Claim verification — %d/%d paper claims hold in shape", r.Passed(), len(r.Rows)),
+		Header:  []string{"claim", "paper", "measured", "verdict"},
+	}
+	for _, row := range r.Rows {
+		verdict := "HOLDS"
+		if row.Err != nil {
+			verdict = "ERROR"
+		} else if !row.OK {
+			verdict = "DEVIATES"
+		}
+		t.Rows = append(t.Rows, []string{row.Claim.ID, row.Claim.Paper, row.Measured, verdict})
+	}
+	return []Table{t}
+}

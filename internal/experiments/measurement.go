@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"github.com/plcwifi/wolt/internal/baseline"
+	"github.com/plcwifi/wolt/internal/core"
+	"github.com/plcwifi/wolt/internal/mac1901"
+	"github.com/plcwifi/wolt/internal/mac80211"
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/plc"
+)
+
+// Fig2aResult reproduces Fig 2a: two saturated WiFi clients on one
+// extender, with client 2 moved progressively farther (location 1 → 3),
+// demonstrating throughput-fair sharing and the performance anomaly.
+type Fig2aResult struct {
+	Locations []Fig2aLocation
+}
+
+// Fig2aLocation is one position of the mobile client.
+type Fig2aLocation struct {
+	Name          string
+	Rate1, Rate2  float64 // PHY rates of the stationary and mobile client
+	User1Mbps     float64
+	User2Mbps     float64
+	AggregateMbps float64
+}
+
+// Fig2a runs the WiFi-only medium-sharing experiment on the DCF MAC
+// simulator.
+func Fig2a(opts Options) (*Fig2aResult, error) {
+	opts = opts.withDefaults(1)
+	// Location 1: both clients next to the extender (54 Mbps each).
+	// Location 2: client 2 mid-room (24 Mbps). Location 3: far (6 Mbps).
+	configs := []struct {
+		name         string
+		rate1, rate2 float64
+	}{
+		{"location 1 (equal)", 54, 54},
+		{"location 2 (mid)", 54, 24},
+		{"location 3 (far)", 54, 6},
+	}
+	res := &Fig2aResult{}
+	for k, cfg := range configs {
+		sim, err := mac80211.Simulate(
+			[]float64{cfg.rate1, cfg.rate2},
+			opts.MACDuration,
+			mac80211.DefaultParams(),
+			rand.New(rand.NewSource(opts.Seed+int64(k))),
+		)
+		if err != nil {
+			return nil, err
+		}
+		res.Locations = append(res.Locations, Fig2aLocation{
+			Name:          cfg.name,
+			Rate1:         cfg.rate1,
+			Rate2:         cfg.rate2,
+			User1Mbps:     sim.Stations[0].ThroughputMbps,
+			User2Mbps:     sim.Stations[1].ThroughputMbps,
+			AggregateMbps: sim.AggregateMbps,
+		})
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *Fig2aResult) Tables() []Table {
+	t := Table{
+		Caption: "Fig 2a — WiFi-only sharing: throughput-fair, and one far client drags both down",
+		Header:  []string{"client-2 position", "rate1", "rate2", "user1 Mbps", "user2 Mbps", "aggregate"},
+	}
+	for _, loc := range r.Locations {
+		t.Rows = append(t.Rows, []string{
+			loc.Name, f1(loc.Rate1), f1(loc.Rate2),
+			f1(loc.User1Mbps), f1(loc.User2Mbps), f1(loc.AggregateMbps),
+		})
+	}
+	return []Table{t}
+}
+
+// Fig2bResult reproduces Fig 2b: isolation capacities of PLC links on
+// different outlets.
+type Fig2bResult struct {
+	Links []plc.Link
+	// Estimated is the offline iperf-style estimate per link.
+	Estimated []float64
+}
+
+// Fig2b synthesizes four outlet paths with the line model and runs the
+// offline capacity estimation over them.
+func Fig2b(opts Options) (*Fig2bResult, error) {
+	opts = opts.withDefaults(1)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	lineModel := plc.DefaultLineModel()
+	// Four outlets of clearly different line quality, mirroring the
+	// paper's 60–160 Mbps spread.
+	paths := []plc.OutletPath{
+		{ExtenderID: 0, WireLenM: 12, Branches: 1},
+		{ExtenderID: 1, WireLenM: 25, Branches: 2},
+		{ExtenderID: 2, WireLenM: 40, Branches: 4},
+		{ExtenderID: 3, WireLenM: 55, Branches: 6},
+	}
+	links := lineModel.BuildLinks(paths, rng)
+	estimator := plc.Estimator{Probe: plc.NoisyProbe(0.03, rng), Samples: 3}
+	estimated, err := estimator.Estimate(links)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2bResult{Links: links, Estimated: estimated}, nil
+}
+
+// Tables implements Tabler.
+func (r *Fig2bResult) Tables() []Table {
+	t := Table{
+		Caption: "Fig 2b — PLC isolation capacities across outlets (paper: 60-160 Mbps)",
+		Header:  []string{"extender", "PHY Mbps", "capacity Mbps", "iperf estimate"},
+	}
+	for k, link := range r.Links {
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(link.ExtenderID), f1(link.PHYRateMbps),
+			f1(link.CapacityMbps), f1(r.Estimated[k]),
+		})
+	}
+	return []Table{t}
+}
+
+// Fig2cResult reproduces Fig 2c: time-fair sharing of the PLC medium as
+// 1–4 extenders are active simultaneously.
+type Fig2cResult struct {
+	// Solo[j] is extender j's throughput alone.
+	Solo []float64
+	// Shared[a][j] is extender j's throughput with a+1 extenders active.
+	Shared [][]float64
+}
+
+// Fig2c runs the IEEE 1901 MAC simulator with growing active sets.
+func Fig2c(opts Options) (*Fig2cResult, error) {
+	opts = opts.withDefaults(1)
+	caps := []float64{160, 120, 90, 60}
+	res := &Fig2cResult{Solo: make([]float64, len(caps))}
+	for j, c := range caps {
+		sim, err := mac1901.Simulate([]float64{c}, opts.MACDuration,
+			mac1901.DefaultParams(), rand.New(rand.NewSource(opts.Seed+int64(j))))
+		if err != nil {
+			return nil, err
+		}
+		res.Solo[j] = sim.Stations[0].ThroughputMbps
+	}
+	for active := 1; active <= len(caps); active++ {
+		sim, err := mac1901.Simulate(caps[:active], opts.MACDuration,
+			mac1901.DefaultParams(), rand.New(rand.NewSource(opts.Seed+100+int64(active))))
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, active)
+		for j := 0; j < active; j++ {
+			row[j] = sim.Stations[j].ThroughputMbps
+		}
+		res.Shared = append(res.Shared, row)
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *Fig2cResult) Tables() []Table {
+	t := Table{
+		Caption: "Fig 2c — PLC time-fair sharing: with A active extenders each delivers ≈ solo/A",
+		Header:  []string{"active", "extender", "solo Mbps", "shared Mbps", "share of solo"},
+	}
+	for a, row := range r.Shared {
+		for j, tp := range row {
+			t.Rows = append(t.Rows, []string{
+				strconv.Itoa(a + 1), strconv.Itoa(j),
+				f1(r.Solo[j]), f1(tp), f2(tp / r.Solo[j]),
+			})
+		}
+	}
+	return []Table{t}
+}
+
+// Fig3Result reproduces the Fig 3 case study: the three association
+// policies on the two-extender, two-user network, plus WOLT's answer.
+type Fig3Result struct {
+	RSSIMbps    float64
+	GreedyMbps  float64
+	OptimalMbps float64
+	WOLTMbps    float64
+	// PerUser holds each policy's per-user throughputs.
+	PerUser map[string][]float64
+	// WOLTAssign is WOLT's computed association.
+	WOLTAssign model.Assignment
+}
+
+// Fig3Network returns the case-study network (PLC 60/20 Mbps; WiFi rates
+// 15/10 and 40/20 Mbps).
+func Fig3Network() *model.Network {
+	return &model.Network{
+		WiFiRates: [][]float64{
+			{15, 10},
+			{40, 20},
+		},
+		PLCCaps: []float64{60, 20},
+	}
+}
+
+// Fig3 evaluates the case study.
+func Fig3() (*Fig3Result, error) {
+	n := Fig3Network()
+	res := &Fig3Result{PerUser: make(map[string][]float64)}
+
+	record := func(name string, assign model.Assignment) (float64, error) {
+		eval, err := model.Evaluate(n, assign, Redistribute)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", name, err)
+		}
+		res.PerUser[name] = eval.PerUser
+		return eval.Aggregate, nil
+	}
+
+	rssi, err := baseline.RSSIByRate(n)
+	if err != nil {
+		return nil, err
+	}
+	if res.RSSIMbps, err = record("RSSI", rssi); err != nil {
+		return nil, err
+	}
+	greedy, err := baseline.Greedy(n, nil, Redistribute)
+	if err != nil {
+		return nil, err
+	}
+	if res.GreedyMbps, err = record("Greedy", greedy); err != nil {
+		return nil, err
+	}
+	optimal, _, err := baseline.Optimal(n, Redistribute)
+	if err != nil {
+		return nil, err
+	}
+	if res.OptimalMbps, err = record("Optimal", optimal); err != nil {
+		return nil, err
+	}
+	wolt, err := core.Assign(n, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.WOLTAssign = wolt.Assign
+	if res.WOLTMbps, err = record("WOLT", wolt.Assign); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *Fig3Result) Tables() []Table {
+	t := Table{
+		Caption: "Fig 3 — association case study (paper: RSSI 22, Greedy 30, Optimal 40 Mbps)",
+		Header:  []string{"policy", "user1 Mbps", "user2 Mbps", "aggregate Mbps"},
+	}
+	for _, name := range []string{"RSSI", "Greedy", "Optimal", "WOLT"} {
+		per := r.PerUser[name]
+		var agg float64
+		switch name {
+		case "RSSI":
+			agg = r.RSSIMbps
+		case "Greedy":
+			agg = r.GreedyMbps
+		case "Optimal":
+			agg = r.OptimalMbps
+		case "WOLT":
+			agg = r.WOLTMbps
+		}
+		t.Rows = append(t.Rows, []string{name, f1(per[0]), f1(per[1]), f1(agg)})
+	}
+	return []Table{t}
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"strconv"
+
+	"github.com/plcwifi/wolt/internal/core"
+	"github.com/plcwifi/wolt/internal/mobility"
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/stats"
+	"github.com/plcwifi/wolt/internal/topology"
+)
+
+// MobilityTick is the network state at one mobility tick for all
+// strategies.
+type MobilityTick struct {
+	Tick int
+	// Aggregate throughput per strategy, Mbps.
+	Static, Roaming, FullWOLT, Budgeted float64
+	// Moves this tick per re-associating strategy.
+	RoamingMoves, FullMoves, BudgetedMoves int
+}
+
+// MobilityResult is the mobility experiment (beyond the paper): users
+// walk (random waypoint), rates drift, and four re-association
+// strategies are compared — assign-once, per-tick strongest-signal
+// roaming, per-tick full WOLT recomputation, and the budgeted
+// incremental WOLT extension.
+type MobilityResult struct {
+	Ticks []MobilityTick
+	// Budget is the per-tick move budget of the incremental strategy.
+	Budget int
+}
+
+// Mobility runs the mobility experiment: Options.Users walkers on the
+// enterprise floor for Options.Trials ticks of 10 simulated seconds
+// (default 20 ticks).
+func Mobility(opts Options) (*MobilityResult, error) {
+	opts = opts.withDefaults(20)
+	const (
+		tickSeconds = 10.0
+		moveBudget  = 3
+	)
+
+	scen := NewEnterpriseScenario(opts.Extenders, opts.Users, opts.Seed)
+	// Each strategy owns an identical copy of the world so motion is
+	// replayed identically.
+	type world struct {
+		topo   *topology.Topology
+		fleet  *mobility.Fleet
+		assign model.Assignment
+	}
+	newWorld := func() (*world, error) {
+		topo, err := topology.Generate(scen.Topology)
+		if err != nil {
+			return nil, err
+		}
+		mcfg := mobility.DefaultConfig()
+		mcfg.Seed = opts.Seed
+		fleet, err := mobility.NewFleet(topo, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		return &world{topo: topo, fleet: fleet}, nil
+	}
+	worlds := make([]*world, 4) // static, roaming, full, budgeted
+	for k := range worlds {
+		w, err := newWorld()
+		if err != nil {
+			return nil, err
+		}
+		worlds[k] = w
+	}
+
+	// Initial association: WOLT everywhere (roaming starts from the same
+	// state and drifts by signal afterwards).
+	for _, w := range worlds {
+		inst := netsim.Build(w.topo, scen.Radio)
+		res, err := core.Assign(inst.Net, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		w.assign = res.Assign
+	}
+
+	result := &MobilityResult{Budget: moveBudget}
+	for tick := 0; tick < opts.Trials; tick++ {
+		var mt MobilityTick
+		mt.Tick = tick + 1
+		for k, w := range worlds {
+			if err := w.fleet.Advance(tickSeconds); err != nil {
+				return nil, err
+			}
+			inst := netsim.Build(w.topo, scen.Radio)
+			switch k {
+			case 0: // static: never re-associate
+			case 1: // roaming: strongest signal each tick
+				moves := 0
+				for i := range w.assign {
+					best, bestSig := w.assign[i], -1e18
+					for j, sig := range inst.RSSI[i] {
+						if inst.Net.WiFiRates[i][j] <= 0 {
+							continue
+						}
+						if sig > bestSig {
+							best, bestSig = j, sig
+						}
+					}
+					if best != w.assign[i] {
+						w.assign[i] = best
+						moves++
+					}
+				}
+				mt.RoamingMoves = moves
+			case 2: // full WOLT recomputation
+				res, err := core.Assign(inst.Net, core.Options{})
+				if err != nil {
+					return nil, err
+				}
+				mt.FullMoves = w.assign.Diff(res.Assign)
+				w.assign = res.Assign
+			case 3: // budgeted incremental WOLT
+				res, err := core.AssignIncremental(inst.Net, w.assign, moveBudget, core.Options{}, Redistribute)
+				if err != nil {
+					return nil, err
+				}
+				mt.BudgetedMoves = len(res.Moves)
+				w.assign = res.Assign
+			}
+			agg := model.Aggregate(inst.Net, w.assign, Redistribute)
+			switch k {
+			case 0:
+				mt.Static = agg
+			case 1:
+				mt.Roaming = agg
+			case 2:
+				mt.FullWOLT = agg
+			case 3:
+				mt.Budgeted = agg
+			}
+		}
+		result.Ticks = append(result.Ticks, mt)
+	}
+	return result, nil
+}
+
+// Means returns the per-strategy mean aggregates.
+func (r *MobilityResult) Means() (staticMean, roaming, full, budgeted float64) {
+	var s, ro, fu, bu []float64
+	for _, t := range r.Ticks {
+		s = append(s, t.Static)
+		ro = append(ro, t.Roaming)
+		fu = append(fu, t.FullWOLT)
+		bu = append(bu, t.Budgeted)
+	}
+	return stats.Mean(s), stats.Mean(ro), stats.Mean(fu), stats.Mean(bu)
+}
+
+// TotalMoves returns the per-strategy total re-associations.
+func (r *MobilityResult) TotalMoves() (roaming, full, budgeted int) {
+	for _, t := range r.Ticks {
+		roaming += t.RoamingMoves
+		full += t.FullMoves
+		budgeted += t.BudgetedMoves
+	}
+	return roaming, full, budgeted
+}
+
+// Tables implements Tabler.
+func (r *MobilityResult) Tables() []Table {
+	perTick := Table{
+		Caption: "Mobility — aggregate throughput under random-waypoint motion (10 s ticks)",
+		Header: []string{"tick", "static Mbps", "roaming Mbps", "WOLT full Mbps",
+			"WOLT budget Mbps", "full moves", "budget moves"},
+	}
+	for _, t := range r.Ticks {
+		perTick.Rows = append(perTick.Rows, []string{
+			strconv.Itoa(t.Tick), f1(t.Static), f1(t.Roaming), f1(t.FullWOLT), f1(t.Budgeted),
+			strconv.Itoa(t.FullMoves), strconv.Itoa(t.BudgetedMoves),
+		})
+	}
+	sMean, roMean, fuMean, buMean := r.Means()
+	roMoves, fuMoves, buMoves := r.TotalMoves()
+	summary := Table{
+		Caption: "Mobility — summary (budgeted = at most " + strconv.Itoa(r.Budget) + " moves/tick)",
+		Header:  []string{"strategy", "mean Mbps", "total moves"},
+		Rows: [][]string{
+			{"static (assign once)", f1(sMean), "0"},
+			{"roaming RSSI", f1(roMean), strconv.Itoa(roMoves)},
+			{"WOLT full recompute", f1(fuMean), strconv.Itoa(fuMoves)},
+			{"WOLT incremental", f1(buMean), strconv.Itoa(buMoves)},
+		},
+	}
+	return []Table{summary, perTick}
+}

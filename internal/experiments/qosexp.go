@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"errors"
+	"strconv"
+
+	"github.com/plcwifi/wolt/internal/core"
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/qos"
+	"github.com/plcwifi/wolt/internal/stats"
+	"github.com/plcwifi/wolt/internal/topology"
+)
+
+// QoSPoint is the outcome at one guaranteed-rate level.
+type QoSPoint struct {
+	// GuaranteeMbps is the per-user guaranteed rate requested for the
+	// priority users.
+	GuaranteeMbps float64
+	// Admitted is the fraction of trials where all guarantees fit the
+	// TDMA budget.
+	Admitted float64
+	// ReservedTime is the mean total medium-time fraction reserved
+	// (admitted trials only).
+	ReservedTime float64
+	// BestEffortMbps is the mean best-effort aggregate (admitted trials).
+	BestEffortMbps float64
+	// TotalMbps is guarantees + best-effort (admitted trials).
+	TotalMbps float64
+	// PlainWOLTMbps is the no-QoS WOLT aggregate on the same topologies,
+	// the price-of-guarantees reference.
+	PlainWOLTMbps float64
+}
+
+// QoSResult is the guaranteed-rate ablation (beyond the paper, built on
+// the §II TDMA capability): five priority users request growing
+// guarantees; the table reports admission, reservations, and what the
+// guarantees cost the best-effort crowd.
+type QoSResult struct {
+	PriorityUsers int
+	Points        []QoSPoint
+}
+
+// QoS runs the guaranteed-rate ablation on the testbed scenario
+// (3 extenders, 60–160 Mbps links), averaging over Options.Trials
+// topologies (default 10).
+func QoS(opts Options) (*QoSResult, error) {
+	opts = opts.withDefaults(10)
+	const priorityUsers = 3
+	levels := []float64{2, 5, 10, 20, 40}
+
+	res := &QoSResult{PriorityUsers: priorityUsers}
+	for _, level := range levels {
+		var (
+			admitted                           int
+			reserved, bestEffort, total, plain []float64
+			demands                            []qos.Demand
+		)
+		for u := 0; u < priorityUsers; u++ {
+			demands = append(demands, qos.Demand{User: u, Mbps: level})
+		}
+		for trial := 0; trial < opts.Trials; trial++ {
+			scen := NewTestbedScenario(opts.Seed + int64(trial))
+			topo, err := topology.Generate(scen.Topology)
+			if err != nil {
+				return nil, err
+			}
+			inst := netsim.Build(topo, scen.Radio)
+
+			woltRes, err := core.Assign(inst.Net, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			plain = append(plain, model.Aggregate(inst.Net, woltRes.Assign, Redistribute))
+
+			plan, err := qos.Build(qos.Config{
+				Net:      inst.Net,
+				Priority: demands,
+				Eval:     Redistribute,
+			})
+			if errors.Is(err, qos.ErrInfeasible) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			admitted++
+			reserved = append(reserved, plan.TotalReserved)
+			be := 0.0
+			if plan.BestEffort != nil {
+				be = plan.BestEffort.Aggregate
+			}
+			bestEffort = append(bestEffort, be)
+			total = append(total, plan.AggregateMbps())
+		}
+		res.Points = append(res.Points, QoSPoint{
+			GuaranteeMbps:  level,
+			Admitted:       float64(admitted) / float64(opts.Trials),
+			ReservedTime:   stats.Mean(reserved),
+			BestEffortMbps: stats.Mean(bestEffort),
+			TotalMbps:      stats.Mean(total),
+			PlainWOLTMbps:  stats.Mean(plain),
+		})
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *QoSResult) Tables() []Table {
+	t := Table{
+		Caption: "QoS ablation — " + strconv.Itoa(r.PriorityUsers) +
+			" priority users on TDMA guarantees (testbed scenario)",
+		Header: []string{
+			"guarantee Mbps/user", "admitted", "reserved time",
+			"best-effort Mbps", "total Mbps", "plain WOLT Mbps",
+		},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			f1(p.GuaranteeMbps), pct(p.Admitted), f2(p.ReservedTime),
+			f1(p.BestEffortMbps), f1(p.TotalMbps), f1(p.PlainWOLTMbps),
+		})
+	}
+	return []Table{t}
+}

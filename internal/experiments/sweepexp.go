@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strconv"
+
+	"github.com/plcwifi/wolt/internal/sweep"
+)
+
+// SweepResult is the parameter-sensitivity sweep (beyond the paper's
+// single-point results): WOLT's advantage over each baseline across a
+// grid of deployment sizes and PLC capacity classes, annotated with the
+// PLC-saturation index that explains where the advantage lives.
+type SweepResult struct {
+	Results []sweep.Result
+}
+
+// Sweep runs the default sensitivity grid: {5, 10, 15} extenders ×
+// {36, 72, 124} users × {testbed-class 60–160, AV2-class 300–800} Mbps
+// capacity ranges. Options.Trials topologies per point (default 10).
+func Sweep(opts Options) (*SweepResult, error) {
+	opts = opts.withDefaults(10)
+	var points []sweep.Point
+	for _, caps := range [][2]float64{{60, 160}, {300, 800}} {
+		points = append(points,
+			sweep.Grid([]int{5, 10, 15}, []int{36, 72, 124}, caps[0], caps[1])...)
+	}
+	results, err := sweep.Run(sweep.Config{
+		Points:    points,
+		Trials:    opts.Trials,
+		Seed:      opts.Seed,
+		ModelOpts: Redistribute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{Results: results}, nil
+}
+
+// Tables implements Tabler.
+func (r *SweepResult) Tables() []Table {
+	t := Table{
+		Caption: "Sensitivity sweep — WOLT's advantage by deployment size and PLC class",
+		Header: []string{
+			"extenders", "users", "PLC Mbps", "WOLT Mbps",
+			"vs Greedy", "vs Selfish", "vs RSSI", "PLC-saturation",
+		},
+	}
+	for _, res := range r.Results {
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(res.Point.Extenders),
+			strconv.Itoa(res.Point.Users),
+			f1(res.Point.CapMin) + "-" + f1(res.Point.CapMax),
+			f1(res.WOLT),
+			f2(res.VsGreedy), f2(res.VsSelfish), f2(res.VsRSSI),
+			f2(res.SaturationIndex),
+		})
+	}
+	return []Table{t}
+}

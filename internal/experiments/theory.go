@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"github.com/plcwifi/wolt/internal/baseline"
+	"github.com/plcwifi/wolt/internal/core"
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/nphard"
+	"github.com/plcwifi/wolt/internal/stats"
+	"github.com/plcwifi/wolt/internal/topology"
+)
+
+// NPHardResult demonstrates the Theorem 1 reduction: solving the
+// transformed user-assignment instance answers PARTITION exactly as the
+// direct dynamic program does.
+type NPHardResult struct {
+	Instances int
+	Agreed    int
+	// Positives counts instances with a perfect partition.
+	Positives int
+}
+
+// NPHard runs Options.Trials random PARTITION instances (default 50)
+// through both the Theorem 1 reduction and the subset-sum DP.
+func NPHard(opts Options) (*NPHardResult, error) {
+	opts = opts.withDefaults(50)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &NPHardResult{}
+	for trial := 0; trial < opts.Trials; trial++ {
+		m := 2 + rng.Intn(9)
+		weights := make([]int, m)
+		for i := range weights {
+			weights[i] = 1 + rng.Intn(15)
+		}
+		in := nphard.Instance{Weights: weights}
+		viaReduction, _, err := nphard.SolvePartition(in)
+		if err != nil {
+			return nil, fmt.Errorf("reduction on %v: %w", weights, err)
+		}
+		viaDP, err := nphard.PartitionDP(in)
+		if err != nil {
+			return nil, err
+		}
+		res.Instances++
+		if viaReduction == viaDP {
+			res.Agreed++
+		}
+		if viaDP {
+			res.Positives++
+		}
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *NPHardResult) Tables() []Table {
+	return []Table{{
+		Caption: "Theorem 1 — PARTITION ↔ Problem 1 reduction cross-check",
+		Header:  []string{"instances", "reduction agrees with DP", "perfect partitions"},
+		Rows: [][]string{{
+			strconv.Itoa(r.Instances), strconv.Itoa(r.Agreed), strconv.Itoa(r.Positives),
+		}},
+	}}
+}
+
+// GapResult measures WOLT's optimality gap against brute force on small
+// instances (an ablation beyond the paper).
+type GapResult struct {
+	Instances int
+	// Ratios are per-instance WOLT/optimal aggregate ratios.
+	Ratios []float64
+	// GreedyRatios and RSSIRatios are the baselines' ratios for context.
+	GreedyRatios []float64
+	RSSIRatios   []float64
+}
+
+// Gap runs Options.Trials small random networks (default 40) and compares
+// every policy against the exhaustive optimum under the redistribution
+// model.
+func Gap(opts Options) (*GapResult, error) {
+	opts = opts.withDefaults(40)
+	res := &GapResult{}
+	for trial := 0; trial < opts.Trials; trial++ {
+		scen := NewTestbedScenario(opts.Seed + int64(trial))
+		scen.Topology.NumExtenders = 3
+		scen.Topology.NumUsers = 6
+		topo, err := topology.Generate(scen.Topology)
+		if err != nil {
+			return nil, err
+		}
+		inst := netsim.Build(topo, scen.Radio)
+
+		_, opt, err := baseline.Optimal(inst.Net, Redistribute)
+		if err != nil {
+			return nil, err
+		}
+		wolt, err := core.Assign(inst.Net, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		greedy, err := baseline.Greedy(inst.Net, nil, Redistribute)
+		if err != nil {
+			return nil, err
+		}
+		rssi, err := baseline.RSSIByRate(inst.Net)
+		if err != nil {
+			return nil, err
+		}
+		res.Instances++
+		res.Ratios = append(res.Ratios,
+			stats.Ratio(model.Aggregate(inst.Net, wolt.Assign, Redistribute), opt))
+		res.GreedyRatios = append(res.GreedyRatios,
+			stats.Ratio(model.Aggregate(inst.Net, greedy, Redistribute), opt))
+		res.RSSIRatios = append(res.RSSIRatios,
+			stats.Ratio(model.Aggregate(inst.Net, rssi, Redistribute), opt))
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *GapResult) Tables() []Table {
+	row := func(name string, ratios []float64) []string {
+		lo, _ := stats.Percentile(ratios, 10)
+		return []string{name, f2(stats.Mean(ratios)), f2(lo), f2(stats.Min(ratios))}
+	}
+	return []Table{{
+		Caption: "Optimality gap vs brute force (small instances; 1.00 = optimal)",
+		Header:  []string{"policy", "mean ratio", "p10 ratio", "worst ratio"},
+		Rows: [][]string{
+			row("WOLT", r.Ratios),
+			row("Greedy", r.GreedyRatios),
+			row("RSSI", r.RSSIRatios),
+		},
+	}}
+}

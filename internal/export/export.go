@@ -1,0 +1,90 @@
+// Package export writes experiment tables to CSV files so results can be
+// plotted or diffed outside the repository (the paper's figures are all
+// line/bar/CDF plots over exactly these rows).
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/plcwifi/wolt/internal/experiments"
+)
+
+// SlugCaption derives a filesystem-safe file stem from a table caption:
+// lowercase, alphanumerics preserved, everything else collapsed to single
+// dashes, truncated to 60 bytes.
+func SlugCaption(caption string) string {
+	var b strings.Builder
+	lastDash := true // suppress leading dash
+	for _, r := range strings.ToLower(caption) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+		if b.Len() >= 60 {
+			break
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}
+
+// WriteTable writes one table as a CSV file into dir and returns the file
+// path. The file name is derived from the caption (with a numeric prefix
+// for ordering).
+func WriteTable(dir string, index int, table experiments.Table) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("export: %w", err)
+	}
+	stem := SlugCaption(table.Caption)
+	if stem == "" {
+		stem = "table"
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%02d-%s.csv", index, stem))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("export: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(table.Header); err != nil {
+		_ = f.Close()
+		return "", fmt.Errorf("export: %w", err)
+	}
+	for _, row := range table.Rows {
+		if err := w.Write(row); err != nil {
+			_ = f.Close()
+			return "", fmt.Errorf("export: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		_ = f.Close()
+		return "", fmt.Errorf("export: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("export: %w", err)
+	}
+	return path, nil
+}
+
+// WriteTables writes every table of a result into dir and returns the
+// created paths.
+func WriteTables(dir string, result experiments.Tabler) ([]string, error) {
+	var paths []string
+	for i, table := range result.Tables() {
+		path, err := WriteTable(dir, i, table)
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

@@ -1,0 +1,110 @@
+package export
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/experiments"
+)
+
+func TestSlugCaption(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{give: "Fig 2a — WiFi-only sharing", want: "fig-2a-wifi-only-sharing"},
+		{give: "", want: ""},
+		{give: "ALL CAPS!!", want: "all-caps"},
+		{give: "---", want: ""},
+		{give: strings.Repeat("x", 100), want: strings.Repeat("x", 60)},
+	}
+	for _, tt := range tests {
+		if got := SlugCaption(tt.give); got != tt.want {
+			t.Errorf("SlugCaption(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	dir := t.TempDir()
+	table := experiments.Table{
+		Caption: "Fig 3 — case study",
+		Header:  []string{"policy", "Mbps"},
+		Rows: [][]string{
+			{"RSSI", "21.8"},
+			{"WOLT", "40.0"},
+		},
+	}
+	path, err := WriteTable(dir, 2, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "02-fig-3-case-study.csv" {
+		t.Errorf("file name = %q", filepath.Base(path))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d records", len(records))
+	}
+	if records[0][0] != "policy" || records[2][1] != "40.0" {
+		t.Errorf("records = %v", records)
+	}
+}
+
+func TestWriteTableEmptyCaption(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteTable(dir, 0, experiments.Table{Header: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "00-table.csv" {
+		t.Errorf("file name = %q", filepath.Base(path))
+	}
+}
+
+func TestWriteTablesFromExperiment(t *testing.T) {
+	res, err := experiments.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths, err := WriteTables(dir, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(res.Tables()) {
+		t.Fatalf("wrote %d files, want %d", len(paths), len(res.Tables()))
+	}
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestWriteTableBadDir(t *testing.T) {
+	// A file where the directory should be.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteTable(blocker, 0, experiments.Table{Header: []string{"a"}}); err == nil {
+		t.Error("want error when dir is a file")
+	}
+}

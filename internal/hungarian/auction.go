@@ -1,0 +1,160 @@
+package hungarian
+
+import (
+	"fmt"
+	"math"
+)
+
+// AuctionMaximize solves the same maximum-utility matching as Maximize
+// using Bertsekas' auction algorithm with ε-scaling. It exists as an
+// alternative Phase I engine: auctions are simpler to distribute across a
+// fleet of extender controllers than the Hungarian algorithm and their
+// practical running time scales differently (see
+// BenchmarkAssignmentSolverScaling).
+//
+// The returned matching is optimal to within n·ε_final, with ε_final
+// chosen so that the result is exactly optimal for utilities with a
+// bounded number of significant digits; tests cross-validate against
+// Maximize on random instances.
+func AuctionMaximize(utility [][]float64) (rowToCol []int, total float64, err error) {
+	n, m, err := dims(utility)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n > m {
+		t := transpose(utility, n, m)
+		colToRow, total, err := AuctionMaximize(t)
+		if err != nil {
+			return nil, 0, err
+		}
+		rowToCol = make([]int, n)
+		for i := range rowToCol {
+			rowToCol[i] = Unmatched
+		}
+		for j, i := range colToRow {
+			if i != Unmatched {
+				rowToCol[i] = j
+			}
+		}
+		return rowToCol, total, nil
+	}
+	if n < m {
+		// Rectangular instances break the auction's optimality argument:
+		// a column won during an early ε round keeps its inflated price
+		// even if it ends the round unmatched, scaring bidders away from
+		// it forever. Pad with indifferent (zero-utility) dummy bidders
+		// so every column is always matched — the dummies do not affect
+		// the real rows' optimal choices — then strip them.
+		padded := make([][]float64, m)
+		copy(padded, utility)
+		for i := n; i < m; i++ {
+			padded[i] = make([]float64, m)
+		}
+		match, _, err := AuctionMaximize(padded)
+		if err != nil {
+			return nil, 0, err
+		}
+		rowToCol = match[:n]
+		for i, j := range rowToCol {
+			if j != Unmatched {
+				total += utility[i][j]
+			}
+		}
+		return rowToCol, total, nil
+	}
+
+	// Scale the utilities to integers-ish range for a robust ε schedule.
+	maxAbs := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if v := math.Abs(utility[i][j]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+
+	price := make([]float64, m)
+	owner := make([]int, m) // column -> row, -1 free
+	assigned := make([]int, n)
+	for j := range owner {
+		owner[j] = -1
+	}
+
+	// ε-scaling: start coarse, divide by 4 until fine enough that the
+	// assignment is within float tolerance of optimal.
+	finalEps := maxAbs * 1e-9 / float64(n+1)
+	if finalEps <= 0 {
+		finalEps = 1e-12
+	}
+	for eps := maxAbs / 2; ; eps /= 4 {
+		for i := range assigned {
+			assigned[i] = Unmatched
+		}
+		for j := range owner {
+			owner[j] = -1
+		}
+		if err := auctionRound(utility, price, owner, assigned, eps); err != nil {
+			return nil, 0, err
+		}
+		if eps <= finalEps {
+			break
+		}
+	}
+
+	for i, j := range assigned {
+		if j != Unmatched {
+			total += utility[i][j]
+		}
+	}
+	return assigned, total, nil
+}
+
+// auctionRound runs the forward auction until every row is assigned.
+func auctionRound(utility [][]float64, price []float64, owner, assigned []int, eps float64) error {
+	n := len(assigned)
+	m := len(price)
+	var queue []int
+	for i := 0; i < n; i++ {
+		queue = append(queue, i)
+	}
+	// Each iteration assigns one bidder (possibly displacing another),
+	// and prices rise by at least eps per displacement, so the loop
+	// terminates; the guard caps pathological float behaviour.
+	maxIters := n * m * 10000
+	for iters := 0; len(queue) > 0; iters++ {
+		if iters > maxIters {
+			return fmt.Errorf("hungarian: auction failed to converge (eps=%v)", eps)
+		}
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		// Find the best and second-best net value for bidder i.
+		bestJ, bestV, secondV := -1, math.Inf(-1), math.Inf(-1)
+		for j := 0; j < m; j++ {
+			v := utility[i][j] - price[j]
+			if v > bestV {
+				secondV = bestV
+				bestV, bestJ = v, j
+			} else if v > secondV {
+				secondV = v
+			}
+		}
+		if bestJ < 0 {
+			return fmt.Errorf("hungarian: bidder %d has no columns", i)
+		}
+		if math.IsInf(secondV, -1) {
+			secondV = bestV // single column: bid eps above current price
+		}
+		price[bestJ] += bestV - secondV + eps
+		if prev := owner[bestJ]; prev >= 0 {
+			assigned[prev] = Unmatched
+			queue = append(queue, prev)
+		}
+		owner[bestJ] = i
+		assigned[i] = bestJ
+	}
+	return nil
+}

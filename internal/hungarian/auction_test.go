@@ -1,0 +1,135 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAuctionKnownInstances(t *testing.T) {
+	tests := []struct {
+		name      string
+		utility   [][]float64
+		wantTotal float64
+	}{
+		{name: "1x1", utility: [][]float64{{7}}, wantTotal: 7},
+		{
+			name: "fig3 utilities",
+			utility: [][]float64{
+				{15, 10},
+				{30, 10},
+			},
+			wantTotal: 40,
+		},
+		{
+			name: "diagonal best",
+			utility: [][]float64{
+				{9, 1, 1},
+				{1, 9, 1},
+				{1, 1, 9},
+			},
+			wantTotal: 27,
+		},
+		{
+			name: "negative utilities",
+			utility: [][]float64{
+				{-1, -10},
+				{-10, -1},
+			},
+			wantTotal: -2,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			match, total, err := AuctionMaximize(tt.utility)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(total-tt.wantTotal) > 1e-6 {
+				t.Errorf("total = %v, want %v (match %v)", total, tt.wantTotal, match)
+			}
+			assertValidMatching(t, match, len(tt.utility[0]), len(tt.utility))
+		})
+	}
+}
+
+func TestAuctionRectangular(t *testing.T) {
+	// More rows than columns: two of three users matched.
+	utility := [][]float64{
+		{5, 1},
+		{9, 2},
+		{3, 8},
+	}
+	match, total, err := AuctionMaximize(utility)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-17) > 1e-6 {
+		t.Errorf("total = %v, want 17", total)
+	}
+	assertValidMatching(t, match, 2, 3)
+
+	// More columns than rows: every row matched.
+	wide := [][]float64{
+		{1, 8, 3},
+		{2, 9, 7},
+	}
+	match, total, err = AuctionMaximize(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-15) > 1e-6 { // 8 + 7
+		t.Errorf("wide total = %v, want 15", total)
+	}
+	assertValidMatching(t, match, 3, 2)
+}
+
+func TestAuctionErrors(t *testing.T) {
+	if _, _, err := AuctionMaximize(nil); err == nil {
+		t.Error("nil matrix: want error")
+	}
+	if _, _, err := AuctionMaximize([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN: want error")
+	}
+}
+
+// TestAuctionMatchesHungarian cross-validates the two solvers on random
+// instances of both orientations.
+func TestAuctionMatchesHungarian(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(8)
+		utility := make([][]float64, n)
+		for i := range utility {
+			utility[i] = make([]float64, m)
+			for j := range utility[i] {
+				utility[i][j] = math.Round(rng.Float64()*2000-1000) / 8
+			}
+		}
+		_, wantTotal, err := Maximize(utility)
+		if err != nil {
+			t.Fatal(err)
+		}
+		match, total, err := AuctionMaximize(utility)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(total-wantTotal) > 1e-6 {
+			t.Fatalf("trial %d (%dx%d): auction %v, hungarian %v\nutility=%v\nmatch=%v",
+				trial, n, m, total, wantTotal, utility, match)
+		}
+		assertValidMatching(t, match, m, n)
+	}
+}
+
+func TestAuctionZeroMatrix(t *testing.T) {
+	match, total, err := AuctionMaximize([][]float64{{0, 0}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Errorf("total = %v, want 0", total)
+	}
+	assertValidMatching(t, match, 2, 2)
+}

@@ -1,0 +1,53 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzMinimizeMatchesBruteForce cross-checks the Hungarian solver (and
+// the auction solver) against exhaustive search on small fuzzed
+// instances.
+func FuzzMinimizeMatchesBruteForce(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(3))
+	f.Add(int64(7), uint8(2), uint8(5))
+	f.Add(int64(9), uint8(5), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, rowsRaw, colsRaw uint8) {
+		rows := 1 + int(rowsRaw%5)
+		cols := 1 + int(colsRaw%5)
+		rng := rand.New(rand.NewSource(seed))
+		cost := make([][]float64, rows)
+		for i := range cost {
+			cost[i] = make([]float64, cols)
+			for j := range cost[i] {
+				// Quantized costs keep brute-force comparisons exact.
+				cost[i][j] = math.Round(rng.Float64()*400-200) / 4
+			}
+		}
+		match, total, err := Minimize(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceMin(cost)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("hungarian %v, brute force %v (cost %v, match %v)", total, want, cost, match)
+		}
+
+		// Auction solves the max version; negate.
+		neg := make([][]float64, rows)
+		for i := range neg {
+			neg[i] = make([]float64, cols)
+			for j := range neg[i] {
+				neg[i][j] = -cost[i][j]
+			}
+		}
+		_, maxTotal, err := AuctionMaximize(neg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(-maxTotal-want) > 1e-6 {
+			t.Fatalf("auction %v, brute force %v (cost %v)", -maxTotal, want, cost)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package hungarian solves the linear assignment problem in O(n²·m) time
+// using the shortest-augmenting-path formulation of the Hungarian
+// algorithm (Jonker-Volgenant style with dual potentials).
+//
+// WOLT's Phase I (Theorem 2) reduces the relaxed user-association problem
+// to exactly this problem: extenders are tasks, users are agents, and the
+// utility of pairing user i with extender j is min(c_j/|A|, r_ij).
+package hungarian
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEmpty is returned when the cost matrix has no rows or no columns.
+var ErrEmpty = errors.New("hungarian: empty cost matrix")
+
+// Unmatched marks a row or column with no partner in a rectangular
+// solution.
+const Unmatched = -1
+
+// Minimize finds a minimum-cost matching of rows to columns. Every row of
+// the smaller dimension is matched to a distinct column (or row) of the
+// larger one; entries of the returned slice are column indices per row,
+// with Unmatched for rows left out when rows > columns.
+func Minimize(cost [][]float64) (rowToCol []int, total float64, err error) {
+	n, m, err := dims(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n > m {
+		// Transpose so the solver's "assign every row" invariant matches
+		// the smaller side; invert the mapping afterwards.
+		t := transpose(cost, n, m)
+		colToRow, total, err := Minimize(t)
+		if err != nil {
+			return nil, 0, err
+		}
+		rowToCol = make([]int, n)
+		for i := range rowToCol {
+			rowToCol[i] = Unmatched
+		}
+		for j, i := range colToRow {
+			if i != Unmatched {
+				rowToCol[i] = j
+			}
+		}
+		return rowToCol, total, nil
+	}
+
+	// Shortest augmenting path with potentials; 1-indexed internals.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row (1-indexed) matched to column j; 0 = free
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowToCol = make([]int, n)
+	for i := range rowToCol {
+		rowToCol[i] = Unmatched
+	}
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+		}
+	}
+	for i, j := range rowToCol {
+		if j != Unmatched {
+			total += cost[i][j]
+		}
+	}
+	return rowToCol, total, nil
+}
+
+// Maximize finds a maximum-utility matching (see Minimize for the matching
+// semantics) by negating the utilities.
+func Maximize(utility [][]float64) (rowToCol []int, total float64, err error) {
+	n, m, err := dims(utility)
+	if err != nil {
+		return nil, 0, err
+	}
+	neg := make([][]float64, n)
+	for i := range neg {
+		neg[i] = make([]float64, m)
+		for j := range neg[i] {
+			neg[i][j] = -utility[i][j]
+		}
+	}
+	rowToCol, negTotal, err := Minimize(neg)
+	return rowToCol, -negTotal, err
+}
+
+func dims(cost [][]float64) (rows, cols int, err error) {
+	rows = len(cost)
+	if rows == 0 {
+		return 0, 0, ErrEmpty
+	}
+	cols = len(cost[0])
+	if cols == 0 {
+		return 0, 0, ErrEmpty
+	}
+	for i, row := range cost {
+		if len(row) != cols {
+			return 0, 0, fmt.Errorf("hungarian: row %d has %d entries, want %d", i, len(row), cols)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return 0, 0, fmt.Errorf("hungarian: non-finite cost at (%d,%d)", i, j)
+			}
+		}
+	}
+	return rows, cols, nil
+}
+
+func transpose(cost [][]float64, n, m int) [][]float64 {
+	t := make([][]float64, m)
+	for j := range t {
+		t[j] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			t[j][i] = cost[i][j]
+		}
+	}
+	return t
+}

@@ -1,0 +1,187 @@
+// Package mac80211 is a slot-level simulator of the 802.11 DCF MAC
+// (CSMA/CA with binary exponential backoff) for saturated downlink
+// stations sharing one WiFi cell.
+//
+// Its purpose in this repository is to demonstrate — from MAC first
+// principles rather than by assumption — the sharing behaviour the paper
+// measures in §III-A (Fig 2a): 802.11 is *throughput-fair*. Every station
+// wins the channel equally often, and since every frame carries the same
+// payload, all stations end up with the same throughput; a station with a
+// poor PHY rate occupies the medium longer per frame and thereby drags
+// every station's throughput down (the Heusse et al. performance
+// anomaly).
+package mac80211
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Params are the MAC/PHY constants of the simulated cell.
+type Params struct {
+	// SlotTime is the backoff slot duration in seconds (9 µs for OFDM).
+	SlotTime float64
+	// OverheadPerFrame is the fixed per-frame duration in seconds not
+	// spent on payload bits: PHY preamble, SIFS, ACK and DIFS.
+	OverheadPerFrame float64
+	// PayloadBytes is the (fixed) frame payload; 802.11 frames carry the
+	// same payload regardless of PHY rate, which is what makes the MAC
+	// throughput-fair.
+	PayloadBytes int
+	// CWMin and CWMax bound the contention window (16 and 1024 for DCF).
+	CWMin int
+	CWMax int
+}
+
+// DefaultParams returns 802.11g-like constants.
+func DefaultParams() Params {
+	return Params{
+		SlotTime:         9e-6,
+		OverheadPerFrame: 150e-6,
+		PayloadBytes:     1500,
+		CWMin:            16,
+		CWMax:            1024,
+	}
+}
+
+func (p Params) validate() error {
+	if p.SlotTime <= 0 || p.OverheadPerFrame < 0 {
+		return fmt.Errorf("mac80211: bad timing params %+v", p)
+	}
+	if p.PayloadBytes <= 0 {
+		return fmt.Errorf("mac80211: non-positive payload %d", p.PayloadBytes)
+	}
+	if p.CWMin < 1 || p.CWMax < p.CWMin {
+		return fmt.Errorf("mac80211: bad CW range [%d,%d]", p.CWMin, p.CWMax)
+	}
+	return nil
+}
+
+// StationStats is the per-station outcome of a simulation.
+type StationStats struct {
+	RateMbps       float64
+	Successes      int
+	Collisions     int
+	AirtimeSec     float64 // time spent in successful transmissions
+	ThroughputMbps float64
+}
+
+// Result is the outcome of a cell simulation.
+type Result struct {
+	Stations      []StationStats
+	DurationSec   float64
+	AggregateMbps float64
+	// CollisionRate is collisions / (collisions + successes) over all
+	// transmission attempts.
+	CollisionRate float64
+}
+
+type station struct {
+	rate    float64 // Mbps
+	backoff int
+	cw      int
+	stats   StationStats
+}
+
+// Simulate runs a saturated cell of stations with the given PHY rates for
+// the given simulated duration. rng drives the backoff draws.
+func Simulate(ratesMbps []float64, duration float64, params Params, rng *rand.Rand) (*Result, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if len(ratesMbps) == 0 {
+		return nil, fmt.Errorf("mac80211: no stations")
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("mac80211: non-positive duration %v", duration)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("mac80211: nil rng")
+	}
+	stations := make([]*station, len(ratesMbps))
+	for i, r := range ratesMbps {
+		if r <= 0 {
+			return nil, fmt.Errorf("mac80211: station %d has non-positive rate %v", i, r)
+		}
+		stations[i] = &station{
+			rate:    r,
+			cw:      params.CWMin,
+			backoff: rng.Intn(params.CWMin),
+			stats:   StationStats{RateMbps: r},
+		}
+	}
+
+	payloadBits := float64(params.PayloadBytes) * 8
+	frameTime := func(s *station) float64 {
+		return payloadBits/(s.rate*1e6) + params.OverheadPerFrame
+	}
+
+	var (
+		now        float64
+		collisions int
+		successes  int
+	)
+	for now < duration {
+		// Advance through idle slots until the minimum backoff expires.
+		minBackoff := stations[0].backoff
+		for _, s := range stations[1:] {
+			if s.backoff < minBackoff {
+				minBackoff = s.backoff
+			}
+		}
+		now += float64(minBackoff) * params.SlotTime
+		if now >= duration {
+			break
+		}
+
+		var winners []*station
+		for _, s := range stations {
+			s.backoff -= minBackoff
+			if s.backoff == 0 {
+				winners = append(winners, s)
+			}
+		}
+
+		if len(winners) == 1 {
+			s := winners[0]
+			ft := frameTime(s)
+			now += ft
+			s.stats.Successes++
+			s.stats.AirtimeSec += ft
+			s.cw = params.CWMin
+			s.backoff = 1 + rng.Intn(s.cw)
+			successes++
+			continue
+		}
+		// Collision: the medium is busy for the longest colliding frame;
+		// every collider doubles its window and redraws.
+		var busy float64
+		for _, s := range winners {
+			if ft := frameTime(s); ft > busy {
+				busy = ft
+			}
+			s.stats.Collisions++
+			s.cw *= 2
+			if s.cw > params.CWMax {
+				s.cw = params.CWMax
+			}
+			s.backoff = 1 + rng.Intn(s.cw)
+			collisions++
+		}
+		now += busy
+	}
+
+	res := &Result{
+		Stations:    make([]StationStats, len(stations)),
+		DurationSec: now,
+	}
+	for i, s := range stations {
+		s.stats.ThroughputMbps = float64(s.stats.Successes) * payloadBits / (now * 1e6)
+		res.Stations[i] = s.stats
+		res.AggregateMbps += s.stats.ThroughputMbps
+	}
+	if attempts := collisions + successes; attempts > 0 {
+		res.CollisionRate = float64(collisions) / float64(attempts)
+	}
+	return res, nil
+}

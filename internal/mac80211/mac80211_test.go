@@ -1,0 +1,187 @@
+package mac80211
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func simulate(t *testing.T, rates []float64, seed int64) *Result {
+	t.Helper()
+	res, err := Simulate(rates, 20, DefaultParams(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Simulate(nil, 1, DefaultParams(), rng); err == nil {
+		t.Error("no stations: want error")
+	}
+	if _, err := Simulate([]float64{54}, 0, DefaultParams(), rng); err == nil {
+		t.Error("zero duration: want error")
+	}
+	if _, err := Simulate([]float64{0}, 1, DefaultParams(), rng); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := Simulate([]float64{54}, 1, DefaultParams(), nil); err == nil {
+		t.Error("nil rng: want error")
+	}
+	bad := DefaultParams()
+	bad.CWMax = 1
+	if _, err := Simulate([]float64{54}, 1, bad, rng); err == nil {
+		t.Error("bad CW range: want error")
+	}
+	bad = DefaultParams()
+	bad.PayloadBytes = 0
+	if _, err := Simulate([]float64{54}, 1, bad, rng); err == nil {
+		t.Error("zero payload: want error")
+	}
+	bad = DefaultParams()
+	bad.SlotTime = 0
+	if _, err := Simulate([]float64{54}, 1, bad, rng); err == nil {
+		t.Error("zero slot: want error")
+	}
+}
+
+func TestSingleStationNearLinkRate(t *testing.T) {
+	// A lone 54 Mbps station should achieve payload/(frame time) with no
+	// contention losses beyond backoff idles.
+	res := simulate(t, []float64{54}, 1)
+	p := DefaultParams()
+	payloadBits := float64(p.PayloadBytes) * 8
+	perFrame := payloadBits/54e6 + p.OverheadPerFrame
+	upper := payloadBits / (perFrame * 1e6)
+	if res.AggregateMbps > upper {
+		t.Errorf("throughput %v exceeds physical bound %v", res.AggregateMbps, upper)
+	}
+	// Mean backoff idle (~8.5 slots of 9 µs) against a 372 µs frame costs
+	// about 17%, so 80% of the no-idle bound is the expected floor.
+	if res.AggregateMbps < 0.8*upper {
+		t.Errorf("lone station throughput %v below 80%% of bound %v", res.AggregateMbps, upper)
+	}
+	if res.CollisionRate != 0 {
+		t.Errorf("lone station collided: rate %v", res.CollisionRate)
+	}
+}
+
+func TestThroughputFairSharing(t *testing.T) {
+	// Fig 2a behaviour: equal-rate stations split the cell equally, and
+	// mixed-rate stations still receive (nearly) identical throughputs.
+	tests := []struct {
+		name  string
+		rates []float64
+	}{
+		{name: "two equal", rates: []float64{54, 54}},
+		{name: "fast and slow", rates: []float64{54, 6}},
+		{name: "three mixed", rates: []float64{54, 24, 6}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res := simulate(t, tt.rates, 2)
+			base := res.Stations[0].ThroughputMbps
+			for i, s := range res.Stations {
+				if rel := math.Abs(s.ThroughputMbps-base) / base; rel > 0.05 {
+					t.Errorf("station %d throughput %v deviates %.1f%% from station 0's %v",
+						i, s.ThroughputMbps, rel*100, base)
+				}
+			}
+		})
+	}
+}
+
+func TestPerformanceAnomaly(t *testing.T) {
+	// The paper's Fig 2a narrative: moving one client far away (6 Mbps)
+	// hurts the stationary 54 Mbps client too.
+	alone := simulate(t, []float64{54, 54}, 3)
+	fastWithSlow := simulate(t, []float64{54, 6}, 3)
+	fastBefore := alone.Stations[0].ThroughputMbps
+	fastAfter := fastWithSlow.Stations[0].ThroughputMbps
+	if fastAfter >= fastBefore {
+		t.Errorf("fast station unaffected by slow peer: %v -> %v", fastBefore, fastAfter)
+	}
+	// The drop should be drastic (the slow frame dominates airtime).
+	if fastAfter > 0.5*fastBefore {
+		t.Errorf("anomaly too weak: %v -> %v", fastBefore, fastAfter)
+	}
+	// Aggregate should be close to the analytic throughput-fair form,
+	// modulo MAC overhead: 2/(1/54+1/6) = 10.8 Mbps is an upper bound.
+	analytic := 2 / (1.0/54 + 1.0/6)
+	if fastWithSlow.AggregateMbps > analytic {
+		t.Errorf("aggregate %v exceeds analytic bound %v", fastWithSlow.AggregateMbps, analytic)
+	}
+	if fastWithSlow.AggregateMbps < 0.6*analytic {
+		t.Errorf("aggregate %v below 60%% of analytic %v", fastWithSlow.AggregateMbps, analytic)
+	}
+}
+
+func TestAnomalyMatchesHarmonicModel(t *testing.T) {
+	// The flow-level model the optimizer uses (WiFiAggregate) tracks what
+	// the MAC delivers up to per-frame overhead. The overhead is a fixed
+	// duration per frame, so its relative cost shrinks as frames get
+	// longer (slower rates): efficiency vs the analytic form should grow
+	// monotonically from ~0.5 (two fast stations) towards ~0.85 (fast +
+	// very slow) and always stay within (0.45, 1].
+	mixes := [][]float64{
+		{54, 54},
+		{54, 24},
+		{54, 12},
+		{54, 6},
+	}
+	prevEff := 0.0
+	for _, rates := range mixes {
+		res := simulate(t, rates, 4)
+		var invSum float64
+		for _, r := range rates {
+			invSum += 1 / r
+		}
+		analytic := float64(len(rates)) / invSum
+		eff := res.AggregateMbps / analytic
+		if eff < 0.45 || eff > 1.0 {
+			t.Errorf("rates %v: MAC efficiency %v outside [0.45,1.0] (sim %v analytic %v)",
+				rates, eff, res.AggregateMbps, analytic)
+		}
+		if eff < prevEff {
+			t.Errorf("rates %v: efficiency %v decreased from %v", rates, eff, prevEff)
+		}
+		prevEff = eff
+	}
+}
+
+func TestMoreStationsMoreCollisions(t *testing.T) {
+	few := simulate(t, []float64{54, 54}, 5)
+	many := simulate(t, []float64{54, 54, 54, 54, 54, 54, 54, 54}, 5)
+	if many.CollisionRate <= few.CollisionRate {
+		t.Errorf("collision rate did not grow with stations: %v -> %v",
+			few.CollisionRate, many.CollisionRate)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := simulate(t, []float64{54, 24, 6}, 42)
+	b := simulate(t, []float64{54, 24, 6}, 42)
+	for i := range a.Stations {
+		if a.Stations[i] != b.Stations[i] {
+			t.Fatalf("station %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	res := simulate(t, []float64{54, 12}, 6)
+	var agg float64
+	for _, s := range res.Stations {
+		if s.Successes < 0 || s.AirtimeSec < 0 {
+			t.Errorf("negative stats: %+v", s)
+		}
+		agg += s.ThroughputMbps
+	}
+	if math.Abs(agg-res.AggregateMbps) > 1e-9 {
+		t.Errorf("aggregate %v != sum of stations %v", res.AggregateMbps, agg)
+	}
+	if res.DurationSec < 20 {
+		t.Errorf("simulation ended early at %v", res.DurationSec)
+	}
+}

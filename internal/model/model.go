@@ -1,0 +1,327 @@
+// Package model implements the paper's throughput model for concatenated
+// PLC+WiFi links (§III–§IV):
+//
+//   - WiFi cells are throughput-fair (802.11): every user associated with
+//     an extender receives the same long-term throughput, and the cell's
+//     aggregate is the harmonic form T_WiFi = |N| / Σ_i 1/r_i (eq. 1).
+//
+//   - The PLC backhaul is time-fair across active extenders (IEEE 1901):
+//     each of the A active extenders nominally owns 1/A of the medium time,
+//     so T_PLC_j = c_j / A (eq. 2). An extender whose WiFi side demands
+//     less than its time share leaves time unused, and that leftover time
+//     is re-distributed among the extenders that can still use it (§III-B,
+//     observed in the paper's Fig 3c greedy case study). The
+//     redistribution is exactly max-min fair water-filling in the time
+//     domain.
+//
+//   - The end-to-end throughput of an extender is the minimum of its two
+//     segments, min(T_WiFi_j, T_PLC_j) (objective (3)).
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Unassigned marks a user that is not associated with any extender.
+const Unassigned = -1
+
+// Network is the static input of the association problem: the WiFi PHY
+// rate matrix r_ij and the PLC isolation capacities c_j.
+type Network struct {
+	// WiFiRates[i][j] is the WiFi PHY rate (Mbps) of user i when
+	// connected to extender j. A non-positive entry means user i cannot
+	// reach extender j.
+	WiFiRates [][]float64
+	// PLCCaps[j] is the PLC isolation capacity c_j (Mbps) of extender j.
+	PLCCaps []float64
+}
+
+// NumUsers returns |U|.
+func (n *Network) NumUsers() int { return len(n.WiFiRates) }
+
+// NumExtenders returns |A|.
+func (n *Network) NumExtenders() int { return len(n.PLCCaps) }
+
+// Validate checks structural consistency of the network.
+func (n *Network) Validate() error {
+	if n.NumExtenders() == 0 {
+		return errors.New("model: network has no extenders")
+	}
+	for j, c := range n.PLCCaps {
+		if c <= 0 {
+			return fmt.Errorf("model: extender %d has non-positive PLC capacity %v", j, c)
+		}
+	}
+	for i, row := range n.WiFiRates {
+		if len(row) != n.NumExtenders() {
+			return fmt.Errorf("model: user %d has %d rate entries, want %d",
+				i, len(row), n.NumExtenders())
+		}
+	}
+	return nil
+}
+
+// Assignment maps each user index to an extender index (or Unassigned).
+type Assignment []int
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	return append(Assignment(nil), a...)
+}
+
+// NumAssigned returns the number of users with an extender.
+func (a Assignment) NumAssigned() int {
+	n := 0
+	for _, j := range a {
+		if j != Unassigned {
+			n++
+		}
+	}
+	return n
+}
+
+// Groups partitions user indices by extender. The result has numExtenders
+// slices; unassigned users are omitted.
+func (a Assignment) Groups(numExtenders int) [][]int {
+	groups := make([][]int, numExtenders)
+	for i, j := range a {
+		if j == Unassigned {
+			continue
+		}
+		groups[j] = append(groups[j], i)
+	}
+	return groups
+}
+
+// Diff returns the number of users whose extender differs between a and b.
+// Users appearing in only one assignment (longer slice) count as changed if
+// assigned there.
+func (a Assignment) Diff(b Assignment) int {
+	changed := 0
+	long, short := a, b
+	if len(b) > len(a) {
+		long, short = b, a
+	}
+	for i := range short {
+		if short[i] != long[i] {
+			changed++
+		}
+	}
+	for _, j := range long[len(short):] {
+		if j != Unassigned {
+			changed++
+		}
+	}
+	return changed
+}
+
+// WiFiAggregate returns the throughput-fair aggregate WiFi throughput of a
+// cell whose users have the given PHY rates (eq. 1):
+//
+//	T_WiFi = n / Σ_i (1/r_i)
+//
+// The aggregate is the harmonic mean of the user rates times the user
+// count divided by n — i.e. n times the per-user share 1/Σ(1/r_i). Zero
+// users yield zero. Non-positive rates yield zero (unusable cell).
+func WiFiAggregate(rates []float64) float64 {
+	if len(rates) == 0 {
+		return 0
+	}
+	var invSum float64
+	for _, r := range rates {
+		if r <= 0 {
+			return 0
+		}
+		invSum += 1 / r
+	}
+	return float64(len(rates)) / invSum
+}
+
+// Options selects the PLC sharing behaviour during evaluation.
+type Options struct {
+	// Redistribute enables leftover-time water-filling: time unused by
+	// extenders whose WiFi demand is below their fair share is handed to
+	// extenders that can use it. This matches the measured behaviour of
+	// commodity extenders (§III-B) and is on in all evaluation paths. With
+	// it off, each active extender is capped at exactly c_j/A, matching
+	// the conservative analytic model used inside the optimization
+	// (constraint (4)).
+	Redistribute bool
+	// FixedShare makes every plugged-in extender count towards the PLC
+	// time split (A = |all extenders|), whether or not it serves users —
+	// the literal reading of Problem 1's constraint (4), where the single
+	// PLC contention domain spans every extender. With Redistribute on
+	// this is indistinguishable from active-only sharing (idle extenders
+	// have zero demand and release their time); the combination
+	// FixedShare=true, Redistribute=false is the paper's pure analytic
+	// model.
+	FixedShare bool
+}
+
+// Result is the evaluated throughput of an assignment.
+type Result struct {
+	// PerUser[i] is user i's end-to-end throughput (0 if unassigned).
+	PerUser []float64
+	// PerExtender[j] is extender j's delivered end-to-end throughput.
+	PerExtender []float64
+	// WiFiDemand[j] is T_WiFi_j, the WiFi-side aggregate demand.
+	WiFiDemand []float64
+	// TimeShare[j] is the fraction of PLC medium time extender j uses.
+	TimeShare []float64
+	// Aggregate is the total end-to-end network throughput (objective 3).
+	Aggregate float64
+	// ActiveExtenders is A, the number of extenders with at least one
+	// associated user.
+	ActiveExtenders int
+}
+
+// Evaluate computes the end-to-end throughputs of an assignment under the
+// PLC+WiFi sharing model.
+func Evaluate(n *Network, a Assignment, opts Options) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if len(a) != n.NumUsers() {
+		return nil, fmt.Errorf("model: assignment covers %d users, network has %d",
+			len(a), n.NumUsers())
+	}
+	numExt := n.NumExtenders()
+	for i, j := range a {
+		if j == Unassigned {
+			continue
+		}
+		if j < 0 || j >= numExt {
+			return nil, fmt.Errorf("model: user %d assigned to invalid extender %d", i, j)
+		}
+		if n.WiFiRates[i][j] <= 0 {
+			return nil, fmt.Errorf("model: user %d assigned to unreachable extender %d", i, j)
+		}
+	}
+
+	groups := a.Groups(numExt)
+	res := &Result{
+		PerUser:     make([]float64, n.NumUsers()),
+		PerExtender: make([]float64, numExt),
+		WiFiDemand:  make([]float64, numExt),
+		TimeShare:   make([]float64, numExt),
+	}
+
+	var active []int
+	for j, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		rates := make([]float64, len(group))
+		for k, i := range group {
+			rates[k] = n.WiFiRates[i][j]
+		}
+		res.WiFiDemand[j] = WiFiAggregate(rates)
+		active = append(active, j)
+	}
+	res.ActiveExtenders = len(active)
+	if len(active) == 0 {
+		return res, nil
+	}
+
+	contenders := len(active)
+	if opts.FixedShare {
+		contenders = numExt
+	}
+	if opts.Redistribute {
+		// Required time fraction to carry the full WiFi demand. Under
+		// FixedShare the idle extenders participate with zero demand,
+		// which the water-filling immediately hands back, so only the
+		// active set needs to be filled.
+		need := make([]float64, len(active))
+		for k, j := range active {
+			need[k] = res.WiFiDemand[j] / n.PLCCaps[j]
+		}
+		shares := waterFillTime(need)
+		for k, j := range active {
+			res.TimeShare[j] = shares[k]
+			res.PerExtender[j] = minf(res.WiFiDemand[j], shares[k]*n.PLCCaps[j])
+		}
+	} else {
+		fair := 1 / float64(contenders)
+		for _, j := range active {
+			res.TimeShare[j] = fair
+			res.PerExtender[j] = minf(res.WiFiDemand[j], fair*n.PLCCaps[j])
+		}
+	}
+
+	for _, j := range active {
+		share := res.PerExtender[j] / float64(len(groups[j]))
+		for _, i := range groups[j] {
+			res.PerUser[i] = share
+		}
+		res.Aggregate += res.PerExtender[j]
+	}
+	return res, nil
+}
+
+// Aggregate is a convenience wrapper returning only the total throughput
+// of an assignment; it returns 0 on evaluation errors.
+func Aggregate(n *Network, a Assignment, opts Options) float64 {
+	res, err := Evaluate(n, a, opts)
+	if err != nil {
+		return 0
+	}
+	return res.Aggregate
+}
+
+// ObjectiveBasic evaluates the analytic objective (3) with the constraint
+// (4) PLC model (no redistribution): Σ_j min(T_WiFi_j, c_j/A). It is the
+// quantity WOLT's Phase I utilities bound.
+func ObjectiveBasic(n *Network, a Assignment) (float64, error) {
+	res, err := Evaluate(n, a, Options{Redistribute: false})
+	if err != nil {
+		return 0, err
+	}
+	return res.Aggregate, nil
+}
+
+// waterFillTime allocates one unit of medium time max-min fairly across
+// demands: each entry of need is the time fraction that flow wants; flows
+// wanting less than the progressive fair share are satisfied exactly and
+// their leftover is re-divided among the rest.
+func waterFillTime(need []float64) []float64 {
+	shares := make([]float64, len(need))
+	satisfied := make([]bool, len(need))
+	remainingTime := 1.0
+	remainingFlows := len(need)
+	for remainingFlows > 0 {
+		fair := remainingTime / float64(remainingFlows)
+		progressed := false
+		for k := range need {
+			if satisfied[k] {
+				continue
+			}
+			if need[k] <= fair {
+				shares[k] = need[k]
+				satisfied[k] = true
+				remainingTime -= need[k]
+				remainingFlows--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// All remaining flows want more than the fair share:
+			// split the rest equally.
+			for k := range need {
+				if !satisfied[k] {
+					shares[k] = fair
+				}
+			}
+			return shares
+		}
+	}
+	return shares
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,573 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// fig3Network is the paper's Fig 3 case study: two extenders with PLC
+// isolation capacities 60 and 20 Mbps, two users with WiFi rates
+// r(u1,e1)=15, r(u1,e2)=10, r(u2,e1)=40, r(u2,e2)=20.
+func fig3Network() *Network {
+	return &Network{
+		WiFiRates: [][]float64{
+			{15, 10},
+			{40, 20},
+		},
+		PLCCaps: []float64{60, 20},
+	}
+}
+
+func TestWiFiAggregate(t *testing.T) {
+	tests := []struct {
+		name  string
+		rates []float64
+		want  float64
+	}{
+		{name: "empty", rates: nil, want: 0},
+		{name: "single", rates: []float64{54}, want: 54},
+		{name: "two equal", rates: []float64{10, 10}, want: 10},
+		// Performance anomaly: one slow client drags the cell aggregate
+		// below the fast client's solo rate.
+		{name: "anomaly", rates: []float64{54, 6}, want: 2 / (1.0/54 + 1.0/6)},
+		{name: "fig3 RSSI cell", rates: []float64{15, 40}, want: 2 / (1.0/15 + 1.0/40)},
+		{name: "unreachable", rates: []float64{10, 0}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := WiFiAggregate(tt.rates); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("WiFiAggregate = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWiFiAggregateAnomalyProperty(t *testing.T) {
+	// Adding a slower user never increases the per-user share, and the
+	// aggregate stays between min and n*min... specifically the aggregate
+	// with a slow user is below the aggregate of the fast users alone plus
+	// the slow rate.
+	f := func(a, b float64) bool {
+		ra := 1 + math.Mod(math.Abs(a), 53) // (1, 54)
+		rb := 1 + math.Mod(math.Abs(b), 53)
+		if math.IsNaN(ra) || math.IsNaN(rb) {
+			return true
+		}
+		agg := WiFiAggregate([]float64{ra, rb})
+		lo, hi := ra, rb
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// Aggregate of two users is bounded by [2*harmonic-ish]: it must
+		// be at least 2*lo/... actually: lo <= agg <= 2*lo is false in
+		// general; correct bounds: agg in [lo, hi] scaled by 2? The exact
+		// invariant: per-user share agg/2 lies in [lo/2, lo] — each user
+		// gets at most the slow user's full rate and at least half of it.
+		per := agg / 2
+		return per <= lo+1e-9 && per >= lo/2-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       *Network
+		wantErr bool
+	}{
+		{name: "ok", n: fig3Network(), wantErr: false},
+		{name: "no extenders", n: &Network{}, wantErr: true},
+		{name: "bad capacity", n: &Network{WiFiRates: [][]float64{{1}}, PLCCaps: []float64{0}}, wantErr: true},
+		{name: "ragged rates", n: &Network{WiFiRates: [][]float64{{1, 2}, {3}}, PLCCaps: []float64{10, 10}}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.n.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	n := fig3Network()
+	if _, err := Evaluate(n, Assignment{0}, Options{}); err == nil {
+		t.Error("short assignment: want error")
+	}
+	if _, err := Evaluate(n, Assignment{0, 5}, Options{}); err == nil {
+		t.Error("invalid extender index: want error")
+	}
+	bad := &Network{WiFiRates: [][]float64{{0, 10}}, PLCCaps: []float64{10, 10}}
+	if _, err := Evaluate(bad, Assignment{0}, Options{}); err == nil {
+		t.Error("unreachable extender: want error")
+	}
+}
+
+// TestFig3CaseStudy reproduces the exact worked numbers of the paper's
+// Fig 3 under the redistribution model.
+func TestFig3CaseStudy(t *testing.T) {
+	n := fig3Network()
+	tests := []struct {
+		name          string
+		assign        Assignment
+		wantAggregate float64
+		wantPerUser   []float64
+	}{
+		{
+			// Fig 3b: both users pick extender 1 (best RSSI); WiFi
+			// contention caps the cell at ~22 Mbps, 11 each.
+			name:          "RSSI",
+			assign:        Assignment{0, 0},
+			wantAggregate: 240.0 / 11.0,
+			wantPerUser:   []float64{120.0 / 11.0, 120.0 / 11.0},
+		},
+		{
+			// Fig 3c: greedy puts user 2 on extender 2; extender 1's
+			// leftover quarter of the medium time lifts user 2 to 15.
+			name:          "Greedy",
+			assign:        Assignment{0, 1},
+			wantAggregate: 30,
+			wantPerUser:   []float64{15, 15},
+		},
+		{
+			// Fig 3d: optimal swaps the users; total 40.
+			name:          "Optimal",
+			assign:        Assignment{1, 0},
+			wantAggregate: 40,
+			wantPerUser:   []float64{10, 30},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := Evaluate(n, tt.assign, Options{Redistribute: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Aggregate-tt.wantAggregate) > 1e-9 {
+				t.Errorf("aggregate = %v, want %v", res.Aggregate, tt.wantAggregate)
+			}
+			for i, want := range tt.wantPerUser {
+				if math.Abs(res.PerUser[i]-want) > 1e-9 {
+					t.Errorf("user %d throughput = %v, want %v", i, res.PerUser[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestFig3GreedyTimeShares(t *testing.T) {
+	// The paper narrates the greedy case: extender 1 uses only a quarter
+	// of the time, and extender 2 receives three quarters.
+	n := fig3Network()
+	res, err := Evaluate(n, Assignment{0, 1}, Options{Redistribute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TimeShare[0]-0.25) > 1e-9 {
+		t.Errorf("extender 0 time share = %v, want 0.25", res.TimeShare[0])
+	}
+	if math.Abs(res.TimeShare[1]-0.75) > 1e-9 {
+		t.Errorf("extender 1 time share = %v, want 0.75", res.TimeShare[1])
+	}
+}
+
+func TestEvaluateWithoutRedistribution(t *testing.T) {
+	// Without leftover redistribution the greedy assignment drops to 25:
+	// min(15, 30) + min(20, 10).
+	n := fig3Network()
+	res, err := Evaluate(n, Assignment{0, 1}, Options{Redistribute: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Aggregate-25) > 1e-9 {
+		t.Errorf("aggregate = %v, want 25", res.Aggregate)
+	}
+	got, err := ObjectiveBasic(n, Assignment{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-25) > 1e-9 {
+		t.Errorf("ObjectiveBasic = %v, want 25", got)
+	}
+}
+
+func TestEvaluateInactiveExtendersDoNotShareTime(t *testing.T) {
+	// Fig 2c behaviour: an extender with no users is inactive and takes
+	// no time share, so a single active extender gets its full capacity.
+	n := fig3Network()
+	res, err := Evaluate(n, Assignment{0, 0}, Options{Redistribute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActiveExtenders != 1 {
+		t.Fatalf("active = %d, want 1", res.ActiveExtenders)
+	}
+	if res.TimeShare[1] != 0 {
+		t.Errorf("inactive extender has time share %v", res.TimeShare[1])
+	}
+}
+
+func TestEvaluateTimeFairSharing(t *testing.T) {
+	// Fig 2c: A saturated extenders each deliver capacity/A.
+	for _, active := range []int{1, 2, 3, 4} {
+		caps := []float64{160, 120, 90, 60}
+		rates := make([][]float64, active)
+		for i := range rates {
+			rates[i] = make([]float64, 4)
+			for j := range rates[i] {
+				rates[i][j] = 1000 // WiFi never the bottleneck
+			}
+		}
+		n := &Network{WiFiRates: rates, PLCCaps: caps}
+		a := make(Assignment, active)
+		for i := range a {
+			a[i] = i
+		}
+		res, err := Evaluate(n, a, Options{Redistribute: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < active; j++ {
+			want := caps[j] / float64(active)
+			if math.Abs(res.PerExtender[j]-want) > 1e-9 {
+				t.Errorf("A=%d extender %d throughput = %v, want %v",
+					active, j, res.PerExtender[j], want)
+			}
+		}
+	}
+}
+
+func TestEvaluateAllUnassigned(t *testing.T) {
+	n := fig3Network()
+	res, err := Evaluate(n, Assignment{Unassigned, Unassigned}, Options{Redistribute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate != 0 || res.ActiveExtenders != 0 {
+		t.Errorf("aggregate = %v active = %d, want 0/0", res.Aggregate, res.ActiveExtenders)
+	}
+}
+
+func TestRedistributionNeverHurts(t *testing.T) {
+	// Property: for any small random network and assignment, the
+	// redistribution model yields at least the basic model's throughput,
+	// and time shares sum to at most 1.
+	f := func(seed int64) bool {
+		rates, caps, assign := randomInstance(seed, 4, 8)
+		n := &Network{WiFiRates: rates, PLCCaps: caps}
+		with, err := Evaluate(n, assign, Options{Redistribute: true})
+		if err != nil {
+			return false
+		}
+		without, err := Evaluate(n, assign, Options{Redistribute: false})
+		if err != nil {
+			return false
+		}
+		if with.Aggregate < without.Aggregate-1e-9 {
+			return false
+		}
+		var totalTime float64
+		for _, s := range with.TimeShare {
+			totalTime += s
+		}
+		return totalTime <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerExtenderNeverExceedsDemandOrCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rates, caps, assign := randomInstance(seed, 5, 12)
+		n := &Network{WiFiRates: rates, PLCCaps: caps}
+		res, err := Evaluate(n, assign, Options{Redistribute: true})
+		if err != nil {
+			return false
+		}
+		for j := range caps {
+			if res.PerExtender[j] > res.WiFiDemand[j]+1e-9 {
+				return false
+			}
+			if res.PerExtender[j] > caps[j]*res.TimeShare[j]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomInstance builds a deterministic pseudo-random network and full
+// assignment from a seed, with all rates positive.
+func randomInstance(seed int64, numExt, numUsers int) ([][]float64, []float64, Assignment) {
+	// Simple LCG so the property tests don't need math/rand plumbing.
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() float64 {
+		state = state*2862933555777941757 + 3037000493
+		return float64(state>>11) / float64(1<<53)
+	}
+	caps := make([]float64, numExt)
+	for j := range caps {
+		caps[j] = 20 + next()*140
+	}
+	rates := make([][]float64, numUsers)
+	assign := make(Assignment, numUsers)
+	for i := range rates {
+		rates[i] = make([]float64, numExt)
+		for j := range rates[i] {
+			rates[i][j] = 1 + next()*53
+		}
+		assign[i] = int(next() * float64(numExt))
+		if assign[i] >= numExt {
+			assign[i] = numExt - 1
+		}
+	}
+	return rates, caps, assign
+}
+
+func TestAssignmentHelpers(t *testing.T) {
+	a := Assignment{0, 1, Unassigned, 0}
+	if got := a.NumAssigned(); got != 3 {
+		t.Errorf("NumAssigned = %d, want 3", got)
+	}
+	groups := a.Groups(2)
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 3 {
+		t.Errorf("groups[0] = %v", groups[0])
+	}
+	if len(groups[1]) != 1 || groups[1][0] != 1 {
+		t.Errorf("groups[1] = %v", groups[1])
+	}
+	b := a.Clone()
+	b[0] = 1
+	if a[0] != 0 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestAssignmentDiff(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Assignment
+		want int
+	}{
+		{name: "identical", a: Assignment{0, 1}, b: Assignment{0, 1}, want: 0},
+		{name: "one moved", a: Assignment{0, 1}, b: Assignment{0, 0}, want: 1},
+		{name: "b longer assigned", a: Assignment{0}, b: Assignment{0, 1}, want: 1},
+		{name: "b longer unassigned", a: Assignment{0}, b: Assignment{0, Unassigned}, want: 0},
+		{name: "unassign counts", a: Assignment{0, 1}, b: Assignment{0, Unassigned}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Diff(tt.b); got != tt.want {
+				t.Errorf("Diff = %d, want %d", got, tt.want)
+			}
+			if got := tt.b.Diff(tt.a); got != tt.want {
+				t.Errorf("Diff reversed = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAggregateConvenience(t *testing.T) {
+	n := fig3Network()
+	if got := Aggregate(n, Assignment{1, 0}, Options{Redistribute: true}); math.Abs(got-40) > 1e-9 {
+		t.Errorf("Aggregate = %v, want 40", got)
+	}
+	// Errors collapse to zero.
+	if got := Aggregate(n, Assignment{9, 9}, Options{}); got != 0 {
+		t.Errorf("Aggregate on bad assignment = %v, want 0", got)
+	}
+}
+
+func TestWaterFillAllSatisfied(t *testing.T) {
+	// Low demands: everyone satisfied exactly.
+	shares := waterFillTime([]float64{0.1, 0.2, 0.3})
+	want := []float64{0.1, 0.2, 0.3}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > 1e-12 {
+			t.Errorf("share %d = %v, want %v", i, shares[i], want[i])
+		}
+	}
+}
+
+func TestWaterFillOversubscribed(t *testing.T) {
+	// Everyone wants the whole medium: equal thirds.
+	shares := waterFillTime([]float64{1, 1, 1})
+	for i, s := range shares {
+		if math.Abs(s-1.0/3.0) > 1e-12 {
+			t.Errorf("share %d = %v, want 1/3", i, s)
+		}
+	}
+}
+
+func TestWaterFillMixed(t *testing.T) {
+	// One small demand releases time to two saturated peers.
+	shares := waterFillTime([]float64{0.1, 1, 1})
+	if math.Abs(shares[0]-0.1) > 1e-12 {
+		t.Errorf("small flow share = %v, want 0.1", shares[0])
+	}
+	for _, i := range []int{1, 2} {
+		if math.Abs(shares[i]-0.45) > 1e-12 {
+			t.Errorf("big flow share = %v, want 0.45", shares[i])
+		}
+	}
+}
+
+func TestWaterFillProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 16 {
+			return true
+		}
+		need := make([]float64, len(raw))
+		for i, v := range raw {
+			x := math.Abs(v)
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0.5
+			}
+			need[i] = math.Mod(x, 2) // demands in [0,2) time units
+		}
+		shares := waterFillTime(need)
+		var total float64
+		for i, s := range shares {
+			if s < -1e-12 || s > need[i]+1e-12 {
+				return false // never allocate more than requested
+			}
+			total += s
+		}
+		return total <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedShareWastesIdleTime(t *testing.T) {
+	// Two extenders, both users on extender 0 with strong WiFi. Under
+	// active-only sharing the lone active extender gets the whole
+	// medium; under the analytic FixedShare model (constraint (4) with A
+	// = all extenders) the idle extender's half is wasted.
+	n := &Network{
+		WiFiRates: [][]float64{
+			{50, 1},
+			{50, 1},
+		},
+		PLCCaps: []float64{60, 60},
+	}
+	active, err := Evaluate(n, Assignment{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(active.Aggregate-50) > 1e-9 {
+		t.Errorf("active-share aggregate = %v, want 50", active.Aggregate)
+	}
+	fixed, err := Evaluate(n, Assignment{0, 0}, Options{FixedShare: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fixed.Aggregate-30) > 1e-9 {
+		t.Errorf("fixed-share aggregate = %v, want 30 (c0/2)", fixed.Aggregate)
+	}
+}
+
+func TestFixedShareWithRedistributionMatchesActive(t *testing.T) {
+	// With water-filling on, idle extenders release their time, so the
+	// two sharing modes coincide.
+	f := func(seed int64) bool {
+		rates, caps, assign := randomInstance(seed, 4, 8)
+		n := &Network{WiFiRates: rates, PLCCaps: caps}
+		a, err := Evaluate(n, assign, Options{Redistribute: true})
+		if err != nil {
+			return false
+		}
+		b, err := Evaluate(n, assign, Options{Redistribute: true, FixedShare: true})
+		if err != nil {
+			return false
+		}
+		return math.Abs(a.Aggregate-b.Aggregate) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerUserSumsToPerExtender(t *testing.T) {
+	// Property: within each cell, the user shares are equal and sum to
+	// the extender's delivered throughput; aggregate equals the sum over
+	// extenders.
+	f := func(seed int64) bool {
+		rates, caps, assign := randomInstance(seed, 5, 14)
+		n := &Network{WiFiRates: rates, PLCCaps: caps}
+		res, err := Evaluate(n, assign, Options{Redistribute: true})
+		if err != nil {
+			return false
+		}
+		groups := assign.Groups(len(caps))
+		var total float64
+		for j, group := range groups {
+			var cell float64
+			for _, i := range group {
+				cell += res.PerUser[i]
+			}
+			if math.Abs(cell-res.PerExtender[j]) > 1e-9 {
+				return false
+			}
+			for _, i := range group {
+				if math.Abs(res.PerUser[i]*float64(len(group))-res.PerExtender[j]) > 1e-9 {
+					return false
+				}
+			}
+			total += res.PerExtender[j]
+		}
+		return math.Abs(total-res.Aggregate) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddingAUserNeverReducesOthersBelowHalf(t *testing.T) {
+	// Sanity property of throughput-fair sharing within one cell: adding
+	// one user at most halves the per-user share of an existing member
+	// when the newcomer is no slower than the slowest member.
+	f := func(seed int64) bool {
+		rates, caps, _ := randomInstance(seed, 1, 6)
+		n := &Network{WiFiRates: rates, PLCCaps: []float64{caps[0] * 100}} // PLC never binds
+		all := make(Assignment, len(rates))
+		allButLast := make(Assignment, len(rates))
+		for i := range all {
+			all[i] = 0
+			allButLast[i] = 0
+		}
+		allButLast[len(rates)-1] = Unassigned
+		before, err := Evaluate(n, allButLast, Options{Redistribute: true})
+		if err != nil {
+			return false
+		}
+		after, err := Evaluate(n, all, Options{Redistribute: true})
+		if err != nil {
+			return false
+		}
+		// Slowest existing member's rate vs newcomer's rate.
+		newcomer := rates[len(rates)-1][0]
+		slowest := rates[0][0]
+		for i := 0; i < len(rates)-1; i++ {
+			if rates[i][0] < slowest {
+				slowest = rates[i][0]
+			}
+		}
+		if newcomer < slowest {
+			return true // property only claimed for non-slower newcomers
+		}
+		return after.PerUser[0] >= before.PerUser[0]/2-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

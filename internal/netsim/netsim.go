@@ -1,0 +1,322 @@
+// Package netsim is the flow-level network simulator used for the paper's
+// large-scale evaluation (§V-E): it combines a physical topology, the
+// WiFi radio model and the PLC capacity model into a model.Network,
+// applies an association policy (WOLT or a baseline), and evaluates
+// end-to-end throughputs under the PLC+WiFi sharing model.
+//
+// Two experiment drivers are provided: RunStatic (independent trials with
+// a fixed user population — Fig 6a and the fairness table) and RunDynamic
+// (Poisson arrival/departure churn evaluated at epoch boundaries —
+// Fig 6b/6c).
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/plcwifi/wolt/internal/baseline"
+	"github.com/plcwifi/wolt/internal/core"
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/radio"
+	"github.com/plcwifi/wolt/internal/stats"
+	"github.com/plcwifi/wolt/internal/topology"
+)
+
+// Instance is a concrete network: topology plus derived rate matrices.
+type Instance struct {
+	Topo *topology.Topology
+	// Net is the association-problem input (r_ij, c_j) derived from the
+	// topology through the radio model.
+	Net *model.Network
+	// RSSI[i][j] is the received signal strength used by RSSI-based
+	// association.
+	RSSI [][]float64
+	// UserIDs maps network row index to topology user ID.
+	UserIDs []int
+}
+
+// Build derives the model inputs from a topology using the radio model.
+// Shadowing offsets are keyed by stable user and extender IDs, so a
+// link's quality does not change when the topology is rebuilt after churn.
+func Build(topo *topology.Topology, rm radio.Model) *Instance {
+	distances := topo.Distances()
+	inst := &Instance{
+		Topo: topo,
+		Net: &model.Network{
+			WiFiRates: make([][]float64, len(distances)),
+			PLCCaps:   topo.PLCCapacities(),
+		},
+		RSSI:    make([][]float64, len(distances)),
+		UserIDs: make([]int, len(topo.Users)),
+	}
+	for i, row := range distances {
+		uid := topo.Users[i].ID
+		inst.Net.WiFiRates[i] = make([]float64, len(row))
+		inst.RSSI[i] = make([]float64, len(row))
+		for j, d := range row {
+			eid := topo.Extenders[j].ID
+			inst.Net.WiFiRates[i][j] = rm.LinkRate(d, uid, eid)
+			inst.RSSI[i][j] = rm.LinkRSSI(d, uid, eid)
+		}
+	}
+	for i, u := range topo.Users {
+		inst.UserIDs[i] = u.ID
+	}
+	return inst
+}
+
+// Policy is an association policy driven by the simulator. OnArrival
+// handles a single user joining (online step); OnEpoch runs at epoch
+// boundaries and may recompute the complete association.
+type Policy interface {
+	Name() string
+	// OnArrival associates the newly arrived user (a row index into
+	// inst.Net), mutating assign in place.
+	OnArrival(inst *Instance, assign model.Assignment, user int) error
+	// OnEpoch optionally recomputes the full association and returns it;
+	// policies that never reassign return assign unchanged.
+	OnEpoch(inst *Instance, assign model.Assignment) (model.Assignment, error)
+}
+
+// WOLTPolicy implements the paper's system: arrivals connect to the
+// strongest-RSSI extender to reach the central controller, and the
+// controller recomputes the full two-phase assignment at epoch ends.
+type WOLTPolicy struct {
+	Options core.Options
+}
+
+// Name implements Policy.
+func (WOLTPolicy) Name() string { return "WOLT" }
+
+// OnArrival implements Policy: initial contact via strongest RSSI.
+func (WOLTPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
+	return assignBestRSSI(inst, assign, user)
+}
+
+// OnEpoch implements Policy: full two-phase recomputation.
+func (p WOLTPolicy) OnEpoch(inst *Instance, assign model.Assignment) (model.Assignment, error) {
+	res, err := core.Assign(inst.Net, p.Options)
+	if err != nil {
+		return nil, err
+	}
+	return res.Assign, nil
+}
+
+// GreedyPolicy is the paper's online baseline: each arrival picks the
+// extender maximizing the aggregate throughput; nobody ever moves.
+type GreedyPolicy struct {
+	ModelOpts model.Options
+}
+
+// Name implements Policy.
+func (GreedyPolicy) Name() string { return "Greedy" }
+
+// OnArrival implements Policy.
+func (p GreedyPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
+	_, err := baseline.GreedyAdd(inst.Net, assign, user, p.ModelOpts)
+	return err
+}
+
+// OnEpoch implements Policy: greedy never reassigns.
+func (GreedyPolicy) OnEpoch(_ *Instance, assign model.Assignment) (model.Assignment, error) {
+	return assign, nil
+}
+
+// SelfishPolicy is the online greedy of the paper's §III-B case study:
+// each arriving user picks the extender maximizing its own end-to-end
+// throughput; nobody ever moves.
+type SelfishPolicy struct {
+	ModelOpts model.Options
+}
+
+// Name implements Policy.
+func (SelfishPolicy) Name() string { return "Selfish" }
+
+// OnArrival implements Policy.
+func (p SelfishPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
+	_, err := baseline.SelfishAdd(inst.Net, assign, user, p.ModelOpts)
+	return err
+}
+
+// OnEpoch implements Policy: selfish users never move.
+func (SelfishPolicy) OnEpoch(_ *Instance, assign model.Assignment) (model.Assignment, error) {
+	return assign, nil
+}
+
+// RSSIPolicy is the commodity default: strongest signal wins, forever.
+type RSSIPolicy struct{}
+
+// Name implements Policy.
+func (RSSIPolicy) Name() string { return "RSSI" }
+
+// OnArrival implements Policy.
+func (RSSIPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
+	return assignBestRSSI(inst, assign, user)
+}
+
+// OnEpoch implements Policy: RSSI never reassigns.
+func (RSSIPolicy) OnEpoch(_ *Instance, assign model.Assignment) (model.Assignment, error) {
+	return assign, nil
+}
+
+// RandomPolicy associates arrivals uniformly at random; a sanity floor.
+type RandomPolicy struct {
+	Rng *rand.Rand
+}
+
+// Name implements Policy.
+func (RandomPolicy) Name() string { return "Random" }
+
+// OnArrival implements Policy.
+func (p RandomPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
+	var reachable []int
+	for j, r := range inst.Net.WiFiRates[user] {
+		if r > 0 {
+			reachable = append(reachable, j)
+		}
+	}
+	if len(reachable) == 0 {
+		return fmt.Errorf("netsim: user %d reaches no extender", user)
+	}
+	assign[user] = reachable[p.Rng.Intn(len(reachable))]
+	return nil
+}
+
+// OnEpoch implements Policy.
+func (RandomPolicy) OnEpoch(_ *Instance, assign model.Assignment) (model.Assignment, error) {
+	return assign, nil
+}
+
+func assignBestRSSI(inst *Instance, assign model.Assignment, user int) error {
+	if user < 0 || user >= len(inst.RSSI) {
+		return fmt.Errorf("netsim: user %d out of range", user)
+	}
+	best, bestSig := model.Unassigned, -1e18
+	for j, sig := range inst.RSSI[user] {
+		if inst.Net.WiFiRates[user][j] <= 0 {
+			continue
+		}
+		if sig > bestSig {
+			best, bestSig = j, sig
+		}
+	}
+	if best == model.Unassigned {
+		return fmt.Errorf("netsim: user %d reaches no extender", user)
+	}
+	assign[user] = best
+	return nil
+}
+
+// StaticConfig parameterizes independent-trial experiments.
+type StaticConfig struct {
+	Topology topology.Config
+	// Radio is the WiFi model; the zero value selects radio.DefaultModel.
+	Radio *radio.Model
+	// Trials is the number of independent topologies (seeded
+	// Topology.Seed, Seed+1, …).
+	Trials int
+	// ModelOpts selects the evaluation model (redistribution on for all
+	// paper experiments).
+	ModelOpts model.Options
+}
+
+func (c StaticConfig) radioModel() radio.Model {
+	if c.Radio != nil {
+		return *c.Radio
+	}
+	return radio.DefaultModel()
+}
+
+// TrialResult is one policy's outcome on one topology.
+type TrialResult struct {
+	Aggregate float64
+	PerUser   []float64
+	Jain      float64
+}
+
+// StaticResult aggregates a policy's outcomes across trials.
+type StaticResult struct {
+	Policy string
+	Trials []TrialResult
+}
+
+// Aggregates returns the per-trial aggregate throughputs.
+func (r StaticResult) Aggregates() []float64 {
+	out := make([]float64, len(r.Trials))
+	for i, tr := range r.Trials {
+		out[i] = tr.Aggregate
+	}
+	return out
+}
+
+// MeanAggregate returns the mean aggregate throughput across trials.
+func (r StaticResult) MeanAggregate() float64 {
+	return stats.Mean(r.Aggregates())
+}
+
+// MeanJain returns the mean Jain fairness index across trials.
+func (r StaticResult) MeanJain() float64 {
+	xs := make([]float64, len(r.Trials))
+	for i, tr := range r.Trials {
+		xs[i] = tr.Jain
+	}
+	return stats.Mean(xs)
+}
+
+// RunStatic evaluates each policy on the same sequence of random
+// topologies. All users are present from the start; they "arrive" in
+// index order for the online policies, then each policy's OnEpoch runs
+// once (this mirrors the paper's testbed procedure, where users join and
+// the controller then issues its directives).
+func RunStatic(cfg StaticConfig, policies []Policy) ([]StaticResult, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("netsim: non-positive trial count %d", cfg.Trials)
+	}
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("netsim: no policies")
+	}
+	rm := cfg.radioModel()
+	results := make([]StaticResult, len(policies))
+	for p, policy := range policies {
+		results[p] = StaticResult{Policy: policy.Name(), Trials: make([]TrialResult, 0, cfg.Trials)}
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		topoCfg := cfg.Topology
+		topoCfg.Seed += int64(trial)
+		topo, err := topology.Generate(topoCfg)
+		if err != nil {
+			return nil, err
+		}
+		inst := Build(topo, rm)
+		for p, policy := range policies {
+			assign := newUnassigned(len(topo.Users))
+			for i := range topo.Users {
+				if err := policy.OnArrival(inst, assign, i); err != nil {
+					return nil, fmt.Errorf("netsim: %s arrival: %w", policy.Name(), err)
+				}
+			}
+			assign, err := policy.OnEpoch(inst, assign)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: %s epoch: %w", policy.Name(), err)
+			}
+			res, err := model.Evaluate(inst.Net, assign, cfg.ModelOpts)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: %s evaluate: %w", policy.Name(), err)
+			}
+			results[p].Trials = append(results[p].Trials, TrialResult{
+				Aggregate: res.Aggregate,
+				PerUser:   res.PerUser,
+				Jain:      stats.JainIndex(res.PerUser),
+			})
+		}
+	}
+	return results, nil
+}
+
+func newUnassigned(n int) model.Assignment {
+	assign := make(model.Assignment, n)
+	for i := range assign {
+		assign[i] = model.Unassigned
+	}
+	return assign
+}

@@ -1,0 +1,519 @@
+// Package nlp solves WOLT's Phase II nonlinear program (Problem 2 in the
+// paper): with the Phase I users pinned to their extenders, place the
+// remaining users so that the total WiFi throughput Σ_j T_WiFi_j is
+// maximized, where
+//
+//	T_WiFi_j = N_j / S_j,   N_j = #users on j,   S_j = Σ_{i∈N_j} 1/r_ij.
+//
+// The paper solves the continuous relaxation with an interior-point method
+// and stops when the improvement drops below 1e-5; Theorem 3 proves the
+// relaxation has integral optima. This package provides:
+//
+//   - SolveProjectedGradient: a first-order interior solver over per-user
+//     simplices using the paper's stopping criterion, followed by the
+//     Theorem-3 mass-shifting argument to extract an integral solution.
+//
+//   - SolveCoordinate: a purely discrete best-response (coordinate ascent)
+//     solver used for cross-validation and as a cheap alternative.
+//
+// Both return complete assignments; tests assert they agree on optima.
+package nlp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+// Problem is a Phase II instance.
+type Problem struct {
+	// Rates is the full user × extender WiFi rate matrix r_ij.
+	// Non-positive entries mark unreachable extenders.
+	Rates [][]float64
+	// Fixed holds the Phase I decisions: Fixed[i] is user i's pinned
+	// extender, or model.Unassigned for the users Phase II must place.
+	Fixed model.Assignment
+}
+
+func (p Problem) validate() (numExt int, free []int, err error) {
+	if len(p.Rates) == 0 {
+		return 0, nil, fmt.Errorf("nlp: no users")
+	}
+	numExt = len(p.Rates[0])
+	if numExt == 0 {
+		return 0, nil, fmt.Errorf("nlp: no extenders")
+	}
+	if len(p.Fixed) != len(p.Rates) {
+		return 0, nil, fmt.Errorf("nlp: fixed assignment covers %d users, rates cover %d",
+			len(p.Fixed), len(p.Rates))
+	}
+	for i, row := range p.Rates {
+		if len(row) != numExt {
+			return 0, nil, fmt.Errorf("nlp: user %d has %d rates, want %d", i, len(row), numExt)
+		}
+		j := p.Fixed[i]
+		switch {
+		case j == model.Unassigned:
+			reachable := false
+			for _, r := range row {
+				if r > 0 {
+					reachable = true
+					break
+				}
+			}
+			if !reachable {
+				return 0, nil, fmt.Errorf("nlp: free user %d reaches no extender", i)
+			}
+			free = append(free, i)
+		case j < 0 || j >= numExt:
+			return 0, nil, fmt.Errorf("nlp: user %d fixed to invalid extender %d", i, j)
+		case row[j] <= 0:
+			return 0, nil, fmt.Errorf("nlp: user %d fixed to unreachable extender %d", i, j)
+		}
+	}
+	return numExt, free, nil
+}
+
+// Options tunes the projected-gradient solver.
+type Options struct {
+	// Tol is the stopping criterion: iteration stops when the objective
+	// improves by less than Tol. The paper uses 1e-5.
+	Tol float64
+	// MaxIter caps gradient iterations (default 2000).
+	MaxIter int
+	// Step is the initial gradient step size (default 0.5); the solver
+	// backtracks when a step does not improve the objective.
+	Step float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-5
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 2000
+	}
+	if o.Step <= 0 {
+		o.Step = 0.5
+	}
+	return o
+}
+
+// Solution is a completed Phase II placement.
+type Solution struct {
+	// Assign is the complete assignment (fixed users keep their Phase I
+	// extender).
+	Assign model.Assignment
+	// Objective is Σ_j T_WiFi_j of the final integral assignment.
+	Objective float64
+	// Iterations is the number of solver iterations performed.
+	Iterations int
+	// IntegralAtConvergence reports whether the continuous iterate was
+	// already (numerically) integral when the gradient solver stopped —
+	// the empirical observation the paper makes about Theorem 3.
+	IntegralAtConvergence bool
+}
+
+// cellState tracks per-extender user count and inverse-rate sum.
+type cellState struct {
+	n []float64 // N_j including fractional mass
+	s []float64 // S_j = Σ 1/r (weighted by mass for fractional users)
+}
+
+func newCellState(numExt int) *cellState {
+	return &cellState{n: make([]float64, numExt), s: make([]float64, numExt)}
+}
+
+func (c *cellState) objective() float64 {
+	var total float64
+	for j := range c.n {
+		if c.s[j] > 0 {
+			total += c.n[j] / c.s[j]
+		}
+	}
+	return total
+}
+
+// SolveProjectedGradient solves the Phase II relaxation by projected
+// gradient ascent over the free users' assignment simplices and extracts
+// an integral solution.
+func SolveProjectedGradient(p Problem, opts Options) (*Solution, error) {
+	numExt, free, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	fixedN, fixedS := fixedLoad(p, numExt)
+
+	if len(free) == 0 {
+		assign := p.Fixed.Clone()
+		obj := discreteObjective(p, assign, numExt)
+		return &Solution{Assign: assign, Objective: obj, IntegralAtConvergence: true}, nil
+	}
+
+	// x[k][j]: fractional assignment of free user k to extender j,
+	// initialized uniformly over reachable extenders.
+	x := make([][]float64, len(free))
+	for k, i := range free {
+		x[k] = make([]float64, numExt)
+		reachable := 0
+		for j, r := range p.Rates[i] {
+			if r > 0 {
+				reachable++
+				_ = j
+			}
+		}
+		for j, r := range p.Rates[i] {
+			if r > 0 {
+				x[k][j] = 1 / float64(reachable)
+			}
+		}
+	}
+
+	objAt := func(x [][]float64) float64 {
+		cells := newCellState(numExt)
+		copy(cells.n, fixedN)
+		copy(cells.s, fixedS)
+		for k, i := range free {
+			for j, mass := range x[k] {
+				if mass > 0 {
+					cells.n[j] += mass
+					cells.s[j] += mass / p.Rates[i][j]
+				}
+			}
+		}
+		return cells.objective()
+	}
+
+	prev := objAt(x)
+	step := opts.Step
+	iters := 0
+	for ; iters < opts.MaxIter; iters++ {
+		// Gradient of Σ N_j/S_j wrt x_kj: (S_j - N_j/r_ij) / S_j².
+		cells := newCellState(numExt)
+		copy(cells.n, fixedN)
+		copy(cells.s, fixedS)
+		for k, i := range free {
+			for j, mass := range x[k] {
+				if mass > 0 {
+					cells.n[j] += mass
+					cells.s[j] += mass / p.Rates[i][j]
+				}
+			}
+		}
+		grad := make([][]float64, len(free))
+		for k, i := range free {
+			grad[k] = make([]float64, numExt)
+			for j := 0; j < numExt; j++ {
+				r := p.Rates[i][j]
+				if r <= 0 {
+					continue
+				}
+				s := cells.s[j]
+				if s <= 0 {
+					// Empty cell: joining it alone yields throughput r.
+					grad[k][j] = r
+					continue
+				}
+				grad[k][j] = (s - cells.n[j]/r) / (s * s)
+			}
+		}
+
+		// Backtracking line search on the projected step.
+		improved := false
+		for attempt := 0; attempt < 20; attempt++ {
+			cand := make([][]float64, len(free))
+			for k, i := range free {
+				row := make([]float64, numExt)
+				for j := range row {
+					if p.Rates[i][j] > 0 {
+						row[j] = x[k][j] + step*grad[k][j]
+					}
+				}
+				projectSimplex(row, p.Rates[i])
+				cand[k] = row
+			}
+			obj := objAt(cand)
+			if obj > prev {
+				x = cand
+				if obj-prev < opts.Tol {
+					prev = obj
+					improved = false // converged per the paper's criterion
+				} else {
+					prev = obj
+					improved = true
+				}
+				break
+			}
+			step /= 2
+			if step < 1e-9 {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	integral := true
+	for k := range x {
+		for _, mass := range x[k] {
+			if mass > 1e-6 && mass < 1-1e-6 {
+				integral = false
+			}
+		}
+	}
+
+	// Theorem 3 extraction: collapse each user's mass onto one extender,
+	// then polish with discrete best-response moves (each move increases
+	// the objective, so this terminates).
+	assign := p.Fixed.Clone()
+	for k, i := range free {
+		best, bestMass := -1, -1.0
+		for j, mass := range x[k] {
+			if mass > bestMass {
+				best, bestMass = j, mass
+			}
+		}
+		assign[i] = best
+	}
+	obj := coordinatePolish(p, assign, free, numExt)
+
+	// The relaxation is non-convex, so the gradient iterate can land in a
+	// poorer basin than a greedy discrete start. Keep the better of the
+	// two (multi-start local search).
+	if alt, err := SolveCoordinate(p); err == nil && alt.Objective > obj+1e-12 {
+		assign = alt.Assign
+		obj = alt.Objective
+	}
+
+	return &Solution{
+		Assign:                assign,
+		Objective:             obj,
+		Iterations:            iters,
+		IntegralAtConvergence: integral,
+	}, nil
+}
+
+// CellObjective scores a complete placement from per-extender loads:
+// n[j] is the user count on extender j and s[j] the sum of inverse WiFi
+// rates. Larger is better.
+type CellObjective func(n, s []float64) float64
+
+// SumThroughput is Problem 2's objective: Σ_j T_WiFi_j = Σ_j n_j/s_j.
+func SumThroughput(n, s []float64) float64 {
+	var total float64
+	for j := range n {
+		if s[j] > 0 {
+			total += n[j] / s[j]
+		}
+	}
+	return total
+}
+
+// ProportionalFair is the proportional-fairness extension: under
+// throughput-fair sharing every user on extender j receives 1/s_j, so
+// Σ_i log(throughput_i) = -Σ_j n_j·ln(s_j). Maximizing it trades a
+// little aggregate throughput for a much flatter allocation.
+func ProportionalFair(n, s []float64) float64 {
+	var total float64
+	for j := range n {
+		if n[j] > 0 && s[j] > 0 {
+			total -= n[j] * math.Log(s[j])
+		}
+	}
+	return total
+}
+
+// SolveCoordinate places the free users greedily (each on the extender
+// that most increases Σ T_WiFi given current loads) and then runs
+// best-response sweeps until no single-user move improves the objective.
+func SolveCoordinate(p Problem) (*Solution, error) {
+	return SolveCoordinateWith(p, SumThroughput)
+}
+
+// SolveCoordinateWith is SolveCoordinate under an arbitrary cell
+// objective. The returned Solution's Objective is the given objective's
+// value (not Σ T_WiFi) unless the objectives coincide.
+func SolveCoordinateWith(p Problem, objective CellObjective) (*Solution, error) {
+	if objective == nil {
+		return nil, fmt.Errorf("nlp: nil objective")
+	}
+	numExt, free, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	assign := p.Fixed.Clone()
+
+	// Greedy seeding in user order, by marginal objective gain.
+	for _, i := range free {
+		n, s := loadOf(p, assign, numExt)
+		before := objective(n, s)
+		bestJ, bestGain := -1, math.Inf(-1)
+		for j := 0; j < numExt; j++ {
+			r := p.Rates[i][j]
+			if r <= 0 {
+				continue
+			}
+			n[j]++
+			s[j] += 1 / r
+			gain := objective(n, s) - before
+			n[j]--
+			s[j] -= 1 / r
+			if gain > bestGain {
+				bestJ, bestGain = j, gain
+			}
+		}
+		assign[i] = bestJ
+	}
+
+	obj := polishWith(p, assign, free, numExt, objective)
+	return &Solution{Assign: assign, Objective: obj, IntegralAtConvergence: true}, nil
+}
+
+// coordinatePolish runs discrete best-response sweeps under the Σ T_WiFi
+// objective.
+func coordinatePolish(p Problem, assign model.Assignment, free []int, numExt int) float64 {
+	return polishWith(p, assign, free, numExt, SumThroughput)
+}
+
+// polishWith runs discrete best-response sweeps over the free users
+// (single moves plus pairwise swaps, which escape the common local optima
+// single moves cannot), mutating assign, and returns the final objective.
+func polishWith(p Problem, assign model.Assignment, free []int, numExt int, objective CellObjective) float64 {
+	const maxSweeps = 100
+	obj := objectiveWith(p, assign, numExt, objective)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		// Single-user moves.
+		for _, i := range free {
+			current := assign[i]
+			bestJ, bestObj := current, obj
+			for j := 0; j < numExt; j++ {
+				if j == current || p.Rates[i][j] <= 0 {
+					continue
+				}
+				assign[i] = j
+				cand := objectiveWith(p, assign, numExt, objective)
+				if cand > bestObj+1e-12 {
+					bestJ, bestObj = j, cand
+				}
+			}
+			assign[i] = bestJ
+			if bestJ != current {
+				obj = bestObj
+				changed = true
+			}
+		}
+		// Pairwise swaps between free users on different extenders.
+		for a := 0; a < len(free); a++ {
+			for b := a + 1; b < len(free); b++ {
+				ia, ib := free[a], free[b]
+				ja, jb := assign[ia], assign[ib]
+				if ja == jb || p.Rates[ia][jb] <= 0 || p.Rates[ib][ja] <= 0 {
+					continue
+				}
+				assign[ia], assign[ib] = jb, ja
+				cand := objectiveWith(p, assign, numExt, objective)
+				if cand > obj+1e-12 {
+					obj = cand
+					changed = true
+				} else {
+					assign[ia], assign[ib] = ja, jb
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return obj
+}
+
+// joinGain is the change in Σ T_WiFi when a user of rate r joins a cell
+// with count n and inverse-rate sum s.
+func joinGain(n, s, r float64) float64 {
+	before := 0.0
+	if s > 0 {
+		before = n / s
+	}
+	return (n+1)/(s+1/r) - before
+}
+
+// discreteObjective computes Σ_j T_WiFi_j for an integral assignment.
+func discreteObjective(p Problem, assign model.Assignment, numExt int) float64 {
+	return objectiveWith(p, assign, numExt, SumThroughput)
+}
+
+// objectiveWith evaluates a cell objective on an integral assignment.
+func objectiveWith(p Problem, assign model.Assignment, numExt int, objective CellObjective) float64 {
+	n, s := loadOf(p, assign, numExt)
+	return objective(n, s)
+}
+
+func loadOf(p Problem, assign model.Assignment, numExt int) (n, s []float64) {
+	n = make([]float64, numExt)
+	s = make([]float64, numExt)
+	for i, j := range assign {
+		if j == model.Unassigned {
+			continue
+		}
+		n[j]++
+		s[j] += 1 / p.Rates[i][j]
+	}
+	return n, s
+}
+
+func fixedLoad(p Problem, numExt int) (n, s []float64) {
+	return loadOf(p, p.Fixed, numExt)
+}
+
+// projectSimplex projects row onto the probability simplex restricted to
+// coordinates where rates > 0 (unreachable extenders stay at 0), using the
+// sort-based algorithm of Duchi et al.
+func projectSimplex(row, rates []float64) {
+	var support []int
+	for j, r := range rates {
+		if r > 0 {
+			support = append(support, j)
+		} else {
+			row[j] = 0
+		}
+	}
+	if len(support) == 0 {
+		return
+	}
+	vals := make([]float64, len(support))
+	for k, j := range support {
+		vals[k] = row[j]
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var cum, theta float64
+	rho := -1
+	for k, v := range sorted {
+		cum += v
+		t := (cum - 1) / float64(k+1)
+		if v-t > 0 {
+			rho = k
+			theta = t
+		}
+	}
+	if rho < 0 {
+		// Degenerate (all mass far negative): uniform.
+		for _, j := range support {
+			row[j] = 1 / float64(len(support))
+		}
+		return
+	}
+	for k, j := range support {
+		v := vals[k] - theta
+		if v < 0 {
+			v = 0
+		}
+		row[j] = v
+	}
+}

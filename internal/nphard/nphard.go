@@ -1,0 +1,243 @@
+// Package nphard implements the paper's Theorem 1 construction: a
+// polynomial-time reduction from the PARTITION problem to a particular
+// instance of the PLC-WiFi user-assignment problem (Problem 1), which
+// establishes that Problem 1 is NP-hard.
+//
+// The reduction (for a multiset of weights w_1..w_M): build 2 extenders
+// with unbounded PLC rates and per-extender user caps B = (M+k)/2, and
+// M+k users — M "regular" users whose WiFi rates are r_i = -1/w_i and k
+// "dummy" users with rate -∞ (inverse rate 0). Filling both extenders to
+// their caps makes the objective
+//
+//	Σ_j T_WiFi_j = -(B/W_1 + B/W_2),  W_j = Σ weights on extender j,
+//
+// which is maximized exactly when W_1 = W_2 = W/2 — i.e. when a perfect
+// partition exists. Iterating k over 0,2,…,M-2 (or 1,3,… for odd M)
+// covers partitions of every admissible size.
+//
+// The negative "rates" are an artifact of the proof (they never occur in a
+// real network); this package therefore evaluates the transformed
+// objective directly rather than going through the network model.
+package nphard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoWeights is returned for an empty PARTITION instance.
+var ErrNoWeights = errors.New("nphard: empty weight set")
+
+// Instance is a PARTITION problem instance.
+type Instance struct {
+	Weights []int
+}
+
+// Total returns the sum of all weights.
+func (in Instance) Total() int {
+	total := 0
+	for _, w := range in.Weights {
+		total += w
+	}
+	return total
+}
+
+// Validate checks that all weights are positive.
+func (in Instance) Validate() error {
+	if len(in.Weights) == 0 {
+		return ErrNoWeights
+	}
+	for i, w := range in.Weights {
+		if w <= 0 {
+			return fmt.Errorf("nphard: weight %d is %d, want positive", i, w)
+		}
+	}
+	return nil
+}
+
+// Reduction is one transformed Problem 1 instance for a specific dummy
+// count k.
+type Reduction struct {
+	Weights []int
+	// Dummies is k, the number of dummy users with zero inverse rate.
+	Dummies int
+	// Cap is B = (M+k)/2, the per-extender user cap.
+	Cap int
+}
+
+// Encode builds the Theorem 1 instance for a given dummy count. M+k must
+// be even so the caps are integral.
+func Encode(in Instance, dummies int) (*Reduction, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if dummies < 0 {
+		return nil, fmt.Errorf("nphard: negative dummy count %d", dummies)
+	}
+	total := len(in.Weights) + dummies
+	if total%2 != 0 {
+		return nil, fmt.Errorf("nphard: M+k = %d must be even", total)
+	}
+	return &Reduction{
+		Weights: append([]int(nil), in.Weights...),
+		Dummies: dummies,
+		Cap:     total / 2,
+	}, nil
+}
+
+// Objective evaluates the transformed Problem 1 objective for the split
+// where the regular users with the given weight sum w1 sit on extender 1
+// (both extenders filled to the cap with dummies). A side with zero
+// regular weight yields -Inf (the ratio degenerates), matching the proof's
+// requirement that both partitions be non-empty.
+func (r *Reduction) Objective(w1 int) float64 {
+	w2 := r.weightTotal() - w1
+	if w1 <= 0 || w2 <= 0 {
+		return math.Inf(-1)
+	}
+	b := float64(r.Cap)
+	return -(b/float64(w1) + b/float64(w2))
+}
+
+func (r *Reduction) weightTotal() int {
+	total := 0
+	for _, w := range r.Weights {
+		total += w
+	}
+	return total
+}
+
+// Solve maximizes the transformed objective by exhaustive search over the
+// admissible subsets (|S| regular users on extender 1, padded with
+// dummies; both sides must respect the cap). It returns the best split as
+// a membership mask over the regular users and the achieved objective.
+// Exponential in M — it exists to demonstrate the reduction, not to be
+// fast (PARTITION is NP-hard, after all).
+func (r *Reduction) Solve() (side1 []bool, objective float64, err error) {
+	m := len(r.Weights)
+	if m > 24 {
+		return nil, 0, fmt.Errorf("nphard: %d weights exceed the exhaustive-search budget", m)
+	}
+	minSize := m - r.Cap // at least this many regular users on side 1
+	if minSize < 0 {
+		minSize = 0
+	}
+	best := math.Inf(-1)
+	var bestMask uint32
+	found := false
+	for mask := uint32(0); mask < 1<<m; mask++ {
+		size := popcount(mask)
+		if size < minSize || size > r.Cap {
+			continue
+		}
+		var w1 int
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				w1 += r.Weights[i]
+			}
+		}
+		obj := r.Objective(w1)
+		if obj > best {
+			best = obj
+			bestMask = mask
+			found = true
+		}
+	}
+	if !found || math.IsInf(best, -1) {
+		return nil, 0, fmt.Errorf("nphard: no admissible split")
+	}
+	side1 = make([]bool, m)
+	for i := 0; i < m; i++ {
+		side1[i] = bestMask&(1<<i) != 0
+	}
+	return side1, best, nil
+}
+
+// SolvePartition runs the complete Theorem 1 procedure: for every
+// admissible dummy count k it solves the transformed instance and keeps
+// the best split. It reports whether a perfect partition (W1 = W/2)
+// exists and returns the best split found.
+func SolvePartition(in Instance) (perfect bool, side1 []bool, err error) {
+	if err := in.Validate(); err != nil {
+		return false, nil, err
+	}
+	m := len(in.Weights)
+	if m < 2 {
+		return false, nil, fmt.Errorf("nphard: need at least two weights")
+	}
+	total := in.Total()
+
+	startK := 0
+	if m%2 != 0 {
+		startK = 1
+	}
+	bestDiff := math.MaxInt
+	for k := startK; k <= m; k += 2 {
+		red, err := Encode(in, k)
+		if err != nil {
+			return false, nil, err
+		}
+		split, _, err := red.Solve()
+		if err != nil {
+			continue
+		}
+		w1 := 0
+		for i, onSide1 := range split {
+			if onSide1 {
+				w1 += in.Weights[i]
+			}
+		}
+		diff := abs(2*w1 - total)
+		if diff < bestDiff {
+			bestDiff = diff
+			side1 = split
+		}
+		if diff == 0 {
+			break
+		}
+	}
+	if side1 == nil {
+		return false, nil, fmt.Errorf("nphard: no split found")
+	}
+	return bestDiff == 0, side1, nil
+}
+
+// PartitionDP solves PARTITION directly with the classic pseudo-polynomial
+// subset-sum dynamic program. Used to cross-validate the reduction.
+func PartitionDP(in Instance) (bool, error) {
+	if err := in.Validate(); err != nil {
+		return false, err
+	}
+	total := in.Total()
+	if total%2 != 0 {
+		return false, nil
+	}
+	target := total / 2
+	reachable := make([]bool, target+1)
+	reachable[0] = true
+	for _, w := range in.Weights {
+		for s := target; s >= w; s-- {
+			if reachable[s-w] {
+				reachable[s] = true
+			}
+		}
+	}
+	return reachable[target], nil
+}
+
+func popcount(x uint32) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

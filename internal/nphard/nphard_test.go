@@ -1,0 +1,184 @@
+package nphard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInstanceValidate(t *testing.T) {
+	if err := (Instance{}).Validate(); err == nil {
+		t.Error("empty instance: want error")
+	}
+	if err := (Instance{Weights: []int{1, 0}}).Validate(); err == nil {
+		t.Error("zero weight: want error")
+	}
+	if err := (Instance{Weights: []int{3, 1}}).Validate(); err != nil {
+		t.Errorf("valid instance: %v", err)
+	}
+}
+
+func TestEncode(t *testing.T) {
+	in := Instance{Weights: []int{3, 1, 2}}
+	if _, err := Encode(in, 0); err == nil {
+		t.Error("odd M+k: want error")
+	}
+	if _, err := Encode(in, -1); err == nil {
+		t.Error("negative dummies: want error")
+	}
+	red, err := Encode(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Cap != 2 {
+		t.Errorf("cap = %d, want 2", red.Cap)
+	}
+	// Encode copies the weights.
+	in.Weights[0] = 99
+	if red.Weights[0] == 99 {
+		t.Error("Encode did not copy weights")
+	}
+}
+
+func TestObjectiveMaximizedAtBalancedSplit(t *testing.T) {
+	red, err := Encode(Instance{Weights: []int{1, 2, 3, 4}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 10
+	balanced := red.Objective(total / 2)
+	for w1 := 1; w1 < total; w1++ {
+		if obj := red.Objective(w1); obj > balanced+1e-12 {
+			t.Errorf("Objective(%d) = %v exceeds balanced %v", w1, obj, balanced)
+		}
+	}
+	if !math.IsInf(red.Objective(0), -1) || !math.IsInf(red.Objective(total), -1) {
+		t.Error("degenerate splits should be -Inf")
+	}
+}
+
+func TestSolveFindsPerfectPartition(t *testing.T) {
+	// {1,2,3,4}: perfect partition {1,4} / {2,3}.
+	red, err := Encode(Instance{Weights: []int{1, 2, 3, 4}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side1, obj, err := red.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := 0
+	for i, s := range side1 {
+		if s {
+			w1 += red.Weights[i]
+		}
+	}
+	if w1 != 5 {
+		t.Errorf("side-1 weight = %d, want 5 (split %v)", w1, side1)
+	}
+	want := -(2.0/5.0 + 2.0/5.0)
+	if math.Abs(obj-want) > 1e-12 {
+		t.Errorf("objective = %v, want %v", obj, want)
+	}
+}
+
+func TestSolveBudget(t *testing.T) {
+	weights := make([]int, 30)
+	for i := range weights {
+		weights[i] = i + 1
+	}
+	red, err := Encode(Instance{Weights: weights}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := red.Solve(); err == nil {
+		t.Error("want budget error for 30 weights")
+	}
+}
+
+func TestSolvePartitionKnownCases(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []int
+		want    bool
+	}{
+		{name: "trivial pair", weights: []int{5, 5}, want: true},
+		{name: "no partition pair", weights: []int{3, 1}, want: false},
+		{name: "classic yes", weights: []int{1, 2, 3}, want: true},
+		{name: "all even no", weights: []int{2, 2, 2}, want: false},
+		{name: "odd total", weights: []int{1, 2, 4}, want: false},
+		{name: "larger yes", weights: []int{3, 1, 1, 2, 2, 1}, want: true},
+		{name: "larger no", weights: []int{10, 1, 1, 1}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			perfect, side1, err := SolvePartition(Instance{Weights: tt.weights})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if perfect != tt.want {
+				t.Errorf("perfect = %v, want %v (split %v)", perfect, tt.want, side1)
+			}
+			if perfect {
+				w1, total := 0, 0
+				for i, s := range side1 {
+					total += tt.weights[i]
+					if s {
+						w1 += tt.weights[i]
+					}
+				}
+				if 2*w1 != total {
+					t.Errorf("claimed perfect split has W1=%d of total %d", w1, total)
+				}
+			}
+		})
+	}
+}
+
+// TestReductionMatchesDP is the Theorem 1 soundness check: solving the
+// transformed Problem 1 instance answers PARTITION exactly as the direct
+// dynamic program does, on random instances.
+func TestReductionMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 80; trial++ {
+		m := 2 + rng.Intn(9) // 2..10 weights
+		weights := make([]int, m)
+		for i := range weights {
+			weights[i] = 1 + rng.Intn(12)
+		}
+		in := Instance{Weights: weights}
+		viaReduction, _, err := SolvePartition(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		viaDP, err := PartitionDP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaReduction != viaDP {
+			t.Errorf("trial %d: reduction says %v, DP says %v (weights %v)",
+				trial, viaReduction, viaDP, weights)
+		}
+	}
+}
+
+func TestPartitionDP(t *testing.T) {
+	if got, _ := PartitionDP(Instance{Weights: []int{1, 5, 11, 5}}); !got {
+		t.Error("PartitionDP([1 5 11 5]) = false, want true")
+	}
+	if got, _ := PartitionDP(Instance{Weights: []int{1, 5, 3}}); got {
+		t.Error("PartitionDP([1 5 3]) = true, want false")
+	}
+	if _, err := PartitionDP(Instance{}); err == nil {
+		t.Error("empty instance: want error")
+	}
+}
+
+func TestSolvePartitionErrors(t *testing.T) {
+	if _, _, err := SolvePartition(Instance{}); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, _, err := SolvePartition(Instance{Weights: []int{4}}); err == nil {
+		t.Error("single weight: want error")
+	}
+}

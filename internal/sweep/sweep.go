@@ -1,0 +1,176 @@
+// Package sweep runs parameter sweeps over the enterprise simulation:
+// grids of (extenders × users × PLC capacity range) with every policy,
+// producing the sensitivity picture behind the paper's single-point
+// results ("up to 15 extenders and 124 clients", §V-E) — where WOLT's
+// advantage grows, where it vanishes, and where the PLC-saturation
+// degeneracy (DESIGN.md §6) sets in.
+package sweep
+
+import (
+	"fmt"
+
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/radio"
+	"github.com/plcwifi/wolt/internal/stats"
+	"github.com/plcwifi/wolt/internal/topology"
+)
+
+// Point is one grid cell of the sweep.
+type Point struct {
+	Extenders int
+	Users     int
+	// CapMin/CapMax bound the PLC isolation capacities (Mbps).
+	CapMin, CapMax float64
+}
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Points is the grid to evaluate.
+	Points []Point
+	// Trials is the number of random topologies per point (default 10).
+	Trials int
+	// Seed drives all randomness.
+	Seed int64
+	// Radio is the WiFi model; nil selects the enterprise calibration
+	// (14 dBm, exponent 3.5, 7 dB shadowing).
+	Radio *radio.Model
+	// ModelOpts selects the evaluation model (redistribution on by
+	// default-zero semantics is NOT applied here; set explicitly).
+	ModelOpts model.Options
+}
+
+// Grid builds the cartesian product of the given axes with a fixed
+// capacity range.
+func Grid(extenders, users []int, capMin, capMax float64) []Point {
+	var points []Point
+	for _, e := range extenders {
+		for _, u := range users {
+			points = append(points, Point{Extenders: e, Users: u, CapMin: capMin, CapMax: capMax})
+		}
+	}
+	return points
+}
+
+// Result is the outcome at one grid point.
+type Result struct {
+	Point Point
+	// Mean aggregate throughput per policy, Mbps.
+	WOLT, Greedy, Selfish, RSSI float64
+	// Ratios of WOLT's mean over each baseline's.
+	VsGreedy, VsSelfish, VsRSSI float64
+	// SaturationIndex is the mean fraction of extenders whose PLC side
+	// is the end-to-end bottleneck under WOLT — near 1.0 flags the
+	// degenerate regime where association stops mattering.
+	SaturationIndex float64
+}
+
+// Run evaluates every grid point.
+func Run(cfg Config) ([]Result, error) {
+	if len(cfg.Points) == 0 {
+		return nil, fmt.Errorf("sweep: no grid points")
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 10
+	}
+	rm := cfg.radioModel()
+
+	results := make([]Result, 0, len(cfg.Points))
+	for pi, pt := range cfg.Points {
+		if pt.Extenders <= 0 || pt.Users <= 0 || pt.CapMin <= 0 || pt.CapMax < pt.CapMin {
+			return nil, fmt.Errorf("sweep: bad point %+v", pt)
+		}
+		topoCfg := topology.Config{
+			Width: 100, Height: 100,
+			NumExtenders:       pt.Extenders,
+			NumUsers:           pt.Users,
+			PLCCapacityMinMbps: pt.CapMin,
+			PLCCapacityMaxMbps: pt.CapMax,
+			Seed:               cfg.Seed + int64(pi)*1000,
+		}
+		static := netsim.StaticConfig{
+			Topology:  topoCfg,
+			Radio:     &rm,
+			Trials:    trials,
+			ModelOpts: cfg.ModelOpts,
+		}
+		policies := []netsim.Policy{
+			netsim.WOLTPolicy{},
+			netsim.GreedyPolicy{ModelOpts: cfg.ModelOpts},
+			netsim.SelfishPolicy{ModelOpts: cfg.ModelOpts},
+			netsim.RSSIPolicy{},
+		}
+		runs, err := netsim.RunStatic(static, policies)
+		if err != nil {
+			return nil, fmt.Errorf("sweep point %+v: %w", pt, err)
+		}
+		res := Result{
+			Point:   pt,
+			WOLT:    runs[0].MeanAggregate(),
+			Greedy:  runs[1].MeanAggregate(),
+			Selfish: runs[2].MeanAggregate(),
+			RSSI:    runs[3].MeanAggregate(),
+		}
+		res.VsGreedy = stats.Ratio(res.WOLT, res.Greedy)
+		res.VsSelfish = stats.Ratio(res.WOLT, res.Selfish)
+		res.VsRSSI = stats.Ratio(res.WOLT, res.RSSI)
+
+		sat, err := saturationIndex(topoCfg, rm, trials, cfg.ModelOpts)
+		if err != nil {
+			return nil, err
+		}
+		res.SaturationIndex = sat
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func (c Config) radioModel() radio.Model {
+	if c.Radio != nil {
+		return *c.Radio
+	}
+	rm := radio.DefaultModel()
+	rm.Channel.TxPowerDBm = 14
+	rm.Channel.PathLossExponent = 3.5
+	rm.ShadowSeed = c.Seed
+	return rm
+}
+
+// saturationIndex measures, under WOLT, the mean fraction of active
+// extenders whose delivered throughput is PLC-limited (the WiFi demand
+// strictly exceeds what the backhaul share carried).
+func saturationIndex(topoCfg topology.Config, rm radio.Model, trials int, opts model.Options) (float64, error) {
+	var total float64
+	for trial := 0; trial < trials; trial++ {
+		tc := topoCfg
+		tc.Seed += int64(trial)
+		topo, err := topology.Generate(tc)
+		if err != nil {
+			return 0, err
+		}
+		inst := netsim.Build(topo, rm)
+		assign, err := netsim.WOLTPolicy{}.OnEpoch(inst, nil)
+		if err != nil {
+			return 0, err
+		}
+		eval, err := model.Evaluate(inst.Net, assign, opts)
+		if err != nil {
+			return 0, err
+		}
+		saturated, active := 0, 0
+		for j := range eval.PerExtender {
+			if eval.WiFiDemand[j] <= 0 {
+				continue
+			}
+			active++
+			if eval.PerExtender[j] < eval.WiFiDemand[j]-1e-9 {
+				saturated++
+			}
+		}
+		if active > 0 {
+			total += float64(saturated) / float64(active)
+		}
+	}
+	return total / float64(trials), nil
+}

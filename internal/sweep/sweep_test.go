@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+var redistribute = model.Options{Redistribute: true}
+
+func TestGrid(t *testing.T) {
+	points := Grid([]int{5, 10}, []int{20, 40, 60}, 100, 200)
+	if len(points) != 6 {
+		t.Fatalf("got %d points, want 6", len(points))
+	}
+	if points[0] != (Point{Extenders: 5, Users: 20, CapMin: 100, CapMax: 200}) {
+		t.Errorf("first point = %+v", points[0])
+	}
+	if points[5] != (Point{Extenders: 10, Users: 60, CapMin: 100, CapMax: 200}) {
+		t.Errorf("last point = %+v", points[5])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty grid: want error")
+	}
+	if _, err := Run(Config{Points: []Point{{Extenders: 0, Users: 5, CapMin: 1, CapMax: 2}}}); err == nil {
+		t.Error("bad point: want error")
+	}
+	if _, err := Run(Config{Points: []Point{{Extenders: 2, Users: 5, CapMin: 10, CapMax: 5}}}); err == nil {
+		t.Error("inverted cap range: want error")
+	}
+}
+
+func TestRunSmallSweep(t *testing.T) {
+	cfg := Config{
+		Points:    Grid([]int{4}, []int{12, 20}, 300, 800),
+		Trials:    3,
+		Seed:      7,
+		ModelOpts: redistribute,
+	}
+	results, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.WOLT <= 0 || r.Greedy <= 0 || r.Selfish <= 0 || r.RSSI <= 0 {
+			t.Errorf("non-positive aggregates: %+v", r)
+		}
+		if r.VsGreedy <= 0 || r.VsSelfish <= 0 || r.VsRSSI <= 0 {
+			t.Errorf("non-positive ratios: %+v", r)
+		}
+		if r.SaturationIndex < 0 || r.SaturationIndex > 1 {
+			t.Errorf("saturation index %v outside [0,1]", r.SaturationIndex)
+		}
+	}
+}
+
+// TestSaturationRegimeDetected is the sweep's reason to exist: with the
+// testbed's 60–160 Mbps capacities and many extenders the PLC side
+// saturates (index near 1) and the policy ratios collapse toward 1.0;
+// with AV2-class links the index drops and WOLT's edge appears.
+func TestSaturationRegimeDetected(t *testing.T) {
+	cfg := Config{
+		Points: []Point{
+			{Extenders: 10, Users: 36, CapMin: 60, CapMax: 160},
+			{Extenders: 10, Users: 36, CapMin: 300, CapMax: 800},
+		},
+		Trials:    4,
+		Seed:      500,
+		ModelOpts: redistribute,
+	}
+	results, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := results[0], results[1]
+	if low.SaturationIndex <= high.SaturationIndex {
+		t.Errorf("saturation index should fall with capacity: %v -> %v",
+			low.SaturationIndex, high.SaturationIndex)
+	}
+	if low.SaturationIndex < 0.8 {
+		t.Errorf("60-160 Mbps regime not saturated: index %v", low.SaturationIndex)
+	}
+	// In the saturated regime the spreading policies tie within a few
+	// percent.
+	if low.VsRSSI > 1.05 || low.VsRSSI < 0.95 {
+		t.Errorf("saturated regime should tie WOLT vs RSSI, got ratio %v", low.VsRSSI)
+	}
+	// In the WiFi-bound regime WOLT pulls ahead of Selfish.
+	if high.VsSelfish < 1.02 {
+		t.Errorf("WiFi-bound regime: WOLT/Selfish ratio %v, want > 1.02", high.VsSelfish)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{
+		Points:    []Point{{Extenders: 3, Users: 10, CapMin: 300, CapMax: 800}},
+		Trials:    2,
+		Seed:      9,
+		ModelOpts: redistribute,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Errorf("sweep not deterministic:\n%+v\n%+v", a[0], b[0])
+	}
+}

@@ -1,0 +1,210 @@
+// Package workload generates user arrival/departure traces for the
+// dynamic experiments. The paper's simulation (§V-A) drives association
+// requests with Poisson arrivals (rate 3) and departures (rate 1); §V-E
+// evaluates WOLT at the end of every epoch as the population grows
+// (36 → 66 → 102 users across epochs).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/plcwifi/wolt/internal/eventsim"
+)
+
+// EventKind distinguishes arrivals from departures.
+type EventKind int
+
+const (
+	// Arrival is a new user joining the network.
+	Arrival EventKind = iota + 1
+	// Departure is an existing user leaving.
+	Departure
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Arrival:
+		return "arrival"
+	case Departure:
+		return "departure"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one churn event.
+type Event struct {
+	Time   float64
+	Kind   EventKind
+	UserID int
+}
+
+// Config parameterizes trace generation.
+type Config struct {
+	// ArrivalRate is the Poisson arrival rate (users per unit time).
+	// The paper uses 3.
+	ArrivalRate float64
+	// DepartureRate is the Poisson departure rate (departures per unit
+	// time while at least one user is present). The paper uses 1.
+	DepartureRate float64
+	// Horizon is the simulated duration.
+	Horizon float64
+	// InitialUsers are present at time 0 (IDs 0..InitialUsers-1).
+	InitialUsers int
+	Seed         int64
+}
+
+// DefaultConfig mirrors the paper's setting: arrival rate 3, departure
+// rate 1. With epoch length 16 the expected net growth is +32 users per
+// epoch, matching the paper's 36 → 66 → 102 trajectory.
+func DefaultConfig() Config {
+	return Config{
+		ArrivalRate:   3,
+		DepartureRate: 1,
+		Horizon:       48,
+		InitialUsers:  36,
+	}
+}
+
+func (c Config) validate() error {
+	if c.ArrivalRate < 0 || c.DepartureRate < 0 {
+		return fmt.Errorf("workload: negative rate in %+v", c)
+	}
+	if c.ArrivalRate == 0 && c.DepartureRate == 0 {
+		return fmt.Errorf("workload: both rates zero")
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("workload: non-positive horizon %v", c.Horizon)
+	}
+	if c.InitialUsers < 0 {
+		return fmt.Errorf("workload: negative initial users %d", c.InitialUsers)
+	}
+	return nil
+}
+
+// Generate builds a churn trace. Arrivals carry fresh sequential user IDs
+// (continuing after the initial users); each departure removes a
+// uniformly random present user. Deterministic for a given seed.
+func Generate(cfg Config) ([]Event, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sim := eventsim.New()
+
+	var (
+		events  []Event
+		present []int
+		nextID  = cfg.InitialUsers
+	)
+	for i := 0; i < cfg.InitialUsers; i++ {
+		present = append(present, i)
+	}
+
+	exp := func(rate float64) float64 {
+		return rng.ExpFloat64() / rate
+	}
+
+	var scheduleArrival, scheduleDeparture func(sim *eventsim.Sim)
+	scheduleArrival = func(s *eventsim.Sim) {
+		if cfg.ArrivalRate <= 0 {
+			return
+		}
+		if err := s.Schedule(exp(cfg.ArrivalRate), func(s2 *eventsim.Sim) {
+			events = append(events, Event{Time: s2.Now(), Kind: Arrival, UserID: nextID})
+			present = append(present, nextID)
+			nextID++
+			scheduleArrival(s2)
+		}); err != nil {
+			panic(err) // delays are non-negative by construction
+		}
+	}
+	scheduleDeparture = func(s *eventsim.Sim) {
+		if cfg.DepartureRate <= 0 {
+			return
+		}
+		if err := s.Schedule(exp(cfg.DepartureRate), func(s2 *eventsim.Sim) {
+			if len(present) > 0 {
+				k := rng.Intn(len(present))
+				events = append(events, Event{Time: s2.Now(), Kind: Departure, UserID: present[k]})
+				present[k] = present[len(present)-1]
+				present = present[:len(present)-1]
+			}
+			scheduleDeparture(s2)
+		}); err != nil {
+			panic(err)
+		}
+	}
+	scheduleArrival(sim)
+	scheduleDeparture(sim)
+	sim.RunUntil(cfg.Horizon)
+
+	return events, nil
+}
+
+// Population replays a trace and returns the number of users present just
+// after time t (initial population included).
+func Population(initial int, events []Event, t float64) int {
+	n := initial
+	for _, ev := range events {
+		if ev.Time > t {
+			break
+		}
+		switch ev.Kind {
+		case Arrival:
+			n++
+		case Departure:
+			n--
+		}
+	}
+	return n
+}
+
+// EpochStats summarizes churn within one epoch.
+type EpochStats struct {
+	Arrivals   int
+	Departures int
+	// EndPopulation is the population at the end of the epoch.
+	EndPopulation int
+}
+
+// Epochs splits a trace into consecutive epochs of the given length and
+// tallies per-epoch churn. The number of epochs is ceil(horizon/epochLen)
+// inferred from the last event (at least one).
+func Epochs(initial int, events []Event, epochLen, horizon float64) ([]EpochStats, error) {
+	if epochLen <= 0 {
+		return nil, fmt.Errorf("workload: non-positive epoch length %v", epochLen)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("workload: non-positive horizon %v", horizon)
+	}
+	numEpochs := int(math.Ceil(horizon / epochLen))
+	out := make([]EpochStats, numEpochs)
+	pop := initial
+	for _, ev := range events {
+		idx := int(ev.Time / epochLen)
+		if idx >= numEpochs {
+			break
+		}
+		switch ev.Kind {
+		case Arrival:
+			out[idx].Arrivals++
+			pop++
+		case Departure:
+			out[idx].Departures++
+			pop--
+		}
+		out[idx].EndPopulation = pop
+	}
+	// Carry populations through event-free epochs.
+	pop = initial
+	for i := range out {
+		if out[i].Arrivals == 0 && out[i].Departures == 0 {
+			out[i].EndPopulation = pop
+		}
+		pop = out[i].EndPopulation
+	}
+	return out, nil
+}
