@@ -40,6 +40,7 @@ func run(args []string) error {
 		extenders = fs.Int("extenders", 0, "override simulated extender count (0 = 10)")
 		macDur    = fs.Float64("mac-duration", 0, "simulated seconds for MAC-level runs (0 = 20)")
 		emuDur    = fs.Duration("emu-duration", 0, "wall-clock window per emulated flow (0 = 1s)")
+		workers   = fs.Int("workers", 0, "worker goroutines for trial fan-out (0 = all cores); results are identical for any value")
 		csvDir    = fs.String("csv", "", "also write each table as CSV into this directory")
 	)
 	fs.Usage = func() {
@@ -61,6 +62,7 @@ func run(args []string) error {
 		Extenders:   *extenders,
 		MACDuration: *macDur,
 		EmuDuration: *emuDur,
+		Workers:     *workers,
 	}
 
 	name := fs.Arg(0)

@@ -109,6 +109,14 @@ func Greedy(n *model.Network, order []int, opts model.Options) (model.Assignment
 // assign, and returns the chosen extender. This is the online step used
 // by the control plane when a user joins under the Greedy policy.
 func GreedyAdd(n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error) {
+	return GreedyAddWith(nil, n, assign, user, opts)
+}
+
+// GreedyAddWith is GreedyAdd with an optional evaluation scratch: the
+// candidate search evaluates every reachable extender, and with a
+// caller-provided scratch those probe evaluations allocate nothing. A nil
+// scratch behaves exactly like GreedyAdd.
+func GreedyAddWith(s *model.EvalScratch, n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error) {
 	if user < 0 || user >= n.NumUsers() {
 		return 0, fmt.Errorf("baseline: user %d out of range", user)
 	}
@@ -118,7 +126,7 @@ func GreedyAdd(n *model.Network, assign model.Assignment, user int, opts model.O
 			continue
 		}
 		assign[user] = j
-		res, err := model.Evaluate(n, assign, opts)
+		res, err := model.EvaluateWith(s, n, assign, opts)
 		if err != nil {
 			assign[user] = model.Unassigned
 			return 0, err
@@ -176,6 +184,12 @@ func Selfish(n *model.Network, order []int, opts model.Options) (model.Assignmen
 // own resulting throughput, mutating assign, and returns the chosen
 // extender.
 func SelfishAdd(n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error) {
+	return SelfishAddWith(nil, n, assign, user, opts)
+}
+
+// SelfishAddWith is SelfishAdd with an optional evaluation scratch; a nil
+// scratch behaves exactly like SelfishAdd.
+func SelfishAddWith(s *model.EvalScratch, n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error) {
 	if user < 0 || user >= n.NumUsers() {
 		return 0, fmt.Errorf("baseline: user %d out of range", user)
 	}
@@ -185,7 +199,7 @@ func SelfishAdd(n *model.Network, assign model.Assignment, user int, opts model.
 			continue
 		}
 		assign[user] = j
-		res, err := model.Evaluate(n, assign, opts)
+		res, err := model.EvaluateWith(s, n, assign, opts)
 		if err != nil {
 			assign[user] = model.Unassigned
 			return 0, err

@@ -66,7 +66,11 @@ func AssignIncremental(n *model.Network, prev model.Assignment, budget int, opts
 		}
 	}
 
-	current, err := model.Evaluate(n, res.Assign, evalOpts)
+	// Only aggregates are read from the candidate evaluations, so one
+	// scratch serves the whole greedy search without re-allocating the
+	// evaluation buffers per candidate.
+	var scratch model.EvalScratch
+	current, err := model.EvaluateWith(&scratch, n, res.Assign, evalOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +81,7 @@ func AssignIncremental(n *model.Network, prev model.Assignment, budget int, opts
 		for idx, user := range candidates {
 			old := res.Assign[user]
 			res.Assign[user] = target.Assign[user]
-			eval, err := model.Evaluate(n, res.Assign, evalOpts)
+			eval, err := model.EvaluateWith(&scratch, n, res.Assign, evalOpts)
 			res.Assign[user] = old
 			if err != nil {
 				return nil, err

@@ -80,23 +80,66 @@ type Result struct {
 	Phase2 *nlp.Solution
 }
 
+// Scratch holds reusable buffers for repeated WOLT solves: the Phase I
+// utility matrix and the Hungarian solver's workspace. The zero value is
+// ready to use; buffers grow to the largest network seen and are
+// retained. A Scratch is not safe for concurrent use; give each worker
+// goroutine its own.
+type Scratch struct {
+	util    [][]float64
+	utilBuf []float64
+	hung    hungarian.Workspace
+}
+
+// matrix shapes the scratch's utility buffer to rows×cols.
+func (s *Scratch) matrix(rows, cols int) [][]float64 {
+	if cap(s.utilBuf) < rows*cols {
+		s.utilBuf = make([]float64, rows*cols)
+	}
+	s.utilBuf = s.utilBuf[:rows*cols]
+	if cap(s.util) < rows {
+		s.util = make([][]float64, rows)
+	}
+	s.util = s.util[:rows]
+	for i := 0; i < rows; i++ {
+		s.util[i] = s.utilBuf[i*cols : (i+1)*cols]
+	}
+	return s.util
+}
+
 // Utilities returns the Phase I utility matrix u_ij = min(c_j/|A|, r_ij)
 // (Algorithm 1 lines 1–3). Unreachable pairs get unreachableUtility.
 func Utilities(n *model.Network) [][]float64 {
+	return UtilitiesWith(nil, n)
+}
+
+// UtilitiesWith is Utilities with an optional caller-provided scratch.
+// When s is non-nil the returned matrix is owned by the scratch and is
+// overwritten by the next UtilitiesWith/AssignWith call on it; a nil
+// scratch allocates a caller-owned matrix, exactly like Utilities.
+func UtilitiesWith(s *Scratch, n *model.Network) [][]float64 {
 	numExt := float64(n.NumExtenders())
-	u := make([][]float64, n.NumUsers())
+	var u [][]float64
+	if s != nil {
+		u = s.matrix(n.NumUsers(), n.NumExtenders())
+	} else {
+		u = make([][]float64, n.NumUsers())
+		for i := range u {
+			u[i] = make([]float64, n.NumExtenders())
+		}
+	}
 	for i, row := range n.WiFiRates {
-		u[i] = make([]float64, len(row))
+		ui := u[i]
 		for j, r := range row {
 			if r <= 0 {
-				u[i][j] = unreachableUtility
+				ui[j] = unreachableUtility
 				continue
 			}
 			fair := n.PLCCaps[j] / numExt
 			if r < fair {
-				u[i][j] = r
+				ui[j] = r
 			} else {
-				u[i][j] = fair
+				ui[j] = fair
 			}
 		}
 	}
@@ -105,6 +148,15 @@ func Utilities(n *model.Network) [][]float64 {
 
 // Assign runs the full two-phase WOLT algorithm on a network.
 func Assign(n *model.Network, opts Options) (*Result, error) {
+	return AssignWith(nil, n, opts)
+}
+
+// AssignWith is Assign with an optional caller-provided Scratch, reusing
+// the Phase I utility matrix and the Hungarian workspace across calls.
+// The returned Result is always caller-owned; only the intermediate
+// solver state lives in the scratch. A nil scratch behaves exactly like
+// Assign.
+func AssignWith(s *Scratch, n *model.Network, opts Options) (*Result, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -127,7 +179,11 @@ func Assign(n *model.Network, opts Options) (*Result, error) {
 	}
 
 	// Phase I: assignment problem over u_ij.
-	utilities := Utilities(n)
+	var local Scratch
+	if s == nil {
+		s = &local
+	}
+	utilities := UtilitiesWith(s, n)
 	// The solver's total is not used directly: forced unreachable
 	// pairings are discarded below, so the utility is re-summed over the
 	// retained pairs only.
@@ -138,7 +194,7 @@ func Assign(n *model.Network, opts Options) (*Result, error) {
 	if opts.Phase1 == Phase1Auction {
 		match, _, err = hungarian.AuctionMaximize(utilities)
 	} else {
-		match, _, err = hungarian.Maximize(utilities)
+		match, _, err = s.hung.Maximize(utilities)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("phase I: %w", err)

@@ -120,6 +120,10 @@ type Options struct {
 	// Extenders overrides the simulated extender count where the paper
 	// uses 10–15.
 	Extenders int
+	// Workers bounds the goroutines running independent trials in the
+	// simulation and sweep experiments; <= 0 uses all available cores.
+	// Results are identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults(defaultTrials int) Options {

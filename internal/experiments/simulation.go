@@ -46,6 +46,7 @@ func Fig6a(opts Options) (*Fig6aResult, error) {
 		Radio:     &scen.Radio,
 		Trials:    opts.Trials,
 		ModelOpts: Redistribute,
+		Workers:   opts.Workers,
 	}
 	results, err := netsim.RunStatic(cfg, simulationPolicies())
 	if err != nil {
@@ -187,6 +188,7 @@ func Fairness(opts Options) (*FairnessResult, error) {
 		Radio:     &scen.Radio,
 		Trials:    opts.Trials,
 		ModelOpts: Redistribute,
+		Workers:   opts.Workers,
 	}
 	results, err := netsim.RunStatic(cfg, simulationPolicies())
 	if err != nil {

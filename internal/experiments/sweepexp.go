@@ -29,6 +29,7 @@ func Sweep(opts Options) (*SweepResult, error) {
 		Trials:    opts.Trials,
 		Seed:      opts.Seed,
 		ModelOpts: Redistribute,
+		Workers:   opts.Workers,
 	})
 	if err != nil {
 		return nil, err

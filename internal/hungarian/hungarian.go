@@ -24,7 +24,41 @@ const Unmatched = -1
 // the smaller dimension is matched to a distinct column (or row) of the
 // larger one; entries of the returned slice are column indices per row,
 // with Unmatched for rows left out when rows > columns.
+//
+// Minimize allocates fresh internal state per call; repeated solvers on a
+// hot path should hold a Workspace and call its Minimize method instead.
 func Minimize(cost [][]float64) (rowToCol []int, total float64, err error) {
+	var w Workspace
+	return w.Minimize(cost)
+}
+
+// Maximize finds a maximum-utility matching (see Minimize for the matching
+// semantics) by negating the utilities. Like Minimize, it is a thin
+// wrapper over a throwaway Workspace.
+func Maximize(utility [][]float64) (rowToCol []int, total float64, err error) {
+	var w Workspace
+	return w.Maximize(utility)
+}
+
+// Workspace holds the solver's internal state — dual potentials, matching
+// and path arrays, and the negation/transpose buffers — so repeated solves
+// reuse one set of allocations. The zero value is ready to use; buffers
+// grow to the largest instance seen and are retained. A Workspace is not
+// safe for concurrent use; give each worker goroutine its own.
+type Workspace struct {
+	u, v, minv []float64 // dual potentials and row minima (1-indexed)
+	p, way     []int     // column matching and augmenting-path trail
+	used       []bool
+	neg        []float64 // backing store for the negated matrix (Maximize)
+	negRows    [][]float64
+	tr         []float64 // backing store for the transposed matrix (rows > cols)
+	trRows     [][]float64
+}
+
+// Minimize solves the minimum-cost matching reusing the workspace's
+// buffers. Only the returned rowToCol slice is freshly allocated (the
+// caller owns it); all solver state lives in the workspace.
+func (w *Workspace) Minimize(cost [][]float64) (rowToCol []int, total float64, err error) {
 	n, m, err := dims(cost)
 	if err != nil {
 		return nil, 0, err
@@ -32,11 +66,8 @@ func Minimize(cost [][]float64) (rowToCol []int, total float64, err error) {
 	if n > m {
 		// Transpose so the solver's "assign every row" invariant matches
 		// the smaller side; invert the mapping afterwards.
-		t := transpose(cost, n, m)
-		colToRow, total, err := Minimize(t)
-		if err != nil {
-			return nil, 0, err
-		}
+		t := w.transposed(cost, n, m)
+		colToRow, total := w.solve(t, m, n)
 		rowToCol = make([]int, n)
 		for i := range rowToCol {
 			rowToCol[i] = Unmatched
@@ -48,20 +79,50 @@ func Minimize(cost [][]float64) (rowToCol []int, total float64, err error) {
 		}
 		return rowToCol, total, nil
 	}
+	rowToCol, total = w.solve(cost, n, m)
+	return rowToCol, total, nil
+}
 
-	// Shortest augmenting path with potentials; 1-indexed internals.
-	u := make([]float64, n+1)
-	v := make([]float64, m+1)
-	p := make([]int, m+1) // p[j] = row (1-indexed) matched to column j; 0 = free
-	way := make([]int, m+1)
+// Maximize solves the maximum-utility matching reusing the workspace's
+// buffers (the utility matrix is negated into an internal buffer).
+func (w *Workspace) Maximize(utility [][]float64) (rowToCol []int, total float64, err error) {
+	n, m, err := dims(utility)
+	if err != nil {
+		return nil, 0, err
+	}
+	neg := growMatrix(&w.negRows, &w.neg, n, m)
+	for i, row := range utility {
+		dst := neg[i]
+		for j, x := range row {
+			dst[j] = -x
+		}
+	}
+	rowToCol, negTotal, err := w.Minimize(neg)
+	return rowToCol, -negTotal, err
+}
+
+// solve runs shortest augmenting path with potentials on an n×m matrix
+// with n <= m; 1-indexed internals. Inputs must already be validated.
+func (w *Workspace) solve(cost [][]float64, n, m int) (rowToCol []int, total float64) {
+	u := growFloats(&w.u, n+1)
+	v := growFloats(&w.v, m+1)
+	minv := growFloats(&w.minv, m+1)
+	p := growInts(&w.p, m+1) // p[j] = row (1-indexed) matched to column j; 0 = free
+	way := growInts(&w.way, m+1)
+	used := growBools(&w.used, m+1)
+	for i := range u {
+		u[i] = 0
+	}
+	for j := 0; j <= m; j++ {
+		v[j], p[j], way[j] = 0, 0, 0
+	}
 
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, m+1)
-		used := make([]bool, m+1)
-		for j := range minv {
+		for j := 0; j <= m; j++ {
 			minv[j] = math.Inf(1)
+			used[j] = false
 		}
 		for {
 			used[j0] = true
@@ -116,25 +177,60 @@ func Minimize(cost [][]float64) (rowToCol []int, total float64, err error) {
 			total += cost[i][j]
 		}
 	}
-	return rowToCol, total, nil
+	return rowToCol, total
 }
 
-// Maximize finds a maximum-utility matching (see Minimize for the matching
-// semantics) by negating the utilities.
-func Maximize(utility [][]float64) (rowToCol []int, total float64, err error) {
-	n, m, err := dims(utility)
-	if err != nil {
-		return nil, 0, err
-	}
-	neg := make([][]float64, n)
-	for i := range neg {
-		neg[i] = make([]float64, m)
-		for j := range neg[i] {
-			neg[i][j] = -utility[i][j]
+// transposed writes cost's m×n transpose into the workspace's buffer.
+func (w *Workspace) transposed(cost [][]float64, n, m int) [][]float64 {
+	t := growMatrix(&w.trRows, &w.tr, m, n)
+	for j := 0; j < m; j++ {
+		row := t[j]
+		for i := 0; i < n; i++ {
+			row[i] = cost[i][j]
 		}
 	}
-	rowToCol, negTotal, err := Minimize(neg)
-	return rowToCol, -negTotal, err
+	return t
+}
+
+func growFloats(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func growInts(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func growBools(s *[]bool, n int) []bool {
+	if cap(*s) < n {
+		*s = make([]bool, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// growMatrix shapes a reusable rows×cols matrix over a single backing
+// slice, growing both as needed.
+func growMatrix(rows *[][]float64, buf *[]float64, r, c int) [][]float64 {
+	if cap(*buf) < r*c {
+		*buf = make([]float64, r*c)
+	}
+	*buf = (*buf)[:r*c]
+	if cap(*rows) < r {
+		*rows = make([][]float64, r)
+	}
+	*rows = (*rows)[:r]
+	for i := 0; i < r; i++ {
+		(*rows)[i] = (*buf)[i*c : (i+1)*c]
+	}
+	return *rows
 }
 
 func dims(cost [][]float64) (rows, cols int, err error) {

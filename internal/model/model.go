@@ -176,9 +176,36 @@ type Result struct {
 	ActiveExtenders int
 }
 
+// EvalScratch holds the reusable buffers of the evaluation inner loop:
+// per-extender accumulators, the active-set index, the water-filling
+// need/share/satisfied arrays, and the Result itself. The zero value is
+// ready to use; buffers grow to the largest network seen and are
+// retained. A scratch is not safe for concurrent use; give each worker
+// goroutine its own.
+type EvalScratch struct {
+	invSum    []float64 // Σ 1/r_ij per extender
+	count     []int     // users per extender
+	active    []int     // extenders with >= 1 user
+	need      []float64 // water-filling demand fractions
+	shares    []float64
+	satisfied []bool
+	res       Result
+}
+
 // Evaluate computes the end-to-end throughputs of an assignment under the
-// PLC+WiFi sharing model.
+// PLC+WiFi sharing model. It allocates a fresh Result per call; hot loops
+// that evaluate many assignments should hold an EvalScratch and call
+// EvaluateWith.
 func Evaluate(n *Network, a Assignment, opts Options) (*Result, error) {
+	return EvaluateWith(nil, n, a, opts)
+}
+
+// EvaluateWith is Evaluate with caller-provided scratch buffers. When s is
+// non-nil the returned Result and its slices are owned by the scratch and
+// are overwritten by the next EvaluateWith call on the same scratch —
+// copy anything that must outlive it. A nil scratch behaves exactly like
+// Evaluate.
+func EvaluateWith(s *EvalScratch, n *Network, a Assignment, opts Options) (*Result, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -199,26 +226,41 @@ func Evaluate(n *Network, a Assignment, opts Options) (*Result, error) {
 		}
 	}
 
-	groups := a.Groups(numExt)
-	res := &Result{
-		PerUser:     make([]float64, n.NumUsers()),
-		PerExtender: make([]float64, numExt),
-		WiFiDemand:  make([]float64, numExt),
-		TimeShare:   make([]float64, numExt),
+	var local EvalScratch
+	if s == nil {
+		s = &local
 	}
+	res := &s.res
+	res.PerUser = growZeroFloats(res.PerUser, n.NumUsers())
+	res.PerExtender = growZeroFloats(res.PerExtender, numExt)
+	res.WiFiDemand = growZeroFloats(res.WiFiDemand, numExt)
+	res.TimeShare = growZeroFloats(res.TimeShare, numExt)
+	res.Aggregate = 0
+	res.ActiveExtenders = 0
 
-	var active []int
-	for j, group := range groups {
-		if len(group) == 0 {
+	// Per-cell harmonic sums: validation above guarantees every assigned
+	// rate is positive, so each cell's WiFi aggregate is count/Σ(1/r)
+	// (eq. 1). Users accumulate in index order, matching the group-wise
+	// summation order exactly.
+	invSum := growZeroFloats(s.invSum, numExt)
+	s.invSum = invSum
+	count := growZeroInts(s.count, numExt)
+	s.count = count
+	for i, j := range a {
+		if j == Unassigned {
 			continue
 		}
-		rates := make([]float64, len(group))
-		for k, i := range group {
-			rates[k] = n.WiFiRates[i][j]
-		}
-		res.WiFiDemand[j] = WiFiAggregate(rates)
-		active = append(active, j)
+		invSum[j] += 1 / n.WiFiRates[i][j]
+		count[j]++
 	}
+	active := s.active[:0]
+	for j := 0; j < numExt; j++ {
+		if count[j] > 0 {
+			res.WiFiDemand[j] = float64(count[j]) / invSum[j]
+			active = append(active, j)
+		}
+	}
+	s.active = active
 	res.ActiveExtenders = len(active)
 	if len(active) == 0 {
 		return res, nil
@@ -233,11 +275,16 @@ func Evaluate(n *Network, a Assignment, opts Options) (*Result, error) {
 		// FixedShare the idle extenders participate with zero demand,
 		// which the water-filling immediately hands back, so only the
 		// active set needs to be filled.
-		need := make([]float64, len(active))
+		need := growFloats(s.need, len(active))
+		s.need = need
 		for k, j := range active {
 			need[k] = res.WiFiDemand[j] / n.PLCCaps[j]
 		}
-		shares := waterFillTime(need)
+		shares := growFloats(s.shares, len(active))
+		s.shares = shares
+		satisfied := growBools(s.satisfied, len(active))
+		s.satisfied = satisfied
+		waterFillTimeInto(shares, satisfied, need)
 		for k, j := range active {
 			res.TimeShare[j] = shares[k]
 			res.PerExtender[j] = minf(res.WiFiDemand[j], shares[k]*n.PLCCaps[j])
@@ -250,11 +297,12 @@ func Evaluate(n *Network, a Assignment, opts Options) (*Result, error) {
 		}
 	}
 
-	for _, j := range active {
-		share := res.PerExtender[j] / float64(len(groups[j]))
-		for _, i := range groups[j] {
-			res.PerUser[i] = share
+	for i, j := range a {
+		if j != Unassigned {
+			res.PerUser[i] = res.PerExtender[j] / float64(count[j])
 		}
+	}
+	for _, j := range active {
 		res.Aggregate += res.PerExtender[j]
 	}
 	return res, nil
@@ -288,6 +336,17 @@ func ObjectiveBasic(n *Network, a Assignment) (float64, error) {
 func waterFillTime(need []float64) []float64 {
 	shares := make([]float64, len(need))
 	satisfied := make([]bool, len(need))
+	waterFillTimeInto(shares, satisfied, need)
+	return shares
+}
+
+// waterFillTimeInto is waterFillTime writing into caller-provided shares
+// and satisfied buffers (both len(need)); the evaluation hot path feeds it
+// scratch buffers so the water-filling allocates nothing.
+func waterFillTimeInto(shares []float64, satisfied []bool, need []float64) {
+	for k := range satisfied {
+		satisfied[k] = false
+	}
 	remainingTime := 1.0
 	remainingFlows := len(need)
 	for remainingFlows > 0 {
@@ -313,10 +372,9 @@ func waterFillTime(need []float64) []float64 {
 					shares[k] = fair
 				}
 			}
-			return shares
+			return
 		}
 	}
-	return shares
 }
 
 func minf(a, b float64) float64 {
@@ -324,4 +382,41 @@ func minf(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// growFloats returns s resized to n, reallocating only when capacity is
+// short; contents are unspecified.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growZeroFloats returns s resized to n with every element zeroed.
+func growZeroFloats(s []float64, n int) []float64 {
+	s = growFloats(s, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growZeroInts(s []int, n int) []int {
+	if cap(s) < n {
+		s = make([]int, n)
+		return s
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }

@@ -11,12 +11,15 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/plcwifi/wolt/internal/baseline"
 	"github.com/plcwifi/wolt/internal/core"
 	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/radio"
 	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/topology"
@@ -95,7 +98,11 @@ func (WOLTPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) e
 
 // OnEpoch implements Policy: full two-phase recomputation.
 func (p WOLTPolicy) OnEpoch(inst *Instance, assign model.Assignment) (model.Assignment, error) {
-	res, err := core.Assign(inst.Net, p.Options)
+	return p.onEpochWith(nil, inst, assign)
+}
+
+func (p WOLTPolicy) onEpochWith(s *core.Scratch, inst *Instance, _ model.Assignment) (model.Assignment, error) {
+	res, err := core.AssignWith(s, inst.Net, p.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +120,11 @@ func (GreedyPolicy) Name() string { return "Greedy" }
 
 // OnArrival implements Policy.
 func (p GreedyPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
-	_, err := baseline.GreedyAdd(inst.Net, assign, user, p.ModelOpts)
+	return p.onArrivalWith(nil, inst, assign, user)
+}
+
+func (p GreedyPolicy) onArrivalWith(s *model.EvalScratch, inst *Instance, assign model.Assignment, user int) error {
+	_, err := baseline.GreedyAddWith(s, inst.Net, assign, user, p.ModelOpts)
 	return err
 }
 
@@ -134,7 +145,11 @@ func (SelfishPolicy) Name() string { return "Selfish" }
 
 // OnArrival implements Policy.
 func (p SelfishPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
-	_, err := baseline.SelfishAdd(inst.Net, assign, user, p.ModelOpts)
+	return p.onArrivalWith(nil, inst, assign, user)
+}
+
+func (p SelfishPolicy) onArrivalWith(s *model.EvalScratch, inst *Instance, assign model.Assignment, user int) error {
+	_, err := baseline.SelfishAddWith(s, inst.Net, assign, user, p.ModelOpts)
 	return err
 }
 
@@ -187,6 +202,12 @@ func (RandomPolicy) OnEpoch(_ *Instance, assign model.Assignment) (model.Assignm
 	return assign, nil
 }
 
+// sequentialOnly marks RandomPolicy as unsafe for parallel trials: its
+// shared *rand.Rand would race across workers and its draw order would
+// depend on scheduling, so RunStatic drops to a single worker when the
+// policy set includes it.
+func (RandomPolicy) sequentialOnly() {}
+
 func assignBestRSSI(inst *Instance, assign model.Assignment, user int) error {
 	if user < 0 || user >= len(inst.RSSI) {
 		return fmt.Errorf("netsim: user %d out of range", user)
@@ -218,6 +239,11 @@ type StaticConfig struct {
 	// ModelOpts selects the evaluation model (redistribution on for all
 	// paper experiments).
 	ModelOpts model.Options
+	// Workers bounds the goroutines running trials concurrently; <= 0
+	// uses all available cores. Results are identical for every worker
+	// count: each trial's topology seed depends only on its index, and
+	// trial t always lands at Trials[t].
+	Workers int
 }
 
 func (c StaticConfig) radioModel() radio.Model {
@@ -232,6 +258,11 @@ type TrialResult struct {
 	Aggregate float64
 	PerUser   []float64
 	Jain      float64
+	// SaturationFraction is the fraction of active extenders (nonzero
+	// WiFi demand) whose delivered throughput is PLC-limited — the
+	// backhaul share carried strictly less than the WiFi side demanded.
+	// Zero when no extender is active.
+	SaturationFraction float64
 }
 
 // StaticResult aggregates a policy's outcomes across trials.
@@ -263,11 +294,26 @@ func (r StaticResult) MeanJain() float64 {
 	return stats.Mean(xs)
 }
 
+// MeanSaturation returns the mean saturation fraction across trials.
+func (r StaticResult) MeanSaturation() float64 {
+	xs := make([]float64, len(r.Trials))
+	for i, tr := range r.Trials {
+		xs[i] = tr.SaturationFraction
+	}
+	return stats.Mean(xs)
+}
+
 // RunStatic evaluates each policy on the same sequence of random
 // topologies. All users are present from the start; they "arrive" in
 // index order for the online policies, then each policy's OnEpoch runs
 // once (this mirrors the paper's testbed procedure, where users join and
 // the controller then issues its directives).
+//
+// Trials are independent and run on cfg.Workers goroutines; the result
+// is bit-identical for every worker count because trial t's topology
+// seed is Topology.Seed+t regardless of which worker runs it, and its
+// outcome always lands at Trials[t]. Policy sets containing a policy
+// with shared mutable state (RandomPolicy) are forced onto one worker.
 func RunStatic(cfg StaticConfig, policies []Policy) ([]StaticResult, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("netsim: non-positive trial count %d", cfg.Trials)
@@ -278,39 +324,142 @@ func RunStatic(cfg StaticConfig, policies []Policy) ([]StaticResult, error) {
 	rm := cfg.radioModel()
 	results := make([]StaticResult, len(policies))
 	for p, policy := range policies {
-		results[p] = StaticResult{Policy: policy.Name(), Trials: make([]TrialResult, 0, cfg.Trials)}
+		results[p] = StaticResult{Policy: policy.Name(), Trials: make([]TrialResult, cfg.Trials)}
 	}
-	for trial := 0; trial < cfg.Trials; trial++ {
+	workers := parallel.Workers(cfg.Workers)
+	if forcesSequential(policies) {
+		workers = 1
+	}
+	err := parallel.ForEach(context.Background(), cfg.Trials, workers, func(trial int) error {
 		topoCfg := cfg.Topology
 		topoCfg.Seed += int64(trial)
-		topo, err := topology.Generate(topoCfg)
+		ws := wsPool.Get().(*trialWorkspace)
+		defer wsPool.Put(ws)
+		trs, err := runTrial(topoCfg, rm, policies, cfg.ModelOpts, ws)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		inst := Build(topo, rm)
-		for p, policy := range policies {
-			assign := newUnassigned(len(topo.Users))
-			for i := range topo.Users {
-				if err := policy.OnArrival(inst, assign, i); err != nil {
-					return nil, fmt.Errorf("netsim: %s arrival: %w", policy.Name(), err)
-				}
-			}
-			assign, err := policy.OnEpoch(inst, assign)
-			if err != nil {
-				return nil, fmt.Errorf("netsim: %s epoch: %w", policy.Name(), err)
-			}
-			res, err := model.Evaluate(inst.Net, assign, cfg.ModelOpts)
-			if err != nil {
-				return nil, fmt.Errorf("netsim: %s evaluate: %w", policy.Name(), err)
-			}
-			results[p].Trials = append(results[p].Trials, TrialResult{
-				Aggregate: res.Aggregate,
-				PerUser:   res.PerUser,
-				Jain:      stats.JainIndex(res.PerUser),
-			})
+		for p := range policies {
+			results[p].Trials[trial] = trs[p]
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
+}
+
+// RunTrial generates the topology for topoCfg and runs every policy on
+// it (arrivals in user index order, then one OnEpoch), returning one
+// TrialResult per policy. It is the unit of work RunStatic and the
+// sweep engine fan out over.
+func RunTrial(topoCfg topology.Config, rm radio.Model, policies []Policy, opts model.Options) ([]TrialResult, error) {
+	return runTrial(topoCfg, rm, policies, opts, &trialWorkspace{})
+}
+
+// trialWorkspace bundles the per-worker solver and evaluation scratch
+// buffers a trial reuses across its policies. Scratch contents never
+// influence results (only capacity is retained between uses), so pooled
+// reuse across goroutines preserves determinism.
+type trialWorkspace struct {
+	core core.Scratch
+	eval model.EvalScratch
+}
+
+var wsPool = sync.Pool{New: func() any { return new(trialWorkspace) }}
+
+func runTrial(topoCfg topology.Config, rm radio.Model, policies []Policy, opts model.Options, ws *trialWorkspace) ([]TrialResult, error) {
+	topo, err := topology.Generate(topoCfg)
+	if err != nil {
+		return nil, err
+	}
+	inst := Build(topo, rm)
+	out := make([]TrialResult, len(policies))
+	for p, policy := range policies {
+		assign := newUnassigned(len(topo.Users))
+		for i := range topo.Users {
+			if err := policyArrival(policy, inst, assign, i, ws); err != nil {
+				return nil, fmt.Errorf("netsim: %s arrival: %w", policy.Name(), err)
+			}
+		}
+		assign, err := policyEpoch(policy, inst, assign, ws)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: %s epoch: %w", policy.Name(), err)
+		}
+		res, err := model.EvaluateWith(&ws.eval, inst.Net, assign, opts)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: %s evaluate: %w", policy.Name(), err)
+		}
+		out[p] = TrialResult{
+			Aggregate: res.Aggregate,
+			// res is scratch-owned and overwritten by the next policy's
+			// evaluation; the per-user vector must be copied out.
+			PerUser:            append([]float64(nil), res.PerUser...),
+			Jain:               stats.JainIndex(res.PerUser),
+			SaturationFraction: saturationFraction(res),
+		}
+	}
+	return out, nil
+}
+
+// saturationFraction reports the fraction of active extenders whose
+// delivered throughput fell short of WiFi demand, i.e. the PLC backhaul
+// was the end-to-end bottleneck.
+func saturationFraction(res *model.Result) float64 {
+	saturated, active := 0, 0
+	for j := range res.PerExtender {
+		if res.WiFiDemand[j] <= 0 {
+			continue
+		}
+		active++
+		if res.PerExtender[j] < res.WiFiDemand[j]-1e-9 {
+			saturated++
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	return float64(saturated) / float64(active)
+}
+
+// arrivalScratcher and epochScratcher are the scratch-aware fast paths
+// of the built-in policies: when a policy implements one, the simulator
+// hands it the per-worker workspace instead of letting it allocate.
+// External Policy implementations fall back to the plain interface.
+type arrivalScratcher interface {
+	onArrivalWith(s *model.EvalScratch, inst *Instance, assign model.Assignment, user int) error
+}
+
+type epochScratcher interface {
+	onEpochWith(s *core.Scratch, inst *Instance, assign model.Assignment) (model.Assignment, error)
+}
+
+// sequentialPolicy marks policies that must not run trials concurrently
+// (shared mutable state, e.g. RandomPolicy's Rng).
+type sequentialPolicy interface{ sequentialOnly() }
+
+func forcesSequential(policies []Policy) bool {
+	for _, p := range policies {
+		if _, ok := p.(sequentialPolicy); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func policyArrival(p Policy, inst *Instance, assign model.Assignment, user int, ws *trialWorkspace) error {
+	if sp, ok := p.(arrivalScratcher); ok {
+		return sp.onArrivalWith(&ws.eval, inst, assign, user)
+	}
+	return p.OnArrival(inst, assign, user)
+}
+
+func policyEpoch(p Policy, inst *Instance, assign model.Assignment, ws *trialWorkspace) (model.Assignment, error) {
+	if sp, ok := p.(epochScratcher); ok {
+		return sp.onEpochWith(&ws.core, inst, assign)
+	}
+	return p.OnEpoch(inst, assign)
 }
 
 func newUnassigned(n int) model.Assignment {

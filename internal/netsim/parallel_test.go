@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/core"
+	"github.com/plcwifi/wolt/internal/radio"
+	"github.com/plcwifi/wolt/internal/topology"
+)
+
+func staticPolicies() []Policy {
+	return []Policy{
+		WOLTPolicy{},
+		GreedyPolicy{ModelOpts: redistribute},
+		SelfishPolicy{ModelOpts: redistribute},
+		RSSIPolicy{},
+	}
+}
+
+// TestRunStaticDeterministicAcrossWorkers asserts the determinism
+// contract: the full result — every per-trial aggregate, per-user
+// vector, Jain index and saturation fraction — is bit-identical no
+// matter how many workers run the trials.
+func TestRunStaticDeterministicAcrossWorkers(t *testing.T) {
+	cfg := StaticConfig{
+		Topology:  topology.Config{NumExtenders: 5, NumUsers: 20, Seed: 77},
+		Trials:    12,
+		ModelOpts: redistribute,
+	}
+	cfg.Workers = 1
+	want, err := RunStatic(cfg, staticPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		cfg.Workers = workers
+		got, err := RunStatic(cfg, staticPolicies())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Workers:%d result differs from Workers:1", workers)
+		}
+	}
+}
+
+// TestRunStaticRandomForcedSequential: a policy set containing
+// RandomPolicy (shared *rand.Rand) must produce the sequential result
+// even when many workers are requested.
+func TestRunStaticRandomForcedSequential(t *testing.T) {
+	run := func(workers int) []StaticResult {
+		t.Helper()
+		cfg := StaticConfig{
+			Topology:  smallTopoCfg(5),
+			Trials:    6,
+			ModelOpts: redistribute,
+			Workers:   workers,
+		}
+		policies := []Policy{
+			RandomPolicy{Rng: rand.New(rand.NewSource(9))},
+			RSSIPolicy{},
+		}
+		res, err := RunStatic(cfg, policies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if !reflect.DeepEqual(run(8), run(1)) {
+		t.Fatal("RandomPolicy run not forced sequential")
+	}
+}
+
+// TestRunTrialMatchesRunStatic: the exported per-trial unit of work
+// agrees bit-for-bit with the corresponding RunStatic row.
+func TestRunTrialMatchesRunStatic(t *testing.T) {
+	topoCfg := topology.Config{NumExtenders: 4, NumUsers: 16, Seed: 31}
+	cfg := StaticConfig{Topology: topoCfg, Trials: 3, ModelOpts: redistribute, Workers: 1}
+	static, err := RunStatic(cfg, staticPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		tc := topoCfg
+		tc.Seed += int64(trial)
+		trs, err := RunTrial(tc, radio.DefaultModel(), staticPolicies(), redistribute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range trs {
+			if !reflect.DeepEqual(trs[p], static[p].Trials[trial]) {
+				t.Fatalf("trial %d policy %d: RunTrial differs from RunStatic", trial, p)
+			}
+		}
+	}
+}
+
+// TestRunStaticSaturationFractionBounds sanity-checks the new per-trial
+// saturation signal and its aggregate helper.
+func TestRunStaticSaturationFractionBounds(t *testing.T) {
+	cfg := StaticConfig{
+		Topology: topology.Config{
+			NumExtenders: 4, NumUsers: 24, Seed: 11,
+			// Starved backhaul: saturation should be common.
+			PLCCapacityMinMbps: 5, PLCCapacityMaxMbps: 10,
+		},
+		Trials:    5,
+		ModelOpts: redistribute,
+	}
+	results, err := RunStatic(cfg, []Policy{WOLTPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range results[0].Trials {
+		if tr.SaturationFraction < 0 || tr.SaturationFraction > 1 {
+			t.Fatalf("saturation fraction %v out of [0,1]", tr.SaturationFraction)
+		}
+	}
+	if m := results[0].MeanSaturation(); m <= 0 {
+		t.Fatalf("starved PLC backhaul should saturate some extenders, mean %v", m)
+	}
+}
+
+func BenchmarkStatic(b *testing.B) {
+	cfg := StaticConfig{
+		Topology:  topology.Config{NumExtenders: 8, NumUsers: 48, Seed: 3},
+		Trials:    16,
+		ModelOpts: redistribute,
+	}
+	policies := []Policy{
+		WOLTPolicy{Options: core.Options{}},
+		GreedyPolicy{ModelOpts: redistribute},
+		RSSIPolicy{},
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"Workers1", 1}, {"WorkersAll", 0}} {
+		cfg.Workers = bc.workers
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunStatic(cfg, policies); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,184 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if w := Workers(0); w < 1 {
+		t.Fatalf("Workers(0) = %d, want >= 1", w)
+	}
+	if w := Workers(-3); w < 1 {
+		t.Fatalf("Workers(-3) = %d, want >= 1", w)
+	}
+	if w := Workers(7); w != 7 {
+		t.Fatalf("Workers(7) = %d, want 7", w)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 57
+		hits := make([]int32, n)
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		out, err := Map(context.Background(), 40, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 40 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: out=%v err=%v", out, err)
+	}
+}
+
+// TestForEachLowestIndexError asserts the deterministic error contract:
+// regardless of scheduling, the error reported is the one from the lowest
+// failing index.
+func TestForEachLowestIndexError(t *testing.T) {
+	failAt := map[int]bool{13: true, 31: true, 47: true}
+	for _, workers := range []int{1, 2, 8} {
+		for run := 0; run < 10; run++ {
+			err := ForEach(context.Background(), 64, workers, func(i int) error {
+				if failAt[i] {
+					return fmt.Errorf("task %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "task 13 failed" {
+				t.Fatalf("workers=%d run=%d: err = %v, want task 13 failed", workers, run, err)
+			}
+		}
+	}
+}
+
+// TestForEachStopsPromptlyOnError asserts that after the first failure no
+// backlog of tasks is dispatched: each worker may finish its in-flight
+// task and claim at most one more.
+func TestForEachStopsPromptlyOnError(t *testing.T) {
+	const n, workers = 10_000, 4
+	var executed atomic.Int64
+	sentinel := errors.New("boom")
+	err := ForEach(context.Background(), n, workers, func(i int) error {
+		executed.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if got := executed.Load(); got > 3*workers {
+		t.Errorf("executed %d tasks after early failure, want <= %d", got, 3*workers)
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int64
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 10_000, 4, func(i int) error {
+			executed.Add(1)
+			if i < 4 {
+				<-release // park the first wave until cancel fires
+			}
+			return nil
+		})
+	}()
+	cancel()
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEach did not return after cancellation")
+	}
+	if got := executed.Load(); got > 100 {
+		t.Errorf("executed %d tasks despite cancellation, want a handful", got)
+	}
+}
+
+func TestForEachPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var executed atomic.Int64
+	err := ForEach(ctx, 100, 1, func(i int) error {
+		executed.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if executed.Load() != 0 {
+		t.Errorf("executed %d tasks on a dead context", executed.Load())
+	}
+}
+
+// TestForEachDeterministicAcrossWorkerCounts is the core contract: with
+// index-derived work, 1 worker and N workers produce identical outputs.
+func TestForEachDeterministicAcrossWorkerCounts(t *testing.T) {
+	compute := func(workers int) []float64 {
+		out := make([]float64, 200)
+		err := ForEach(context.Background(), len(out), workers, func(i int) error {
+			v := float64(i)
+			for k := 0; k < 100; k++ {
+				v = v*1.0000001 + float64(k%7)
+			}
+			out[i] = v
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := compute(1)
+	for _, workers := range []int{2, 3, 16} {
+		par := compute(workers)
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v (bit-identical)", workers, i, par[i], seq[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+// TestRunDeterministicAcrossWorkers asserts the sweep determinism
+// contract: every grid-point mean, ratio and saturation index is
+// bit-identical for any worker count, because task (point, trial) seeds
+// only off its indices.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{
+		Points: Grid([]int{3, 5}, []int{12, 24}, 60, 160),
+		Trials: 4,
+		Seed:   42,
+		ModelOpts: model.Options{
+			Redistribute: true,
+		},
+	}
+	cfg.Workers = 1
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 4 {
+		t.Fatalf("got %d results, want 4", len(want))
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		cfg.Workers = workers
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Workers:%d result differs from Workers:1", workers)
+		}
+	}
+}
+
+func TestRunRejectsBadPointBeforeSpawning(t *testing.T) {
+	cfg := Config{
+		Points: []Point{
+			{Extenders: 3, Users: 12, CapMin: 60, CapMax: 160},
+			{Extenders: 0, Users: 12, CapMin: 60, CapMax: 160},
+		},
+		Trials: 2,
+		Seed:   1,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bad grid point: want error")
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	cfg := Config{
+		Points: Grid([]int{4, 8}, []int{24, 48}, 60, 160),
+		Trials: 4,
+		Seed:   7,
+		ModelOpts: model.Options{
+			Redistribute: true,
+		},
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"Workers1", 1}, {"WorkersAll", 0}} {
+		cfg.Workers = bc.workers
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

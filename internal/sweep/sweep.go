@@ -7,10 +7,12 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/radio"
 	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/topology"
@@ -38,6 +40,11 @@ type Config struct {
 	// ModelOpts selects the evaluation model (redistribution on by
 	// default-zero semantics is NOT applied here; set explicitly).
 	ModelOpts model.Options
+	// Workers bounds the goroutines evaluating (point, trial) tasks
+	// concurrently; <= 0 uses all available cores. Results are identical
+	// for every worker count: each task's seed depends only on its grid
+	// point and trial index, never on scheduling.
+	Workers int
 }
 
 // Grid builds the cartesian product of the given axes with a fixed
@@ -65,63 +72,83 @@ type Result struct {
 	SaturationIndex float64
 }
 
-// Run evaluates every grid point.
+// Run evaluates every grid point. The (point × trial) task grid is
+// flattened and fanned out over cfg.Workers goroutines; the task for
+// point pi, trial t seeds its topology with Seed + pi*1000 + t, so the
+// output is bit-identical for every worker count. The saturation index
+// is computed from the WOLT evaluation each trial already performs —
+// the trials are not re-solved for it.
 func Run(cfg Config) ([]Result, error) {
 	if len(cfg.Points) == 0 {
 		return nil, fmt.Errorf("sweep: no grid points")
+	}
+	for _, pt := range cfg.Points {
+		if pt.Extenders <= 0 || pt.Users <= 0 || pt.CapMin <= 0 || pt.CapMax < pt.CapMin {
+			return nil, fmt.Errorf("sweep: bad point %+v", pt)
+		}
 	}
 	trials := cfg.Trials
 	if trials <= 0 {
 		trials = 10
 	}
 	rm := cfg.radioModel()
+	// The policy values are stateless and shared by all workers.
+	policies := []netsim.Policy{
+		netsim.WOLTPolicy{},
+		netsim.GreedyPolicy{ModelOpts: cfg.ModelOpts},
+		netsim.SelfishPolicy{ModelOpts: cfg.ModelOpts},
+		netsim.RSSIPolicy{},
+	}
 
-	results := make([]Result, 0, len(cfg.Points))
-	for pi, pt := range cfg.Points {
-		if pt.Extenders <= 0 || pt.Users <= 0 || pt.CapMin <= 0 || pt.CapMax < pt.CapMin {
-			return nil, fmt.Errorf("sweep: bad point %+v", pt)
-		}
+	workers := parallel.Workers(cfg.Workers)
+	nTasks := len(cfg.Points) * trials
+	trialGrid, err := parallel.Map(context.Background(), nTasks, workers, func(t int) ([]netsim.TrialResult, error) {
+		pi, trial := t/trials, t%trials
+		pt := cfg.Points[pi]
 		topoCfg := topology.Config{
 			Width: 100, Height: 100,
 			NumExtenders:       pt.Extenders,
 			NumUsers:           pt.Users,
 			PLCCapacityMinMbps: pt.CapMin,
 			PLCCapacityMaxMbps: pt.CapMax,
-			Seed:               cfg.Seed + int64(pi)*1000,
+			Seed:               cfg.Seed + int64(pi)*1000 + int64(trial),
 		}
-		static := netsim.StaticConfig{
-			Topology:  topoCfg,
-			Radio:     &rm,
-			Trials:    trials,
-			ModelOpts: cfg.ModelOpts,
-		}
-		policies := []netsim.Policy{
-			netsim.WOLTPolicy{},
-			netsim.GreedyPolicy{ModelOpts: cfg.ModelOpts},
-			netsim.SelfishPolicy{ModelOpts: cfg.ModelOpts},
-			netsim.RSSIPolicy{},
-		}
-		runs, err := netsim.RunStatic(static, policies)
+		trs, err := netsim.RunTrial(topoCfg, rm, policies, cfg.ModelOpts)
 		if err != nil {
 			return nil, fmt.Errorf("sweep point %+v: %w", pt, err)
 		}
+		return trs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]Result, len(cfg.Points))
+	agg := make([]float64, trials)
+	sat := make([]float64, trials)
+	for pi, pt := range cfg.Points {
+		var means [4]float64
+		for p := range policies {
+			for trial := 0; trial < trials; trial++ {
+				agg[trial] = trialGrid[pi*trials+trial][p].Aggregate
+			}
+			means[p] = stats.Mean(agg)
+		}
+		for trial := 0; trial < trials; trial++ {
+			sat[trial] = trialGrid[pi*trials+trial][0].SaturationFraction
+		}
 		res := Result{
-			Point:   pt,
-			WOLT:    runs[0].MeanAggregate(),
-			Greedy:  runs[1].MeanAggregate(),
-			Selfish: runs[2].MeanAggregate(),
-			RSSI:    runs[3].MeanAggregate(),
+			Point:           pt,
+			WOLT:            means[0],
+			Greedy:          means[1],
+			Selfish:         means[2],
+			RSSI:            means[3],
+			SaturationIndex: stats.Mean(sat),
 		}
 		res.VsGreedy = stats.Ratio(res.WOLT, res.Greedy)
 		res.VsSelfish = stats.Ratio(res.WOLT, res.Selfish)
 		res.VsRSSI = stats.Ratio(res.WOLT, res.RSSI)
-
-		sat, err := saturationIndex(topoCfg, rm, trials, cfg.ModelOpts)
-		if err != nil {
-			return nil, err
-		}
-		res.SaturationIndex = sat
-		results = append(results, res)
+		results[pi] = res
 	}
 	return results, nil
 }
@@ -135,42 +162,4 @@ func (c Config) radioModel() radio.Model {
 	rm.Channel.PathLossExponent = 3.5
 	rm.ShadowSeed = c.Seed
 	return rm
-}
-
-// saturationIndex measures, under WOLT, the mean fraction of active
-// extenders whose delivered throughput is PLC-limited (the WiFi demand
-// strictly exceeds what the backhaul share carried).
-func saturationIndex(topoCfg topology.Config, rm radio.Model, trials int, opts model.Options) (float64, error) {
-	var total float64
-	for trial := 0; trial < trials; trial++ {
-		tc := topoCfg
-		tc.Seed += int64(trial)
-		topo, err := topology.Generate(tc)
-		if err != nil {
-			return 0, err
-		}
-		inst := netsim.Build(topo, rm)
-		assign, err := netsim.WOLTPolicy{}.OnEpoch(inst, nil)
-		if err != nil {
-			return 0, err
-		}
-		eval, err := model.Evaluate(inst.Net, assign, opts)
-		if err != nil {
-			return 0, err
-		}
-		saturated, active := 0, 0
-		for j := range eval.PerExtender {
-			if eval.WiFiDemand[j] <= 0 {
-				continue
-			}
-			active++
-			if eval.PerExtender[j] < eval.WiFiDemand[j]-1e-9 {
-				saturated++
-			}
-		}
-		if active > 0 {
-			total += float64(saturated) / float64(active)
-		}
-	}
-	return total / float64(trials), nil
 }
