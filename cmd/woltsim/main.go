@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
 	"time"
 
 	"github.com/plcwifi/wolt/internal/experiments"
@@ -26,6 +30,10 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "woltsim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "woltsim:", err)
 		os.Exit(1)
 	}
@@ -55,7 +63,13 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one experiment, got %d", fs.NArg())
 	}
+	// Ctrl-C / SIGTERM cancel the context, which every fan-out driver
+	// checks before claiming more work — experiments stop promptly
+	// mid-run instead of finishing their trial loops.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	opts := experiments.Options{
+		Ctx:         ctx,
 		Seed:        *seed,
 		Trials:      *trials,
 		Users:       *users,

@@ -24,8 +24,12 @@ type Agent struct {
 	lastErr  error
 
 	directives chan Message
-	done       chan struct{}
-	readerWG   sync.WaitGroup
+	// statsReplies carries MsgStatsReply messages only. Stats replies get
+	// their own channel so a concurrent WaitForMove (which drains
+	// directives) can never steal them — and vice versa.
+	statsReplies chan Message
+	done         chan struct{}
+	readerWG     sync.WaitGroup
 }
 
 // Dial connects an agent to the controller at addr.
@@ -35,11 +39,12 @@ func Dial(addr string, userID int) (*Agent, error) {
 		return nil, fmt.Errorf("control: dial %s: %w", addr, err)
 	}
 	a := &Agent{
-		userID:     userID,
-		jc:         newJSONConn(conn),
-		extender:   model.Unassigned,
-		directives: make(chan Message, 16),
-		done:       make(chan struct{}),
+		userID:       userID,
+		jc:           newJSONConn(conn),
+		extender:     model.Unassigned,
+		directives:   make(chan Message, 16),
+		statsReplies: make(chan Message, 16),
+		done:         make(chan struct{}),
 	}
 	a.readerWG.Add(1)
 	go a.readLoop()
@@ -49,6 +54,7 @@ func Dial(addr string, userID int) (*Agent, error) {
 func (a *Agent) readLoop() {
 	defer a.readerWG.Done()
 	defer close(a.directives)
+	defer close(a.statsReplies)
 	for {
 		msg, err := a.jc.recv()
 		if err != nil {
@@ -66,6 +72,12 @@ func (a *Agent) readLoop() {
 			a.mu.Lock()
 			a.lastErr = errors.New(msg.Error)
 			a.mu.Unlock()
+		case MsgStatsReply:
+			select {
+			case a.statsReplies <- msg:
+			default:
+			}
+			continue // never mixed into the directive stream
 		}
 		select {
 		case a.directives <- msg:
@@ -156,7 +168,9 @@ func (a *Agent) WaitForMove(from int, timeout time.Duration) (int, error) {
 	}
 }
 
-// Stats asks the controller for its snapshot.
+// Stats asks the controller for its snapshot. Replies arrive on a
+// dedicated channel, so Stats is safe to call concurrently with
+// WaitForMove or Join.
 func (a *Agent) Stats(timeout time.Duration) (Stats, error) {
 	if err := a.jc.send(Message{Type: MsgStats}); err != nil {
 		return Stats{}, err
@@ -165,11 +179,11 @@ func (a *Agent) Stats(timeout time.Duration) (Stats, error) {
 	defer deadline.Stop()
 	for {
 		select {
-		case msg, ok := <-a.directives:
+		case msg, ok := <-a.statsReplies:
 			if !ok {
 				return Stats{}, errors.New("control: connection closed before stats reply")
 			}
-			if msg.Type == MsgStatsReply && msg.Stats != nil {
+			if msg.Stats != nil {
 				return *msg.Stats, nil
 			}
 		case <-deadline.C:

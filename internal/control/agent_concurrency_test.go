@@ -1,0 +1,70 @@
+package control
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStatsConcurrentWithWaitForMove is the regression test for the
+// reply-stealing bug: WaitForMove and Stats both used to drain the one
+// directives channel, so a WaitForMove blocked on the channel could
+// swallow a MsgStatsReply (timing Stats out) and a concurrent Stats
+// could swallow the MsgAssociate WaitForMove needed. Stats replies now
+// travel on their own channel; both calls must succeed concurrently.
+// Run with -race.
+func TestStatsConcurrentWithWaitForMove(t *testing.T) {
+	s := fig3Server(t, PolicyWOLT)
+	a := dial(t, s, 1)
+	ext, err := a.Join([]float64{15, 10}, nil, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext != 0 {
+		t.Fatalf("initial extender %d, want 0", ext)
+	}
+
+	// WaitForMove parks on the directive stream while Stats hammers the
+	// controller; every stats reply lands while the waiter is draining.
+	moveDone := make(chan error, 1)
+	go func() {
+		moved, err := a.WaitForMove(0, testTimeout)
+		if err == nil && moved != 1 {
+			t.Errorf("re-associated to %d, want 1", moved)
+		}
+		moveDone <- err
+	}()
+
+	statsDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < 50; i++ {
+			if _, err := a.Stats(testTimeout); err != nil {
+				statsDone <- err
+				return
+			}
+		}
+		statsDone <- nil
+	}()
+
+	// Let both loops get going, then trigger the re-association.
+	time.Sleep(20 * time.Millisecond)
+	if err := a.UpdateScan([]float64{1, 50}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-moveDone:
+			if err != nil {
+				t.Errorf("WaitForMove: %v", err)
+			}
+			moveDone = nil
+		case err := <-statsDone:
+			if err != nil {
+				t.Errorf("Stats: %v", err)
+			}
+			statsDone = nil
+		case <-time.After(2 * testTimeout):
+			t.Fatal("concurrent WaitForMove/Stats deadlocked")
+		}
+	}
+}

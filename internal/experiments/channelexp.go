@@ -7,6 +7,8 @@ import (
 	"github.com/plcwifi/wolt/internal/channels"
 	"github.com/plcwifi/wolt/internal/core"
 	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/parallel"
+	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/topology"
 )
@@ -34,6 +36,14 @@ type ChannelsResult struct {
 
 // Channels runs the channel-scarcity ablation on the enterprise
 // scenario, averaging over Options.Trials topologies (default 10).
+// Trials fan out over Options.Workers goroutines with bit-identical
+// results for any worker count.
+//
+// The listed budgets resolve the sentinel 0 to one channel per extender
+// before evaluation, and budgets that resolve to the same channel count
+// (e.g. Extenders=6 makes the 6-budget and the "unlimited" point the
+// same allocation) are evaluated once and reported under both labels
+// instead of being solved twice.
 func Channels(opts Options) (*ChannelsResult, error) {
 	opts = opts.withDefaults(10)
 	const interferenceRange = 45.0 // meters; cells overlap well inside it
@@ -44,11 +54,33 @@ func Channels(opts Options) (*ChannelsResult, error) {
 		Users:             opts.Users,
 		InterferenceRange: interferenceRange,
 	}
-	aggregates := make([][]float64, len(budgets))
-	contenders := make([][]float64, len(budgets))
+	// Deduplicate after resolving the sentinel: evalOf[b] indexes the
+	// unique resolved channel counts in `resolved`.
+	var resolved []int
+	evalOf := make([]int, len(budgets))
+	seen := make(map[int]int, len(budgets))
+	for b, budget := range budgets {
+		numCh := budget
+		if numCh == 0 {
+			numCh = opts.Extenders
+		}
+		k, ok := seen[numCh]
+		if !ok {
+			k = len(resolved)
+			seen[numCh] = k
+			resolved = append(resolved, numCh)
+		}
+		evalOf[b] = k
+	}
 
-	for trial := 0; trial < opts.Trials; trial++ {
-		scen := NewEnterpriseScenario(opts.Extenders, opts.Users, opts.Seed+int64(trial))
+	// trialPoint is one (trial, resolved budget) evaluation.
+	type trialPoint struct {
+		aggregate  float64
+		contenders float64
+	}
+	trials, err := parallel.Map(opts.context(), opts.Trials, opts.Workers, func(trial int) ([]trialPoint, error) {
+		scen := NewEnterpriseScenario(opts.Extenders, opts.Users,
+			seed.Derive(opts.Seed, seed.ChannelsTrial, int64(trial)))
 		topo, err := topology.Generate(scen.Topology)
 		if err != nil {
 			return nil, err
@@ -58,14 +90,11 @@ func Channels(opts Options) (*ChannelsResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		for b, budget := range budgets {
-			numCh := budget
-			if numCh == 0 {
-				numCh = opts.Extenders
-			}
+		points := make([]trialPoint, len(resolved))
+		for k, numCh := range resolved {
 			chans := make([]int, numCh)
-			for k := range chans {
-				chans[k] = k + 1
+			for c := range chans {
+				chans[c] = c + 1
 			}
 			alloc, err := channels.Allocate(topo, chans, interferenceRange)
 			if err != nil {
@@ -79,19 +108,35 @@ func Channels(opts Options) (*ChannelsResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			aggregates[b] = append(aggregates[b], eval.Aggregate)
 			var mean float64
 			for _, c := range cont {
 				mean += float64(c)
 			}
-			contenders[b] = append(contenders[b], mean/float64(len(cont)))
+			points[k] = trialPoint{
+				aggregate:  eval.Aggregate,
+				contenders: mean / float64(len(cont)),
+			}
+		}
+		return points, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	aggregates := make([][]float64, len(resolved))
+	contenders := make([][]float64, len(resolved))
+	for _, points := range trials {
+		for k, pt := range points {
+			aggregates[k] = append(aggregates[k], pt.aggregate)
+			contenders[k] = append(contenders[k], pt.contenders)
 		}
 	}
 	for b, budget := range budgets {
+		k := evalOf[b]
 		res.Points = append(res.Points, ChannelPoint{
 			Channels:       budget,
-			MeanContenders: stats.Mean(contenders[b]),
-			AggregateMbps:  stats.Mean(aggregates[b]),
+			MeanContenders: stats.Mean(contenders[k]),
+			AggregateMbps:  stats.Mean(aggregates[k]),
 		})
 	}
 	return res, nil

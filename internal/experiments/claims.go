@@ -8,6 +8,8 @@ import (
 
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/parallel"
+	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/topology"
 )
@@ -232,25 +234,26 @@ func Claims() []Claim {
 // model, averaged over Options.Trials testbed topologies (the paper
 // reports "the results are very similar with all our scenarios"):
 // per-user WOLT-vs-Greedy deltas for the three WOLT-worst and three
-// WOLT-best users.
+// WOLT-best users. Trials fan out over Options.Workers goroutines with
+// bit-identical sums for any worker count.
 func fig5ModelDeltas(opts Options) (worstDelta, bestDelta float64, err error) {
 	opts = opts.withDefaults(8)
-	for trial := 0; trial < opts.Trials; trial++ {
-		scen := NewTestbedScenario(opts.Seed + int64(trial))
+	deltas, err := parallel.Map(opts.context(), opts.Trials, opts.Workers, func(trial int) ([2]float64, error) {
+		scen := NewTestbedScenario(seed.Derive(opts.Seed, seed.ClaimsFig5Trial, int64(trial)))
 		topo, err := topology.Generate(scen.Topology)
 		if err != nil {
-			return 0, 0, err
+			return [2]float64{}, err
 		}
 		inst := netsim.Build(topo, scen.Radio)
 		perUser := make(map[string][]float64)
 		for _, policy := range []netsim.Policy{netsim.WOLTPolicy{}, netsim.GreedyPolicy{ModelOpts: Redistribute}} {
 			assign, err := assignStatic(inst, policy)
 			if err != nil {
-				return 0, 0, err
+				return [2]float64{}, err
 			}
 			eval, err := model.Evaluate(inst.Net, assign, Redistribute)
 			if err != nil {
-				return 0, 0, err
+				return [2]float64{}, err
 			}
 			perUser[policy.Name()] = eval.PerUser
 		}
@@ -265,12 +268,22 @@ func fig5ModelDeltas(opts Options) (worstDelta, bestDelta float64, err error) {
 		if len(order) < 2*k {
 			k = len(order) / 2
 		}
+		var d [2]float64
 		for _, i := range order[:k] {
-			worstDelta += perUser["WOLT"][i] - perUser["Greedy"][i]
+			d[0] += perUser["WOLT"][i] - perUser["Greedy"][i]
 		}
 		for _, i := range order[len(order)-k:] {
-			bestDelta += perUser["WOLT"][i] - perUser["Greedy"][i]
+			d[1] += perUser["WOLT"][i] - perUser["Greedy"][i]
 		}
+		return d, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	// Sum in trial order so the float accumulation is scheduling-free.
+	for _, d := range deltas {
+		worstDelta += d[0]
+		bestDelta += d[1]
 	}
 	n := float64(opts.Trials)
 	return worstDelta / n, bestDelta / n, nil

@@ -10,7 +10,9 @@ import (
 	"github.com/plcwifi/wolt/internal/mac1901"
 	"github.com/plcwifi/wolt/internal/mac80211"
 	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/plc"
+	"github.com/plcwifi/wolt/internal/seed"
 )
 
 // Fig2aResult reproduces Fig 2a: two saturated WiFi clients on one
@@ -30,7 +32,8 @@ type Fig2aLocation struct {
 }
 
 // Fig2a runs the WiFi-only medium-sharing experiment on the DCF MAC
-// simulator.
+// simulator. The per-location runs are independent and fan out over
+// Options.Workers goroutines, each on its own derived seed stream.
 func Fig2a(opts Options) (*Fig2aResult, error) {
 	opts = opts.withDefaults(1)
 	// Location 1: both clients next to the extender (54 Mbps each).
@@ -43,27 +46,30 @@ func Fig2a(opts Options) (*Fig2aResult, error) {
 		{"location 2 (mid)", 54, 24},
 		{"location 3 (far)", 54, 6},
 	}
-	res := &Fig2aResult{}
-	for k, cfg := range configs {
+	locations, err := parallel.Map(opts.context(), len(configs), opts.Workers, func(k int) (Fig2aLocation, error) {
+		cfg := configs[k]
 		sim, err := mac80211.Simulate(
 			[]float64{cfg.rate1, cfg.rate2},
 			opts.MACDuration,
 			mac80211.DefaultParams(),
-			rand.New(rand.NewSource(opts.Seed+int64(k))),
+			rand.New(rand.NewSource(seed.Derive(opts.Seed, seed.Fig2aLocation, int64(k)))),
 		)
 		if err != nil {
-			return nil, err
+			return Fig2aLocation{}, err
 		}
-		res.Locations = append(res.Locations, Fig2aLocation{
+		return Fig2aLocation{
 			Name:          cfg.name,
 			Rate1:         cfg.rate1,
 			Rate2:         cfg.rate2,
 			User1Mbps:     sim.Stations[0].ThroughputMbps,
 			User2Mbps:     sim.Stations[1].ThroughputMbps,
 			AggregateMbps: sim.AggregateMbps,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig2aResult{Locations: locations}, nil
 }
 
 // Tables implements Tabler.
@@ -93,7 +99,7 @@ type Fig2bResult struct {
 // offline capacity estimation over them.
 func Fig2b(opts Options) (*Fig2bResult, error) {
 	opts = opts.withDefaults(1)
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := rand.New(rand.NewSource(seed.Derive(opts.Seed, seed.Fig2bLines, 0)))
 	lineModel := plc.DefaultLineModel()
 	// Four outlets of clearly different line quality, mirroring the
 	// paper's 60–160 Mbps spread.
@@ -136,22 +142,32 @@ type Fig2cResult struct {
 	Shared [][]float64
 }
 
-// Fig2c runs the IEEE 1901 MAC simulator with growing active sets.
+// Fig2c runs the IEEE 1901 MAC simulator with growing active sets. The
+// solo and shared runs are all independent and fan out together over
+// Options.Workers goroutines. Solo run j and shared run a draw from the
+// distinct Fig2cSolo and Fig2cShared seed streams — under the old
+// additive scheme (Seed+j vs Seed+100+active) the two loops could
+// collide and replay each other's randomness.
 func Fig2c(opts Options) (*Fig2cResult, error) {
 	opts = opts.withDefaults(1)
 	caps := []float64{160, 120, 90, 60}
-	res := &Fig2cResult{Solo: make([]float64, len(caps))}
-	for j, c := range caps {
-		sim, err := mac1901.Simulate([]float64{c}, opts.MACDuration,
-			mac1901.DefaultParams(), rand.New(rand.NewSource(opts.Seed+int64(j))))
-		if err != nil {
-			return nil, err
+	// Tasks 0..len(caps)-1 are the solo runs; the rest are the shared
+	// runs with 1..len(caps) active extenders.
+	nTasks := 2 * len(caps)
+	rows, err := parallel.Map(opts.context(), nTasks, opts.Workers, func(t int) ([]float64, error) {
+		if t < len(caps) {
+			sim, err := mac1901.Simulate([]float64{caps[t]}, opts.MACDuration,
+				mac1901.DefaultParams(),
+				rand.New(rand.NewSource(seed.Derive(opts.Seed, seed.Fig2cSolo, int64(t)))))
+			if err != nil {
+				return nil, err
+			}
+			return []float64{sim.Stations[0].ThroughputMbps}, nil
 		}
-		res.Solo[j] = sim.Stations[0].ThroughputMbps
-	}
-	for active := 1; active <= len(caps); active++ {
+		active := t - len(caps) + 1
 		sim, err := mac1901.Simulate(caps[:active], opts.MACDuration,
-			mac1901.DefaultParams(), rand.New(rand.NewSource(opts.Seed+100+int64(active))))
+			mac1901.DefaultParams(),
+			rand.New(rand.NewSource(seed.Derive(opts.Seed, seed.Fig2cShared, int64(active)))))
 		if err != nil {
 			return nil, err
 		}
@@ -159,8 +175,16 @@ func Fig2c(opts Options) (*Fig2cResult, error) {
 		for j := 0; j < active; j++ {
 			row[j] = sim.Stations[j].ThroughputMbps
 		}
-		res.Shared = append(res.Shared, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &Fig2cResult{Solo: make([]float64, len(caps))}
+	for j := range caps {
+		res.Solo[j] = rows[j][0]
+	}
+	res.Shared = rows[len(caps):]
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"github.com/plcwifi/wolt/internal/mobility"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/topology"
 )
@@ -34,7 +35,11 @@ type MobilityResult struct {
 
 // Mobility runs the mobility experiment: Options.Users walkers on the
 // enterprise floor for Options.Trials ticks of 10 simulated seconds
-// (default 20 ticks).
+// (default 20 ticks). Ticks are inherently sequential (each continues
+// the walkers' motion), but the four strategies own identical,
+// independent worlds, so within a tick the worlds advance concurrently
+// on Options.Workers goroutines with bit-identical results for any
+// worker count.
 func Mobility(opts Options) (*MobilityResult, error) {
 	opts = opts.withDefaults(20)
 	const (
@@ -83,19 +88,27 @@ func Mobility(opts Options) (*MobilityResult, error) {
 		w.assign = res.Assign
 	}
 
+	// stepOut is one world's outcome at one tick.
+	type stepOut struct {
+		aggregate float64
+		moves     int
+	}
+	ctx := opts.context()
 	result := &MobilityResult{Budget: moveBudget}
 	for tick := 0; tick < opts.Trials; tick++ {
-		var mt MobilityTick
-		mt.Tick = tick + 1
-		for k, w := range worlds {
+		// Each task owns world k outright (its fleet RNG, topology and
+		// assignment are touched by no other task), so concurrent
+		// stepping cannot reorder any random draws.
+		steps, err := parallel.Map(ctx, len(worlds), opts.Workers, func(k int) (stepOut, error) {
+			w := worlds[k]
 			if err := w.fleet.Advance(tickSeconds); err != nil {
-				return nil, err
+				return stepOut{}, err
 			}
 			inst := netsim.Build(w.topo, scen.Radio)
+			var out stepOut
 			switch k {
 			case 0: // static: never re-associate
 			case 1: // roaming: strongest signal each tick
-				moves := 0
 				for i := range w.assign {
 					best, bestSig := w.assign[i], -1e18
 					for j, sig := range inst.RSSI[i] {
@@ -108,38 +121,40 @@ func Mobility(opts Options) (*MobilityResult, error) {
 					}
 					if best != w.assign[i] {
 						w.assign[i] = best
-						moves++
+						out.moves++
 					}
 				}
-				mt.RoamingMoves = moves
 			case 2: // full WOLT recomputation
 				res, err := core.Assign(inst.Net, core.Options{})
 				if err != nil {
-					return nil, err
+					return stepOut{}, err
 				}
-				mt.FullMoves = w.assign.Diff(res.Assign)
+				out.moves = w.assign.Diff(res.Assign)
 				w.assign = res.Assign
 			case 3: // budgeted incremental WOLT
 				res, err := core.AssignIncremental(inst.Net, w.assign, moveBudget, core.Options{}, Redistribute)
 				if err != nil {
-					return nil, err
+					return stepOut{}, err
 				}
-				mt.BudgetedMoves = len(res.Moves)
+				out.moves = len(res.Moves)
 				w.assign = res.Assign
 			}
-			agg := model.Aggregate(inst.Net, w.assign, Redistribute)
-			switch k {
-			case 0:
-				mt.Static = agg
-			case 1:
-				mt.Roaming = agg
-			case 2:
-				mt.FullWOLT = agg
-			case 3:
-				mt.Budgeted = agg
-			}
+			out.aggregate = model.Aggregate(inst.Net, w.assign, Redistribute)
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		result.Ticks = append(result.Ticks, mt)
+		result.Ticks = append(result.Ticks, MobilityTick{
+			Tick:          tick + 1,
+			Static:        steps[0].aggregate,
+			Roaming:       steps[1].aggregate,
+			FullWOLT:      steps[2].aggregate,
+			Budgeted:      steps[3].aggregate,
+			RoamingMoves:  steps[1].moves,
+			FullMoves:     steps[2].moves,
+			BudgetedMoves: steps[3].moves,
+		})
 	}
 	return result, nil
 }

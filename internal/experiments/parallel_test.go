@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// parOpts is a fast option set for the parallel-engine tests.
+func parOpts(workers int) Options {
+	return Options{
+		Seed:        424242,
+		Trials:      3,
+		MACDuration: 2,
+		EmuDuration: 80 * time.Millisecond,
+		Users:       12,
+		Extenders:   6,
+		Workers:     workers,
+	}
+}
+
+// TestDriversDeterministicAcrossWorkers verifies the determinism
+// contract on every newly parallelized driver: Workers=1 and Workers=8
+// produce bit-identical results.
+func TestDriversDeterministicAcrossWorkers(t *testing.T) {
+	drivers := []struct {
+		name string
+		run  func(Options) (any, error)
+	}{
+		{"Fig2a", func(o Options) (any, error) { return Fig2a(o) }},
+		{"Fig2c", func(o Options) (any, error) { return Fig2c(o) }},
+		{"Channels", func(o Options) (any, error) { return Channels(o) }},
+		{"QoS", func(o Options) (any, error) { return QoS(o) }},
+		{"NPHard", func(o Options) (any, error) { return NPHard(o) }},
+		{"Gap", func(o Options) (any, error) { return Gap(o) }},
+		{"Mobility", func(o Options) (any, error) { return Mobility(o) }},
+		{"fig5ModelDeltas", func(o Options) (any, error) {
+			worst, best, err := fig5ModelDeltas(o)
+			return [2]float64{worst, best}, err
+		}},
+	}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			seq, err := d.run(parOpts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := d.run(parOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("Workers=1 and Workers=8 differ:\n%+v\nvs\n%+v", seq, par)
+			}
+		})
+	}
+}
+
+// TestFig4ModelDeterministicAcrossWorkers pins down the part of Fig4
+// that can be deterministic: the measured numbers carry the emulator's
+// real TCP noise, but the model-side per-topology series must be
+// bit-identical for any worker count.
+func TestFig4ModelDeterministicAcrossWorkers(t *testing.T) {
+	opts := parOpts(1)
+	opts.Trials = 2
+	seq, err := Fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	par, err := Fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range seq.Policies {
+		if !reflect.DeepEqual(seq.Policies[p].ModelMbps, par.Policies[p].ModelMbps) {
+			t.Errorf("%s model series differ: %v vs %v",
+				seq.Policies[p].Name, seq.Policies[p].ModelMbps, par.Policies[p].ModelMbps)
+		}
+	}
+}
+
+// TestChannelsDedupesEqualBudgets covers the duplicate-point bug: with
+// Extenders=6 the explicit 6-channel budget and the "unlimited" (0)
+// sentinel resolve to the same allocation, which must be evaluated once
+// and reported identically under both labels.
+func TestChannelsDedupesEqualBudgets(t *testing.T) {
+	opts := parOpts(4) // Extenders=6 collides with the listed budget 6
+	res, err := Channels(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("got %d points, want all 5 labels", len(res.Points))
+	}
+	six, unlimited := res.Points[3], res.Points[4]
+	if six.Channels != 6 || unlimited.Channels != 0 {
+		t.Fatalf("unexpected labels: %d, %d", six.Channels, unlimited.Channels)
+	}
+	if six.AggregateMbps != unlimited.AggregateMbps || six.MeanContenders != unlimited.MeanContenders {
+		t.Errorf("equal budgets diverged: %+v vs %+v", six, unlimited)
+	}
+	// Sanity: scarcity still bites — one shared channel contends harder
+	// than the full budget.
+	if !(res.Points[0].MeanContenders > unlimited.MeanContenders) {
+		t.Errorf("contention ordering broken: %v vs %v",
+			res.Points[0].MeanContenders, unlimited.MeanContenders)
+	}
+	if math.IsNaN(unlimited.AggregateMbps) {
+		t.Error("NaN aggregate")
+	}
+}
+
+// TestDriversHonorCancelledContext verifies the cancellation path on
+// every driver that fans out: a context cancelled before the run must
+// surface context.Canceled instead of results.
+func TestDriversHonorCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	drivers := []struct {
+		name string
+		run  func(Options) error
+	}{
+		{"Fig2a", func(o Options) error { _, err := Fig2a(o); return err }},
+		{"Fig2c", func(o Options) error { _, err := Fig2c(o); return err }},
+		{"Fig4", func(o Options) error { _, err := Fig4(o); return err }},
+		{"Channels", func(o Options) error { _, err := Channels(o); return err }},
+		{"QoS", func(o Options) error { _, err := QoS(o); return err }},
+		{"NPHard", func(o Options) error { _, err := NPHard(o); return err }},
+		{"Gap", func(o Options) error { _, err := Gap(o); return err }},
+		{"Mobility", func(o Options) error { _, err := Mobility(o); return err }},
+		{"Fig6a", func(o Options) error { _, err := Fig6a(o); return err }},
+		{"Fairness", func(o Options) error { _, err := Fairness(o); return err }},
+		{"Sweep", func(o Options) error { _, err := Sweep(o); return err }},
+	}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			opts := parOpts(4)
+			opts.Ctx = ctx
+			err := d.run(opts)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("got %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestMidRunCancellationReturnsPromptly cancels a large NPHard run while
+// it is in flight: the driver must stop claiming trials and return
+// context.Canceled well before the full run would complete.
+func TestMidRunCancellationReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := Options{Seed: 7, Trials: 2_000_000, Workers: 4, Ctx: ctx}
+	time.AfterFunc(10*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := NPHard(opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}

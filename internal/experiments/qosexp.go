@@ -7,7 +7,9 @@ import (
 	"github.com/plcwifi/wolt/internal/core"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/qos"
+	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/topology"
 )
@@ -43,55 +45,84 @@ type QoSResult struct {
 
 // QoS runs the guaranteed-rate ablation on the testbed scenario
 // (3 extenders, 60–160 Mbps links), averaging over Options.Trials
-// topologies (default 10).
+// topologies (default 10). The full (level × trial) grid fans out over
+// Options.Workers goroutines with bit-identical results for any worker
+// count; trial t sees the same topology at every guarantee level.
 func QoS(opts Options) (*QoSResult, error) {
 	opts = opts.withDefaults(10)
 	const priorityUsers = 3
 	levels := []float64{2, 5, 10, 20, 40}
 
+	// qosCell is one (level, trial) outcome.
+	type qosCell struct {
+		plain      float64
+		admitted   bool
+		reserved   float64
+		bestEffort float64
+		total      float64
+	}
+	nTasks := len(levels) * opts.Trials
+	cells, err := parallel.Map(opts.context(), nTasks, opts.Workers, func(t int) (qosCell, error) {
+		level := levels[t/opts.Trials]
+		trial := t % opts.Trials
+		// The topology seed ignores the level, so every guarantee level
+		// is measured on the same sequence of topologies.
+		scen := NewTestbedScenario(seed.Derive(opts.Seed, seed.QoSTrial, int64(trial)))
+		topo, err := topology.Generate(scen.Topology)
+		if err != nil {
+			return qosCell{}, err
+		}
+		inst := netsim.Build(topo, scen.Radio)
+
+		woltRes, err := core.Assign(inst.Net, core.Options{})
+		if err != nil {
+			return qosCell{}, err
+		}
+		cell := qosCell{plain: model.Aggregate(inst.Net, woltRes.Assign, Redistribute)}
+
+		demands := make([]qos.Demand, priorityUsers)
+		for u := range demands {
+			demands[u] = qos.Demand{User: u, Mbps: level}
+		}
+		plan, err := qos.Build(qos.Config{
+			Net:      inst.Net,
+			Priority: demands,
+			Eval:     Redistribute,
+		})
+		if errors.Is(err, qos.ErrInfeasible) {
+			return cell, nil
+		}
+		if err != nil {
+			return qosCell{}, err
+		}
+		cell.admitted = true
+		cell.reserved = plan.TotalReserved
+		if plan.BestEffort != nil {
+			cell.bestEffort = plan.BestEffort.Aggregate
+		}
+		cell.total = plan.AggregateMbps()
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &QoSResult{PriorityUsers: priorityUsers}
-	for _, level := range levels {
+	for li, level := range levels {
 		var (
 			admitted                           int
 			reserved, bestEffort, total, plain []float64
-			demands                            []qos.Demand
 		)
-		for u := 0; u < priorityUsers; u++ {
-			demands = append(demands, qos.Demand{User: u, Mbps: level})
-		}
 		for trial := 0; trial < opts.Trials; trial++ {
-			scen := NewTestbedScenario(opts.Seed + int64(trial))
-			topo, err := topology.Generate(scen.Topology)
-			if err != nil {
-				return nil, err
-			}
-			inst := netsim.Build(topo, scen.Radio)
-
-			woltRes, err := core.Assign(inst.Net, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			plain = append(plain, model.Aggregate(inst.Net, woltRes.Assign, Redistribute))
-
-			plan, err := qos.Build(qos.Config{
-				Net:      inst.Net,
-				Priority: demands,
-				Eval:     Redistribute,
-			})
-			if errors.Is(err, qos.ErrInfeasible) {
+			cell := cells[li*opts.Trials+trial]
+			plain = append(plain, cell.plain)
+			if !cell.admitted {
 				continue
 			}
-			if err != nil {
-				return nil, err
-			}
 			admitted++
-			reserved = append(reserved, plan.TotalReserved)
-			be := 0.0
-			if plan.BestEffort != nil {
-				be = plan.BestEffort.Aggregate
-			}
-			bestEffort = append(bestEffort, be)
-			total = append(total, plan.AggregateMbps())
+			reserved = append(reserved, cell.reserved)
+			bestEffort = append(bestEffort, cell.bestEffort)
+			total = append(total, cell.total)
 		}
 		res.Points = append(res.Points, QoSPoint{
 			GuaranteeMbps:  level,

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"github.com/plcwifi/wolt/internal/model"
@@ -120,10 +121,24 @@ type Options struct {
 	// Extenders overrides the simulated extender count where the paper
 	// uses 10–15.
 	Extenders int
-	// Workers bounds the goroutines running independent trials in the
-	// simulation and sweep experiments; <= 0 uses all available cores.
-	// Results are identical for every worker count.
+	// Workers bounds the goroutines running independent units of work
+	// (trials, grid cells, MAC runs, mobility worlds) in every driver
+	// with a fan-out loop; <= 0 uses all available cores. Results are
+	// identical for every worker count.
 	Workers int
+	// Ctx cancels a running experiment between units of work; nil means
+	// context.Background(). On cancellation the driver returns promptly
+	// with the context's error (the lowest-index task error otherwise).
+	Ctx context.Context
+}
+
+// context returns the experiment's cancellation context, defaulting to
+// context.Background().
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) withDefaults(defaultTrials int) Options {

@@ -42,6 +42,7 @@ func Fig6a(opts Options) (*Fig6aResult, error) {
 	opts = opts.withDefaults(100)
 	scen := NewEnterpriseScenario(opts.Extenders, opts.Users, opts.Seed)
 	cfg := netsim.StaticConfig{
+		Ctx:       opts.Ctx,
 		Topology:  scen.Topology,
 		Radio:     &scen.Radio,
 		Trials:    opts.Trials,
@@ -184,6 +185,7 @@ func Fairness(opts Options) (*FairnessResult, error) {
 	opts = opts.withDefaults(30)
 	scen := NewEnterpriseScenario(opts.Extenders, opts.Users, opts.Seed)
 	cfg := netsim.StaticConfig{
+		Ctx:       opts.Ctx,
 		Topology:  scen.Topology,
 		Radio:     &scen.Radio,
 		Trials:    opts.Trials,

@@ -25,6 +25,7 @@ func Sweep(opts Options) (*SweepResult, error) {
 			sweep.Grid([]int{5, 10, 15}, []int{36, 72, 124}, caps[0], caps[1])...)
 	}
 	results, err := sweep.Run(sweep.Config{
+		Ctx:       opts.Ctx,
 		Points:    points,
 		Trials:    opts.Trials,
 		Seed:      opts.Seed,

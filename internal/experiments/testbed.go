@@ -8,6 +8,8 @@ import (
 	"github.com/plcwifi/wolt/internal/emu"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/parallel"
+	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/topology"
 )
@@ -67,9 +69,20 @@ type Fig4Result struct {
 	ImprovementOverRSSI   float64
 }
 
+// fig4Trial is one topology's outcome across all policies: the model
+// prediction, the emulated measurement and the per-user measured rates.
+type fig4Trial struct {
+	model    []float64   // per policy
+	measured []float64   // per policy
+	perUser  [][]float64 // [policy][user] measured Mbps
+}
+
 // Fig4 runs the emulated-testbed comparison: Options.Trials random
 // topologies of the testbed scenario (default 25, as in the paper), all
-// three policies, real TCP measurement per run.
+// three policies, real TCP measurement per run. Trials fan out over
+// Options.Workers goroutines; the model-side numbers are bit-identical
+// for any worker count (the measured numbers carry the emulator's real
+// TCP noise either way).
 func Fig4(opts Options) (*Fig4Result, error) {
 	opts = opts.withDefaults(25)
 	policies := testbedPolicies()
@@ -78,20 +91,23 @@ func Fig4(opts Options) (*Fig4Result, error) {
 		res.Policies[p].Name = policy.Name()
 	}
 
-	var betterG, worseG, betterR, worseR, totalUsers int
-	for trial := 0; trial < opts.Trials; trial++ {
-		scen := NewTestbedScenario(opts.Seed + int64(trial))
+	trials, err := parallel.Map(opts.context(), opts.Trials, opts.Workers, func(trial int) (fig4Trial, error) {
+		scen := NewTestbedScenario(seed.Derive(opts.Seed, seed.Fig4Trial, int64(trial)))
 		topo, err := topology.Generate(scen.Topology)
 		if err != nil {
-			return nil, err
+			return fig4Trial{}, err
 		}
 		inst := netsim.Build(topo, scen.Radio)
 
-		perUser := make([][]float64, len(policies))
+		out := fig4Trial{
+			model:    make([]float64, len(policies)),
+			measured: make([]float64, len(policies)),
+			perUser:  make([][]float64, len(policies)),
+		}
 		for p, policy := range policies {
 			assign, err := assignStatic(inst, policy)
 			if err != nil {
-				return nil, err
+				return fig4Trial{}, err
 			}
 			run, err := emu.Run(emu.Config{
 				Net:      inst.Net,
@@ -100,32 +116,45 @@ func Fig4(opts Options) (*Fig4Result, error) {
 				Duration: opts.EmuDuration,
 			})
 			if err != nil {
-				return nil, err
+				return fig4Trial{}, err
 			}
-			res.Policies[p].ModelMbps = append(res.Policies[p].ModelMbps, run.ModelAggregateMbps)
-			res.Policies[p].MeasuredMbps = append(res.Policies[p].MeasuredMbps, run.AggregateMbps)
+			out.model[p] = run.ModelAggregateMbps
+			out.measured[p] = run.AggregateMbps
 			users := make([]float64, len(inst.UserIDs))
 			for _, f := range run.Flows {
 				users[f.User] = f.MeasuredMbps
 			}
-			perUser[p] = users
+			out.perUser[p] = users
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
+	// Aggregate in trial order so float summation and the per-topology
+	// series are independent of scheduling.
+	var betterG, worseG, betterR, worseR, totalUsers int
+	for _, tr := range trials {
+		for p := range policies {
+			res.Policies[p].ModelMbps = append(res.Policies[p].ModelMbps, tr.model[p])
+			res.Policies[p].MeasuredMbps = append(res.Policies[p].MeasuredMbps, tr.measured[p])
+		}
 		// Per-user win/loss fractions (Fig 4b): WOLT is policy 0, Greedy
 		// 1, RSSI 2. A 2% band absorbs emulation measurement noise.
 		const band = 0.02
-		for i := range inst.UserIDs {
+		for i := range tr.perUser[0] {
 			totalUsers++
 			switch {
-			case perUser[0][i] > perUser[1][i]*(1+band):
+			case tr.perUser[0][i] > tr.perUser[1][i]*(1+band):
 				betterG++
-			case perUser[0][i] < perUser[1][i]*(1-band):
+			case tr.perUser[0][i] < tr.perUser[1][i]*(1-band):
 				worseG++
 			}
 			switch {
-			case perUser[0][i] > perUser[2][i]*(1+band):
+			case tr.perUser[0][i] > tr.perUser[2][i]*(1+band):
 				betterR++
-			case perUser[0][i] < perUser[2][i]*(1-band):
+			case tr.perUser[0][i] < tr.perUser[2][i]*(1-band):
 				worseR++
 			}
 		}

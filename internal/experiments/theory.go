@@ -10,6 +10,8 @@ import (
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/netsim"
 	"github.com/plcwifi/wolt/internal/nphard"
+	"github.com/plcwifi/wolt/internal/parallel"
+	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/topology"
 )
@@ -25,12 +27,15 @@ type NPHardResult struct {
 }
 
 // NPHard runs Options.Trials random PARTITION instances (default 50)
-// through both the Theorem 1 reduction and the subset-sum DP.
+// through both the Theorem 1 reduction and the subset-sum DP. Instances
+// fan out over Options.Workers goroutines; each trial draws its weights
+// from its own derived stream, so results are bit-identical for any
+// worker count.
 func NPHard(opts Options) (*NPHardResult, error) {
 	opts = opts.withDefaults(50)
-	rng := rand.New(rand.NewSource(opts.Seed))
-	res := &NPHardResult{}
-	for trial := 0; trial < opts.Trials; trial++ {
+	type verdict struct{ agreed, positive bool }
+	verdicts, err := parallel.Map(opts.context(), opts.Trials, opts.Workers, func(trial int) (verdict, error) {
+		rng := rand.New(rand.NewSource(seed.Derive(opts.Seed, seed.NPHardTrial, int64(trial))))
 		m := 2 + rng.Intn(9)
 		weights := make([]int, m)
 		for i := range weights {
@@ -39,17 +44,24 @@ func NPHard(opts Options) (*NPHardResult, error) {
 		in := nphard.Instance{Weights: weights}
 		viaReduction, _, err := nphard.SolvePartition(in)
 		if err != nil {
-			return nil, fmt.Errorf("reduction on %v: %w", weights, err)
+			return verdict{}, fmt.Errorf("reduction on %v: %w", weights, err)
 		}
 		viaDP, err := nphard.PartitionDP(in)
 		if err != nil {
-			return nil, err
+			return verdict{}, err
 		}
+		return verdict{agreed: viaReduction == viaDP, positive: viaDP}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &NPHardResult{}
+	for _, v := range verdicts {
 		res.Instances++
-		if viaReduction == viaDP {
+		if v.agreed {
 			res.Agreed++
 		}
-		if viaDP {
+		if v.positive {
 			res.Positives++
 		}
 	}
@@ -80,43 +92,51 @@ type GapResult struct {
 
 // Gap runs Options.Trials small random networks (default 40) and compares
 // every policy against the exhaustive optimum under the redistribution
-// model.
+// model. Instances fan out over Options.Workers goroutines with
+// bit-identical results for any worker count.
 func Gap(opts Options) (*GapResult, error) {
 	opts = opts.withDefaults(40)
-	res := &GapResult{}
-	for trial := 0; trial < opts.Trials; trial++ {
-		scen := NewTestbedScenario(opts.Seed + int64(trial))
+	ratios, err := parallel.Map(opts.context(), opts.Trials, opts.Workers, func(trial int) ([3]float64, error) {
+		scen := NewTestbedScenario(seed.Derive(opts.Seed, seed.GapTrial, int64(trial)))
 		scen.Topology.NumExtenders = 3
 		scen.Topology.NumUsers = 6
 		topo, err := topology.Generate(scen.Topology)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
 		inst := netsim.Build(topo, scen.Radio)
 
 		_, opt, err := baseline.Optimal(inst.Net, Redistribute)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
 		wolt, err := core.Assign(inst.Net, core.Options{})
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
 		greedy, err := baseline.Greedy(inst.Net, nil, Redistribute)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
 		rssi, err := baseline.RSSIByRate(inst.Net)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
+		return [3]float64{
+			stats.Ratio(model.Aggregate(inst.Net, wolt.Assign, Redistribute), opt),
+			stats.Ratio(model.Aggregate(inst.Net, greedy, Redistribute), opt),
+			stats.Ratio(model.Aggregate(inst.Net, rssi, Redistribute), opt),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &GapResult{}
+	for _, r := range ratios {
 		res.Instances++
-		res.Ratios = append(res.Ratios,
-			stats.Ratio(model.Aggregate(inst.Net, wolt.Assign, Redistribute), opt))
-		res.GreedyRatios = append(res.GreedyRatios,
-			stats.Ratio(model.Aggregate(inst.Net, greedy, Redistribute), opt))
-		res.RSSIRatios = append(res.RSSIRatios,
-			stats.Ratio(model.Aggregate(inst.Net, rssi, Redistribute), opt))
+		res.Ratios = append(res.Ratios, r[0])
+		res.GreedyRatios = append(res.GreedyRatios, r[1])
+		res.RSSIRatios = append(res.RSSIRatios, r[2])
 	}
 	return res, nil
 }

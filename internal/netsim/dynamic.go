@@ -7,6 +7,7 @@ import (
 
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/radio"
+	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/topology"
 	"github.com/plcwifi/wolt/internal/workload"
@@ -74,7 +75,7 @@ func RunDynamic(cfg DynamicConfig, policy Policy) ([]EpochResult, error) {
 	}
 	// Positions for arriving users come from a dedicated stream so the
 	// trace and the geometry stay independently reproducible.
-	posRng := rand.New(rand.NewSource(cfg.Topology.Seed + 7919))
+	posRng := rand.New(rand.NewSource(seed.Derive(cfg.Topology.Seed, seed.NetsimPositions, 0)))
 
 	// Current association, keyed by topology user ID.
 	current := make(map[int]int, len(topo.Users))

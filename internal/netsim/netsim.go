@@ -21,6 +21,7 @@ import (
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/radio"
+	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/topology"
 )
@@ -233,8 +234,8 @@ type StaticConfig struct {
 	Topology topology.Config
 	// Radio is the WiFi model; the zero value selects radio.DefaultModel.
 	Radio *radio.Model
-	// Trials is the number of independent topologies (seeded
-	// Topology.Seed, Seed+1, …).
+	// Trials is the number of independent topologies; trial t's topology
+	// seed is seed.Derive(Topology.Seed, seed.NetsimTrial, t).
 	Trials int
 	// ModelOpts selects the evaluation model (redistribution on for all
 	// paper experiments).
@@ -244,6 +245,10 @@ type StaticConfig struct {
 	// count: each trial's topology seed depends only on its index, and
 	// trial t always lands at Trials[t].
 	Workers int
+	// Ctx cancels a running experiment between trials; nil means
+	// context.Background(). On cancellation RunStatic returns promptly
+	// with the context's error.
+	Ctx context.Context
 }
 
 func (c StaticConfig) radioModel() radio.Model {
@@ -311,15 +316,20 @@ func (r StaticResult) MeanSaturation() float64 {
 //
 // Trials are independent and run on cfg.Workers goroutines; the result
 // is bit-identical for every worker count because trial t's topology
-// seed is Topology.Seed+t regardless of which worker runs it, and its
-// outcome always lands at Trials[t]. Policy sets containing a policy
-// with shared mutable state (RandomPolicy) are forced onto one worker.
+// seed is seed.Derive(Topology.Seed, seed.NetsimTrial, t) regardless of
+// which worker runs it, and its outcome always lands at Trials[t].
+// Policy sets containing a policy with shared mutable state
+// (RandomPolicy) are forced onto one worker.
 func RunStatic(cfg StaticConfig, policies []Policy) ([]StaticResult, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("netsim: non-positive trial count %d", cfg.Trials)
 	}
 	if len(policies) == 0 {
 		return nil, fmt.Errorf("netsim: no policies")
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rm := cfg.radioModel()
 	results := make([]StaticResult, len(policies))
@@ -330,9 +340,9 @@ func RunStatic(cfg StaticConfig, policies []Policy) ([]StaticResult, error) {
 	if forcesSequential(policies) {
 		workers = 1
 	}
-	err := parallel.ForEach(context.Background(), cfg.Trials, workers, func(trial int) error {
+	err := parallel.ForEach(ctx, cfg.Trials, workers, func(trial int) error {
 		topoCfg := cfg.Topology
-		topoCfg.Seed += int64(trial)
+		topoCfg.Seed = seed.Derive(cfg.Topology.Seed, seed.NetsimTrial, int64(trial))
 		ws := wsPool.Get().(*trialWorkspace)
 		defer wsPool.Put(ws)
 		trs, err := runTrial(topoCfg, rm, policies, cfg.ModelOpts, ws)

@@ -7,6 +7,7 @@ import (
 
 	"github.com/plcwifi/wolt/internal/core"
 	"github.com/plcwifi/wolt/internal/radio"
+	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/topology"
 )
 
@@ -84,7 +85,7 @@ func TestRunTrialMatchesRunStatic(t *testing.T) {
 	}
 	for trial := 0; trial < cfg.Trials; trial++ {
 		tc := topoCfg
-		tc.Seed += int64(trial)
+		tc.Seed = seed.Derive(topoCfg.Seed, seed.NetsimTrial, int64(trial))
 		trs, err := RunTrial(tc, radio.DefaultModel(), staticPolicies(), redistribute)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,81 @@
+package seed
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDeriveIsPure(t *testing.T) {
+	a := Derive(2020, Fig4Trial, 17)
+	b := Derive(2020, Fig4Trial, 17)
+	if a != b {
+		t.Fatalf("Derive not deterministic: %d vs %d", a, b)
+	}
+}
+
+// TestDeriveInjectiveWithinStream exercises the in-stream guarantee:
+// for a fixed (base, stream), distinct indices yield distinct seeds.
+func TestDeriveInjectiveWithinStream(t *testing.T) {
+	const n = 200000
+	seen := make(map[int64]int64, n)
+	for i := int64(0); i < n; i++ {
+		s := Derive(2020, NetsimTrial, i)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("indices %d and %d collide on seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+// TestDeriveStreamsDoNotCollideNearby reproduces the failure mode of the
+// old additive scheme (seed+j vs seed+100+active overlapped for nearby
+// offsets) and asserts the deriver keeps every pair of streams disjoint
+// across a generous window of small indices.
+func TestDeriveStreamsDoNotCollideNearby(t *testing.T) {
+	streams := []Stream{
+		NetsimTrial, NetsimPositions, SweepPoint, SweepTrial,
+		Fig2aLocation, Fig2bLines, Fig2cSolo, Fig2cShared,
+		Fig4Trial, ClaimsFig5Trial, ChannelsTrial, QoSTrial,
+		NPHardTrial, GapTrial,
+	}
+	const window = 1024
+	seen := make(map[int64]string, len(streams)*window)
+	for _, st := range streams {
+		for i := int64(0); i < window; i++ {
+			s := Derive(2020, st, i)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("stream %d index %d collides with %s on seed %d", st, i, prev, s)
+			}
+			seen[s] = fmt.Sprintf("stream %d index %d", st, i)
+		}
+	}
+}
+
+// TestOldAdditiveSchemeCollides documents why the deriver exists: under
+// seed+k arithmetic the Fig2c shared stream (seed+100+active) lands on
+// the same integers as a solo stream shifted by 100, i.e. the streams
+// are literally equal, not merely correlated.
+func TestOldAdditiveSchemeCollides(t *testing.T) {
+	base := int64(2020)
+	soloSeed := func(j int64) int64 { return base + j }
+	sharedSeed := func(active int64) int64 { return base + 100 + active }
+	if soloSeed(103) != sharedSeed(3) {
+		t.Fatal("premise broken: additive streams should overlap")
+	}
+	if Derive(base, Fig2cSolo, 103) == Derive(base, Fig2cShared, 3) {
+		t.Fatal("derived streams collide where the additive scheme did")
+	}
+}
+
+func TestDeriveDependsOnEveryArgument(t *testing.T) {
+	ref := Derive(1, NetsimTrial, 0)
+	if Derive(2, NetsimTrial, 0) == ref {
+		t.Error("base ignored")
+	}
+	if Derive(1, NetsimPositions, 0) == ref {
+		t.Error("stream ignored")
+	}
+	if Derive(1, NetsimTrial, 1) == ref {
+		t.Error("index ignored")
+	}
+}

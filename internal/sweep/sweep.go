@@ -14,6 +14,7 @@ import (
 	"github.com/plcwifi/wolt/internal/netsim"
 	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/radio"
+	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/topology"
 )
@@ -45,6 +46,10 @@ type Config struct {
 	// for every worker count: each task's seed depends only on its grid
 	// point and trial index, never on scheduling.
 	Workers int
+	// Ctx cancels a running sweep between tasks; nil means
+	// context.Background(). On cancellation Run returns promptly with
+	// the context's error.
+	Ctx context.Context
 }
 
 // Grid builds the cartesian product of the given axes with a fixed
@@ -74,7 +79,8 @@ type Result struct {
 
 // Run evaluates every grid point. The (point × trial) task grid is
 // flattened and fanned out over cfg.Workers goroutines; the task for
-// point pi, trial t seeds its topology with Seed + pi*1000 + t, so the
+// point pi, trial t seeds its topology with the nested derivation
+// seed.Derive(seed.Derive(Seed, SweepPoint, pi), SweepTrial, t), so the
 // output is bit-identical for every worker count. The saturation index
 // is computed from the WOLT evaluation each trial already performs —
 // the trials are not re-solved for it.
@@ -100,18 +106,23 @@ func Run(cfg Config) ([]Result, error) {
 		netsim.RSSIPolicy{},
 	}
 
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := parallel.Workers(cfg.Workers)
 	nTasks := len(cfg.Points) * trials
-	trialGrid, err := parallel.Map(context.Background(), nTasks, workers, func(t int) ([]netsim.TrialResult, error) {
+	trialGrid, err := parallel.Map(ctx, nTasks, workers, func(t int) ([]netsim.TrialResult, error) {
 		pi, trial := t/trials, t%trials
 		pt := cfg.Points[pi]
+		pointSeed := seed.Derive(cfg.Seed, seed.SweepPoint, int64(pi))
 		topoCfg := topology.Config{
 			Width: 100, Height: 100,
 			NumExtenders:       pt.Extenders,
 			NumUsers:           pt.Users,
 			PLCCapacityMinMbps: pt.CapMin,
 			PLCCapacityMaxMbps: pt.CapMax,
-			Seed:               cfg.Seed + int64(pi)*1000 + int64(trial),
+			Seed:               seed.Derive(pointSeed, seed.SweepTrial, int64(trial)),
 		}
 		trs, err := netsim.RunTrial(topoCfg, rm, policies, cfg.ModelOpts)
 		if err != nil {

@@ -1,0 +1,22 @@
+#!/bin/sh
+# lint-seeds.sh — forbid ad-hoc additive seed arithmetic.
+#
+# All seed derivation must go through seed.Derive(base, stream, index)
+# (internal/seed): additive schemes like Seed+int64(trial) or
+# NewSource(opts.Seed+100+...) can collide across streams and silently
+# replay each other's randomness (see DESIGN.md §7). Comment lines are
+# ignored so the history of the bug can be documented.
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern='Seed *\+= *|Seed *\+ *int64\(|Seed *\+ *[0-9]|NewSource\([A-Za-z_.]*Seed *\+|Seed *\* *[0-9]'
+bad=$(grep -rnE "$pattern" --include='*.go' . \
+	| grep -v '^\./internal/seed/' \
+	| grep -vE ':[0-9]+:\s*//' || true)
+
+if [ -n "$bad" ]; then
+	echo "seed lint: additive seed arithmetic found — use seed.Derive instead:" >&2
+	echo "$bad" >&2
+	exit 1
+fi
+echo "seed lint: clean"
