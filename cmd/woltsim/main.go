@@ -5,7 +5,8 @@
 //	woltsim [flags] <experiment>
 //
 // Experiments: fig2a fig2b fig2c fig3 fig4a fig4b fig4c fig5 fig6a
-// fig6b fig6c fairness nphard gap sweep mobility channels qos verify all
+// fig6b fig6c fairness nphard gap solve sweep mobility channels qos
+// verify all
 //
 // Each experiment prints one or more paper-style tables. See DESIGN.md
 // for the experiment ↔ paper mapping and EXPERIMENTS.md for recorded
@@ -21,11 +22,13 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/plcwifi/wolt/internal/experiments"
 	"github.com/plcwifi/wolt/internal/export"
+	"github.com/plcwifi/wolt/internal/strategy"
 )
 
 func main() {
@@ -49,6 +52,7 @@ func run(args []string) error {
 		macDur    = fs.Float64("mac-duration", 0, "simulated seconds for MAC-level runs (0 = 20)")
 		emuDur    = fs.Duration("emu-duration", 0, "wall-clock window per emulated flow (0 = 1s)")
 		workers   = fs.Int("workers", 0, "worker goroutines for trial fan-out (0 = all cores); results are identical for any value")
+		strat     = fs.String("strategy", "", "restrict strategy-iterating experiments to one registry strategy ("+strings.Join(strategy.Names(), " ")+")")
 		csvDir    = fs.String("csv", "", "also write each table as CSV into this directory")
 	)
 	fs.Usage = func() {
@@ -62,6 +66,19 @@ func run(args []string) error {
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one experiment, got %d", fs.NArg())
+	}
+	if *strat != "" {
+		valid := false
+		for _, name := range strategy.Names() {
+			if name == *strat {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fmt.Errorf("unknown strategy %q (want one of: %s)",
+				*strat, strings.Join(strategy.Names(), " "))
+		}
 	}
 	// Ctrl-C / SIGTERM cancel the context, which every fan-out driver
 	// checks before claiming more work — experiments stop promptly
@@ -77,6 +94,7 @@ func run(args []string) error {
 		MACDuration: *macDur,
 		EmuDuration: *emuDur,
 		Workers:     *workers,
+		Strategy:    *strat,
 	}
 
 	name := fs.Arg(0)
@@ -142,6 +160,7 @@ func registry() map[string]runnerFunc {
 		"fairness": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Fairness(o) }),
 		"nphard":   wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.NPHard(o) }),
 		"gap":      wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Gap(o) }),
+		"solve":    wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Solve(o) }),
 		"sweep":    wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Sweep(o) }),
 		"mobility": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Mobility(o) }),
 		"channels": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Channels(o) }),
@@ -155,7 +174,7 @@ func registry() map[string]runnerFunc {
 func experimentIDs() []string {
 	return []string{
 		"fig2a", "fig2b", "fig2c", "fig3", "fig4a", "fig5",
-		"fig6a", "fig6b", "fairness", "nphard", "gap", "sweep", "mobility", "channels", "qos",
+		"fig6a", "fig6b", "fairness", "nphard", "gap", "solve", "sweep", "mobility", "channels", "qos",
 	}
 }
 

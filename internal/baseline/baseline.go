@@ -220,17 +220,77 @@ func SelfishAddWith(s *model.EvalScratch, n *model.Network, assign model.Assignm
 // this many evaluations.
 const OptimalMaxStates = 50_000_000
 
+// OptimalLimits bounds the instance sizes Optimal will attempt. The
+// brute-force search is exponential, so even modest inputs can hang the
+// process for hours; these guards turn that failure mode into a
+// descriptive error instead. The zero value of any field means
+// "use the default for that field".
+type OptimalLimits struct {
+	// MaxUsers caps |U|; the search visits up to |A|^|U| states.
+	MaxUsers int
+	// MaxExtenders caps |A|.
+	MaxExtenders int
+	// MaxStates caps the total evaluation count |A|^|U|.
+	MaxStates float64
+}
+
+// DefaultOptimalLimits are the limits Optimal applies: generous enough
+// for every case study in the paper (≤6 users, ≤3 extenders) with head
+// room, but far below anything that would stall a solve.
+var DefaultOptimalLimits = OptimalLimits{
+	MaxUsers:     16,
+	MaxExtenders: 16,
+	MaxStates:    OptimalMaxStates,
+}
+
+// withDefaults fills zero fields from DefaultOptimalLimits.
+func (l OptimalLimits) withDefaults() OptimalLimits {
+	if l.MaxUsers <= 0 {
+		l.MaxUsers = DefaultOptimalLimits.MaxUsers
+	}
+	if l.MaxExtenders <= 0 {
+		l.MaxExtenders = DefaultOptimalLimits.MaxExtenders
+	}
+	if l.MaxStates <= 0 {
+		l.MaxStates = DefaultOptimalLimits.MaxStates
+	}
+	return l
+}
+
 // Optimal exhaustively searches all associations and returns the best
-// assignment and its aggregate throughput. It errors out when the state
-// space exceeds OptimalMaxStates.
+// assignment and its aggregate throughput. It errors out with a
+// descriptive message when the instance exceeds DefaultOptimalLimits;
+// use OptimalBounded to supply custom limits.
 func Optimal(n *model.Network, opts model.Options) (model.Assignment, float64, error) {
+	return OptimalBounded(n, opts, DefaultOptimalLimits)
+}
+
+// OptimalBounded is Optimal with caller-chosen instance-size limits.
+// Zero limit fields fall back to DefaultOptimalLimits.
+func OptimalBounded(n *model.Network, opts model.Options, limits OptimalLimits) (model.Assignment, float64, error) {
+	return OptimalBoundedWith(nil, n, opts, limits)
+}
+
+// OptimalBoundedWith is OptimalBounded with an optional evaluation
+// scratch reused across every state of the exhaustive search; a nil
+// scratch behaves exactly like OptimalBounded.
+func OptimalBoundedWith(s *model.EvalScratch, n *model.Network, opts model.Options, limits OptimalLimits) (model.Assignment, float64, error) {
 	if err := n.Validate(); err != nil {
 		return nil, 0, err
 	}
+	limits = limits.withDefaults()
+	if u := n.NumUsers(); u > limits.MaxUsers {
+		return nil, 0, fmt.Errorf("baseline: optimal search over %d users exceeds the %d-user bound (the search is |A|^|U|; use OptimalBounded to raise it deliberately)",
+			u, limits.MaxUsers)
+	}
+	if a := n.NumExtenders(); a > limits.MaxExtenders {
+		return nil, 0, fmt.Errorf("baseline: optimal search over %d extenders exceeds the %d-extender bound (the search is |A|^|U|; use OptimalBounded to raise it deliberately)",
+			a, limits.MaxExtenders)
+	}
 	states := math.Pow(float64(n.NumExtenders()), float64(n.NumUsers()))
-	if states > OptimalMaxStates {
-		return nil, 0, fmt.Errorf("baseline: %d^%d states exceed brute-force budget",
-			n.NumExtenders(), n.NumUsers())
+	if states > limits.MaxStates {
+		return nil, 0, fmt.Errorf("baseline: %d^%d states exceed the brute-force budget of %.0f evaluations",
+			n.NumExtenders(), n.NumUsers(), limits.MaxStates)
 	}
 	assign := make(model.Assignment, n.NumUsers())
 	best := make(model.Assignment, n.NumUsers())
@@ -238,7 +298,7 @@ func Optimal(n *model.Network, opts model.Options) (model.Assignment, float64, e
 	var rec func(i int)
 	rec = func(i int) {
 		if i == n.NumUsers() {
-			res, err := model.Evaluate(n, assign, opts)
+			res, err := model.EvaluateWith(s, n, assign, opts)
 			if err != nil {
 				return
 			}

@@ -3,6 +3,7 @@ package baseline
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"github.com/plcwifi/wolt/internal/model"
@@ -322,5 +323,46 @@ func TestSelfishAddErrors(t *testing.T) {
 	assign := model.Assignment{model.Unassigned, model.Unassigned}
 	if _, err := SelfishAdd(n, assign, 5, redistribute); err == nil {
 		t.Error("out-of-range user: want error")
+	}
+}
+
+func TestOptimalLimitGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+
+	// 24 users over 2 extenders: under the state budget (2^24 ≈ 1.7e7)
+	// but over the 16-user bound.
+	n := randomNetwork(rng, 2, 24)
+	_, _, err := Optimal(n, redistribute)
+	if err == nil {
+		t.Fatal("want user-bound error for 24 users")
+	}
+	if !strings.Contains(err.Error(), "24 users exceeds the 16-user bound") {
+		t.Errorf("user-bound error = %q, want the bound named", err)
+	}
+
+	// 20 extenders over 5 users: under the state budget (20^5 = 3.2e6)
+	// but over the 16-extender bound.
+	n = randomNetwork(rng, 20, 5)
+	_, _, err = Optimal(n, redistribute)
+	if err == nil {
+		t.Fatal("want extender-bound error for 20 extenders")
+	}
+	if !strings.Contains(err.Error(), "20 extenders exceeds the 16-extender bound") {
+		t.Errorf("extender-bound error = %q, want the bound named", err)
+	}
+
+	// Raising the bounds deliberately admits the same instances.
+	wide := OptimalLimits{MaxUsers: 32, MaxExtenders: 32}
+	n = randomNetwork(rng, 3, 13) // 3^13 ≈ 1.6e6 states
+	if _, _, err := OptimalBounded(n, redistribute, wide); err != nil {
+		t.Errorf("OptimalBounded with raised limits: %v", err)
+	}
+
+	// ... but the state budget still applies through custom limits.
+	tight := OptimalLimits{MaxUsers: 64, MaxExtenders: 16, MaxStates: 1000}
+	n = randomNetwork(rng, 4, 6) // 4^6 = 4096 > 1000
+	_, _, err = OptimalBounded(n, redistribute, tight)
+	if err == nil || !strings.Contains(err.Error(), "brute-force budget") {
+		t.Errorf("state-budget error = %v, want a brute-force-budget failure", err)
 	}
 }

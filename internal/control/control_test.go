@@ -408,3 +408,22 @@ func TestWaitForMoveTimeout(t *testing.T) {
 		t.Error("want timeout error when nothing moves")
 	}
 }
+
+// TestOfflineOnlyPolicySurfacesTypedError checks the controller never
+// silently falls back when its policy has no online form: joining under
+// the exhaustive "optimal" strategy must fail with the typed sentinel's
+// message rather than hand the user an arbitrary extender.
+func TestOfflineOnlyPolicySurfacesTypedError(t *testing.T) {
+	s := fig3Server(t, PolicyKind("optimal"))
+	a := dial(t, s, 1)
+	_, err := a.Join([]float64{15, 10}, nil, testTimeout)
+	if err == nil {
+		t.Fatal("join under an offline-only policy should fail")
+	}
+	if !strings.Contains(err.Error(), "no online form") {
+		t.Errorf("join error = %q, want the no-online-form sentinel surfaced", err)
+	}
+	if !strings.Contains(err.Error(), "optimal") {
+		t.Errorf("join error = %q, want the policy named", err)
+	}
+}

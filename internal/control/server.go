@@ -8,15 +8,17 @@ import (
 	"sort"
 	"sync"
 
-	"github.com/plcwifi/wolt/internal/baseline"
-	"github.com/plcwifi/wolt/internal/core"
 	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/strategy"
 )
 
-// PolicyKind selects the controller's association policy.
+// PolicyKind selects the controller's association policy. Any name from
+// the internal/strategy registry is accepted; PolicyRSSI additionally
+// uses the agents' reported RSSI values (the registry's rates-based
+// "rssi" strategy never sees them).
 type PolicyKind string
 
-// Supported controller policies.
+// Common controller policies (any strategy registry name works).
 const (
 	PolicyWOLT   PolicyKind = "wolt"
 	PolicyGreedy PolicyKind = "greedy"
@@ -41,6 +43,11 @@ type ServerConfig struct {
 type Server struct {
 	cfg      ServerConfig
 	listener net.Listener
+	// strategy is the configured association strategy (nil for
+	// PolicyRSSI, which places users by their reported signal instead).
+	// It is only used under mu: strategy instances are not safe for
+	// concurrent solves.
+	strategy strategy.Strategy
 
 	mu             sync.Mutex
 	users          map[int]*userState
@@ -70,12 +77,16 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 			return nil, fmt.Errorf("control: extender %d has non-positive capacity %v", j, c)
 		}
 	}
-	switch cfg.Policy {
-	case "":
+	if cfg.Policy == "" {
 		cfg.Policy = PolicyWOLT
-	case PolicyWOLT, PolicyGreedy, PolicyRSSI:
-	default:
-		return nil, fmt.Errorf("control: unknown policy %q", cfg.Policy)
+	}
+	var st strategy.Strategy
+	if cfg.Policy != PolicyRSSI {
+		var err error
+		st, err = strategy.New(string(cfg.Policy), strategy.Config{ModelOpts: cfg.ModelOpts})
+		if err != nil {
+			return nil, fmt.Errorf("control: %w", err)
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -84,6 +95,7 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		listener: ln,
+		strategy: st,
 		users:    make(map[int]*userState),
 		conns:    make(map[*jsonConn]struct{}),
 		closed:   make(chan struct{}),
@@ -292,14 +304,17 @@ func (s *Server) handleUpdate(msg Message) error {
 	}
 	u.rates = append([]float64(nil), msg.Rates...)
 	u.rssi = append([]float64(nil), msg.RSSI...)
-	switch s.cfg.Policy {
-	case PolicyGreedy:
-		// Greedy never reassigns; the refreshed report only affects
-		// placements of future arrivals.
-		return nil
-	default:
+	if s.cfg.Policy == PolicyRSSI {
+		// Client roaming: re-place just the reporting user.
 		return s.recomputeLocked(msg.UserID)
 	}
+	if _, ok := s.strategy.(strategy.Reassigner); ok {
+		// Recomputing strategies (the WOLT variants) may move anyone.
+		return s.recomputeLocked(msg.UserID)
+	}
+	// Arrival-only strategies (greedy, selfish, random) never reassign;
+	// the refreshed report only affects placements of future arrivals.
+	return nil
 }
 
 func (s *Server) removeUser(id int) {
@@ -338,18 +353,8 @@ func (s *Server) recomputeLocked(newUser int) error {
 		}
 	}
 
-	switch s.cfg.Policy {
-	case PolicyWOLT:
-		res, err := core.Assign(n, core.Options{})
-		if err != nil {
-			return err
-		}
-		assign = res.Assign
-	case PolicyGreedy:
-		if _, err := baseline.GreedyAdd(n, assign, newRow, s.cfg.ModelOpts); err != nil {
-			return err
-		}
-	case PolicyRSSI:
+	switch {
+	case s.cfg.Policy == PolicyRSSI:
 		u := s.users[newUser]
 		best, bestSig := model.Unassigned, -1e18
 		for j, r := range u.rates {
@@ -365,6 +370,11 @@ func (s *Server) recomputeLocked(newUser int) error {
 			}
 		}
 		assign[newRow] = best
+	default:
+		var err error
+		if assign, err = s.applyStrategy(n, assign, newRow); err != nil {
+			return err
+		}
 	}
 
 	// Push directives for every changed user.
@@ -390,6 +400,26 @@ func (s *Server) recomputeLocked(newUser int) error {
 		}
 	}
 	return nil
+}
+
+// applyStrategy runs the configured strategy after newRow joined (or
+// reported fresh rates): recomputing strategies may move anyone, online
+// strategies place just the new user, and offline-only strategies (the
+// exhaustive "optimal") are rejected with a typed error wrapping
+// strategy.ErrNoOnlineForm — the controller never silently falls back
+// to a different policy than the one configured.
+func (s *Server) applyStrategy(n *model.Network, assign model.Assignment, newRow int) (model.Assignment, error) {
+	if re, ok := s.strategy.(strategy.Reassigner); ok {
+		return re.Reassign(n, assign)
+	}
+	if on, ok := s.strategy.(strategy.Online); ok {
+		if _, err := on.Add(n, assign, newRow); err != nil {
+			return nil, err
+		}
+		return assign, nil
+	}
+	return nil, fmt.Errorf("control: policy %q cannot place an arriving user: %w",
+		s.cfg.Policy, strategy.ErrNoOnlineForm)
 }
 
 func (s *Server) logf(format string, args ...any) {

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/nlp"
+	"github.com/plcwifi/wolt/internal/seed"
+)
+
+// benchNetwork builds a paper-scale enterprise instance: dense enough
+// that Phase II dominates, sparse enough to exercise the reachability
+// handling.
+func benchNetwork(users, extenders int) *model.Network {
+	rng := seed.Root(2020)
+	steps := []float64{6, 9, 12, 18, 24, 36, 48, 54}
+	n := &model.Network{
+		WiFiRates: make([][]float64, users),
+		PLCCaps:   make([]float64, extenders),
+	}
+	for j := range n.PLCCaps {
+		n.PLCCaps[j] = 300 + 500*rng.Float64()
+	}
+	for i := range n.WiFiRates {
+		n.WiFiRates[i] = make([]float64, extenders)
+		reachable := false
+		for j := range n.WiFiRates[i] {
+			if rng.Float64() < 0.5 {
+				n.WiFiRates[i][j] = steps[rng.Intn(len(steps))]
+				reachable = true
+			}
+		}
+		if !reachable {
+			n.WiFiRates[i][rng.Intn(extenders)] = steps[rng.Intn(len(steps))]
+		}
+	}
+	return n
+}
+
+// BenchmarkLargeSolve measures one full WOLT solve (Phase I Hungarian +
+// deterministic-parallel Phase II) on a 2k-user, 32-extender instance at
+// one worker vs every core. Results are bit-identical across the two
+// (see TestProjectedGradientWorkerBitIdentity); only wall-clock differs.
+func BenchmarkLargeSolve(b *testing.B) {
+	n := benchNetwork(2000, 32)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var ws Scratch
+			opts := Options{NLP: nlp.Options{Workers: workers}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := AssignWith(&ws, n, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/nlp"
@@ -43,6 +44,7 @@ func AssignProportionalFair(n *model.Network, opts Options) (*Result, error) {
 	for _, i := range base.PhaseIUsers {
 		fixed[i] = base.Assign[i]
 	}
+	phase2Start := time.Now()
 	sol, err := nlp.SolveCoordinateWith(
 		nlp.Problem{Rates: n.WiFiRates, Fixed: fixed},
 		nlp.ProportionalFair,
@@ -51,9 +53,12 @@ func AssignProportionalFair(n *model.Network, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("fair phase II: %w", err)
 	}
 	return &Result{
-		Assign:        sol.Assign,
-		PhaseIUsers:   base.PhaseIUsers,
-		PhaseIUtility: base.PhaseIUtility,
-		Phase2:        sol,
+		Assign:              sol.Assign,
+		PhaseIUsers:         base.PhaseIUsers,
+		PhaseIUtility:       base.PhaseIUtility,
+		Phase2:              sol,
+		Phase1Time:          base.Phase1Time,
+		Phase2Time:          time.Since(phase2Start),
+		Phase1Augmentations: base.Phase1Augmentations,
 	}, nil
 }

@@ -21,6 +21,9 @@ type IncrementalResult struct {
 	// WOLT association; AchievedAggregate is the budgeted result's.
 	TargetAggregate   float64
 	AchievedAggregate float64
+	// Target carries the unconstrained WOLT solve the moves steer
+	// toward, including its phase diagnostics.
+	Target *Result
 }
 
 // AssignIncremental moves the network toward the full WOLT association
@@ -36,6 +39,14 @@ type IncrementalResult struct {
 // unlimited (equivalent to full recomputation restricted to
 // target-directed moves).
 func AssignIncremental(n *model.Network, prev model.Assignment, budget int, opts Options, evalOpts model.Options) (*IncrementalResult, error) {
+	return AssignIncrementalWith(nil, nil, n, prev, budget, opts, evalOpts)
+}
+
+// AssignIncrementalWith is AssignIncremental with optional caller-provided
+// scratches: cs backs the inner unconstrained WOLT solve and es the
+// candidate-move evaluations. Nil scratches behave exactly like
+// AssignIncremental.
+func AssignIncrementalWith(cs *Scratch, es *model.EvalScratch, n *model.Network, prev model.Assignment, budget int, opts Options, evalOpts model.Options) (*IncrementalResult, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -44,11 +55,11 @@ func AssignIncremental(n *model.Network, prev model.Assignment, budget int, opts
 			len(prev), n.NumUsers())
 	}
 
-	target, err := Assign(n, opts)
+	target, err := AssignWith(cs, n, opts)
 	if err != nil {
 		return nil, err
 	}
-	res := &IncrementalResult{Assign: prev.Clone()}
+	res := &IncrementalResult{Assign: prev.Clone(), Target: target}
 
 	// Arrivals go straight to their target (free).
 	for i, j := range prev {
@@ -69,8 +80,10 @@ func AssignIncremental(n *model.Network, prev model.Assignment, budget int, opts
 	// Only aggregates are read from the candidate evaluations, so one
 	// scratch serves the whole greedy search without re-allocating the
 	// evaluation buffers per candidate.
-	var scratch model.EvalScratch
-	current, err := model.EvaluateWith(&scratch, n, res.Assign, evalOpts)
+	if es == nil {
+		es = &model.EvalScratch{}
+	}
+	current, err := model.EvaluateWith(es, n, res.Assign, evalOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +94,7 @@ func AssignIncremental(n *model.Network, prev model.Assignment, budget int, opts
 		for idx, user := range candidates {
 			old := res.Assign[user]
 			res.Assign[user] = target.Assign[user]
-			eval, err := model.EvaluateWith(&scratch, n, res.Assign, evalOpts)
+			eval, err := model.EvaluateWith(es, n, res.Assign, evalOpts)
 			res.Assign[user] = old
 			if err != nil {
 				return nil, err

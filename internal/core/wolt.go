@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/plcwifi/wolt/internal/hungarian"
 	"github.com/plcwifi/wolt/internal/model"
@@ -78,6 +79,13 @@ type Result struct {
 	// Phase2 carries the Phase II solver diagnostics (nil when every
 	// user was already placed in Phase I).
 	Phase2 *nlp.Solution
+	// Phase1Time and Phase2Time are the wall-clock durations of the two
+	// phases (utility build + matching, and the NLP solve).
+	Phase1Time time.Duration
+	Phase2Time time.Duration
+	// Phase1Augmentations counts the Hungarian solver's shortest-
+	// augmenting-path steps; zero when the auction solver ran.
+	Phase1Augmentations int
 }
 
 // Scratch holds reusable buffers for repeated WOLT solves: the Phase I
@@ -179,6 +187,7 @@ func AssignWith(s *Scratch, n *model.Network, opts Options) (*Result, error) {
 	}
 
 	// Phase I: assignment problem over u_ij.
+	phase1Start := time.Now()
 	var local Scratch
 	if s == nil {
 		s = &local
@@ -188,13 +197,15 @@ func AssignWith(s *Scratch, n *model.Network, opts Options) (*Result, error) {
 	// pairings are discarded below, so the utility is re-summed over the
 	// retained pairs only.
 	var (
-		match []int
-		err   error
+		match         []int
+		err           error
+		augmentations int
 	)
 	if opts.Phase1 == Phase1Auction {
 		match, _, err = hungarian.AuctionMaximize(utilities)
 	} else {
 		match, _, err = s.hung.Maximize(utilities)
+		augmentations = s.hung.Augmentations()
 	}
 	if err != nil {
 		return nil, fmt.Errorf("phase I: %w", err)
@@ -216,8 +227,10 @@ func AssignWith(s *Scratch, n *model.Network, opts Options) (*Result, error) {
 	}
 
 	res := &Result{
-		PhaseIUsers:   phase1,
-		PhaseIUtility: phase1Utility,
+		PhaseIUsers:         phase1,
+		PhaseIUtility:       phase1Utility,
+		Phase1Time:          time.Since(phase1Start),
+		Phase1Augmentations: augmentations,
 	}
 
 	// Phase II: place the remaining users.
@@ -225,6 +238,7 @@ func AssignWith(s *Scratch, n *model.Network, opts Options) (*Result, error) {
 		res.Assign = fixed
 		return res, nil
 	}
+	phase2Start := time.Now()
 	problem := nlp.Problem{Rates: n.WiFiRates, Fixed: fixed}
 	var sol *nlp.Solution
 	switch opts.Solver {
@@ -240,6 +254,7 @@ func AssignWith(s *Scratch, n *model.Network, opts Options) (*Result, error) {
 	}
 	res.Assign = sol.Assign
 	res.Phase2 = sol
+	res.Phase2Time = time.Since(phase2Start)
 	return res, nil
 }
 

@@ -2,17 +2,15 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 
-	"github.com/plcwifi/wolt/internal/baseline"
-	"github.com/plcwifi/wolt/internal/core"
 	"github.com/plcwifi/wolt/internal/mac1901"
 	"github.com/plcwifi/wolt/internal/mac80211"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/plc"
 	"github.com/plcwifi/wolt/internal/seed"
+	"github.com/plcwifi/wolt/internal/strategy"
 )
 
 // Fig2aResult reproduces Fig 2a: two saturated WiFi clients on one
@@ -52,7 +50,7 @@ func Fig2a(opts Options) (*Fig2aResult, error) {
 			[]float64{cfg.rate1, cfg.rate2},
 			opts.MACDuration,
 			mac80211.DefaultParams(),
-			rand.New(rand.NewSource(seed.Derive(opts.Seed, seed.Fig2aLocation, int64(k)))),
+			seed.Rand(opts.Seed, seed.Fig2aLocation, int64(k)),
 		)
 		if err != nil {
 			return Fig2aLocation{}, err
@@ -99,7 +97,7 @@ type Fig2bResult struct {
 // offline capacity estimation over them.
 func Fig2b(opts Options) (*Fig2bResult, error) {
 	opts = opts.withDefaults(1)
-	rng := rand.New(rand.NewSource(seed.Derive(opts.Seed, seed.Fig2bLines, 0)))
+	rng := seed.Rand(opts.Seed, seed.Fig2bLines, 0)
 	lineModel := plc.DefaultLineModel()
 	// Four outlets of clearly different line quality, mirroring the
 	// paper's 60–160 Mbps spread.
@@ -158,7 +156,7 @@ func Fig2c(opts Options) (*Fig2cResult, error) {
 		if t < len(caps) {
 			sim, err := mac1901.Simulate([]float64{caps[t]}, opts.MACDuration,
 				mac1901.DefaultParams(),
-				rand.New(rand.NewSource(seed.Derive(opts.Seed, seed.Fig2cSolo, int64(t)))))
+				seed.Rand(opts.Seed, seed.Fig2cSolo, int64(t)))
 			if err != nil {
 				return nil, err
 			}
@@ -167,7 +165,7 @@ func Fig2c(opts Options) (*Fig2cResult, error) {
 		active := t - len(caps) + 1
 		sim, err := mac1901.Simulate(caps[:active], opts.MACDuration,
 			mac1901.DefaultParams(),
-			rand.New(rand.NewSource(seed.Derive(opts.Seed, seed.Fig2cShared, int64(active)))))
+			seed.Rand(opts.Seed, seed.Fig2cShared, int64(active)))
 		if err != nil {
 			return nil, err
 		}
@@ -230,48 +228,39 @@ func Fig3Network() *model.Network {
 	}
 }
 
-// Fig3 evaluates the case study.
+// Fig3 evaluates the case study, resolving every policy through the
+// strategy registry.
 func Fig3() (*Fig3Result, error) {
 	n := Fig3Network()
 	res := &Fig3Result{PerUser: make(map[string][]float64)}
 
-	record := func(name string, assign model.Assignment) (float64, error) {
+	policies := []struct {
+		display, name string
+		mbps          *float64
+	}{
+		{"RSSI", "rssi", &res.RSSIMbps},
+		{"Greedy", "greedy", &res.GreedyMbps},
+		{"Optimal", "optimal", &res.OptimalMbps},
+		{"WOLT", "wolt", &res.WOLTMbps},
+	}
+	for _, p := range policies {
+		st, err := strategy.New(p.name, strategy.Config{ModelOpts: Redistribute})
+		if err != nil {
+			return nil, err
+		}
+		assign, err := st.Solve(n)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.display, err)
+		}
 		eval, err := model.Evaluate(n, assign, Redistribute)
 		if err != nil {
-			return 0, fmt.Errorf("%s: %w", name, err)
+			return nil, fmt.Errorf("%s: %w", p.display, err)
 		}
-		res.PerUser[name] = eval.PerUser
-		return eval.Aggregate, nil
-	}
-
-	rssi, err := baseline.RSSIByRate(n)
-	if err != nil {
-		return nil, err
-	}
-	if res.RSSIMbps, err = record("RSSI", rssi); err != nil {
-		return nil, err
-	}
-	greedy, err := baseline.Greedy(n, nil, Redistribute)
-	if err != nil {
-		return nil, err
-	}
-	if res.GreedyMbps, err = record("Greedy", greedy); err != nil {
-		return nil, err
-	}
-	optimal, _, err := baseline.Optimal(n, Redistribute)
-	if err != nil {
-		return nil, err
-	}
-	if res.OptimalMbps, err = record("Optimal", optimal); err != nil {
-		return nil, err
-	}
-	wolt, err := core.Assign(n, core.Options{})
-	if err != nil {
-		return nil, err
-	}
-	res.WOLTAssign = wolt.Assign
-	if res.WOLTMbps, err = record("WOLT", wolt.Assign); err != nil {
-		return nil, err
+		res.PerUser[p.display] = eval.PerUser
+		*p.mbps = eval.Aggregate
+		if p.display == "WOLT" {
+			res.WOLTAssign = assign
+		}
 	}
 	return res, nil
 }

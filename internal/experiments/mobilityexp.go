@@ -1,14 +1,15 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 
-	"github.com/plcwifi/wolt/internal/core"
 	"github.com/plcwifi/wolt/internal/mobility"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/netsim"
 	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/stats"
+	"github.com/plcwifi/wolt/internal/strategy"
 	"github.com/plcwifi/wolt/internal/topology"
 )
 
@@ -49,13 +50,17 @@ func Mobility(opts Options) (*MobilityResult, error) {
 
 	scen := NewEnterpriseScenario(opts.Extenders, opts.Users, opts.Seed)
 	// Each strategy owns an identical copy of the world so motion is
-	// replayed identically.
+	// replayed identically. The per-tick re-association rules come from
+	// the strategy registry: "" = never reassign, "rssi" = roam to the
+	// strongest extender, "wolt" = full recompute, "wolt-incremental" =
+	// budgeted moves toward the WOLT target.
 	type world struct {
-		topo   *topology.Topology
-		fleet  *mobility.Fleet
-		assign model.Assignment
+		topo     *topology.Topology
+		fleet    *mobility.Fleet
+		assign   model.Assignment
+		strategy strategy.Reassigner // nil for the static world
 	}
-	newWorld := func() (*world, error) {
+	newWorld := func(name string) (*world, error) {
 		topo, err := topology.Generate(scen.Topology)
 		if err != nil {
 			return nil, err
@@ -66,11 +71,29 @@ func Mobility(opts Options) (*MobilityResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &world{topo: topo, fleet: fleet}, nil
+		w := &world{topo: topo, fleet: fleet}
+		if name != "" {
+			st, err := strategy.New(name, strategy.Config{
+				ModelOpts:  Redistribute,
+				MoveBudget: moveBudget,
+				Seed:       opts.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			re, ok := st.(strategy.Reassigner)
+			if !ok {
+				return nil, fmt.Errorf("experiments: strategy %q cannot reassign: %w",
+					name, strategy.ErrNoOnlineForm)
+			}
+			w.strategy = re
+		}
+		return w, nil
 	}
-	worlds := make([]*world, 4) // static, roaming, full, budgeted
-	for k := range worlds {
-		w, err := newWorld()
+	worldStrategies := []string{"", "rssi", "wolt", "wolt-incremental"}
+	worlds := make([]*world, len(worldStrategies)) // static, roaming, full, budgeted
+	for k, name := range worldStrategies {
+		w, err := newWorld(name)
 		if err != nil {
 			return nil, err
 		}
@@ -81,11 +104,14 @@ func Mobility(opts Options) (*MobilityResult, error) {
 	// state and drifts by signal afterwards).
 	for _, w := range worlds {
 		inst := netsim.Build(w.topo, scen.Radio)
-		res, err := core.Assign(inst.Net, core.Options{})
+		initial, err := strategy.New("wolt", strategy.Config{})
 		if err != nil {
 			return nil, err
 		}
-		w.assign = res.Assign
+		w.assign, err = initial.Solve(inst.Net)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// stepOut is one world's outcome at one tick.
@@ -106,38 +132,13 @@ func Mobility(opts Options) (*MobilityResult, error) {
 			}
 			inst := netsim.Build(w.topo, scen.Radio)
 			var out stepOut
-			switch k {
-			case 0: // static: never re-associate
-			case 1: // roaming: strongest signal each tick
-				for i := range w.assign {
-					best, bestSig := w.assign[i], -1e18
-					for j, sig := range inst.RSSI[i] {
-						if inst.Net.WiFiRates[i][j] <= 0 {
-							continue
-						}
-						if sig > bestSig {
-							best, bestSig = j, sig
-						}
-					}
-					if best != w.assign[i] {
-						w.assign[i] = best
-						out.moves++
-					}
-				}
-			case 2: // full WOLT recomputation
-				res, err := core.Assign(inst.Net, core.Options{})
+			if w.strategy != nil {
+				next, err := w.strategy.Reassign(inst.Net, w.assign)
 				if err != nil {
 					return stepOut{}, err
 				}
-				out.moves = w.assign.Diff(res.Assign)
-				w.assign = res.Assign
-			case 3: // budgeted incremental WOLT
-				res, err := core.AssignIncremental(inst.Net, w.assign, moveBudget, core.Options{}, Redistribute)
-				if err != nil {
-					return stepOut{}, err
-				}
-				out.moves = len(res.Moves)
-				w.assign = res.Assign
+				out.moves = w.assign.Diff(next)
+				w.assign = next
 			}
 			out.aggregate = model.Aggregate(inst.Net, w.assign, Redistribute)
 			return out, nil

@@ -126,6 +126,9 @@ type Options struct {
 	// with a fan-out loop; <= 0 uses all available cores. Results are
 	// identical for every worker count.
 	Workers int
+	// Strategy restricts strategy-iterating experiments (Solve) to one
+	// registry name; empty runs all registered strategies.
+	Strategy string
 	// Ctx cancels a running experiment between units of work; nil means
 	// context.Background(). On cancellation the driver returns promptly
 	// with the context's error (the lowest-index task error otherwise).

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/netsim"
+	"github.com/plcwifi/wolt/internal/strategy"
+	"github.com/plcwifi/wolt/internal/topology"
+)
+
+// SolveRun is one strategy's instrumented solve on the shared instance.
+type SolveRun struct {
+	Strategy  string
+	Stats     strategy.Stats
+	Aggregate float64
+	// Err records strategies that refuse the instance (e.g. the
+	// exhaustive search's size guard) instead of aborting the table.
+	Err string
+}
+
+// SolveResult is the per-strategy solve instrumentation experiment: one
+// enterprise-scale instance solved by every registry strategy (or the
+// one named in Options.Strategy), with the strategy.Stats observer
+// records alongside the achieved aggregate throughput.
+type SolveResult struct {
+	Users, Extenders int
+	Runs             []SolveRun
+}
+
+// Solve builds one enterprise instance (Options.Users × Options.Extenders)
+// and solves it with each strategy, capturing per-solve Stats through
+// the observer hook. Options.Strategy restricts the run to one registry
+// name; Options.Workers feeds WOLT's intra-solve Phase II parallelism
+// (bit-identical results for any value, DESIGN.md §7).
+func Solve(opts Options) (*SolveResult, error) {
+	opts = opts.withDefaults(1)
+	names := strategy.Names()
+	if opts.Strategy != "" {
+		if _, err := strategy.New(opts.Strategy, strategy.Config{}); err != nil {
+			return nil, err
+		}
+		names = []string{opts.Strategy}
+	}
+
+	scen := NewEnterpriseScenario(opts.Extenders, opts.Users, opts.Seed)
+	topo, err := topology.Generate(scen.Topology)
+	if err != nil {
+		return nil, err
+	}
+	inst := netsim.Build(topo, scen.Radio)
+
+	res := &SolveResult{Users: inst.Net.NumUsers(), Extenders: inst.Net.NumExtenders()}
+	for _, name := range names {
+		var got []strategy.Stats
+		st, err := strategy.New(name, strategy.Config{
+			ModelOpts: Redistribute,
+			Workers:   opts.Workers,
+			Seed:      opts.Seed,
+			Observer:  func(s strategy.Stats) { got = append(got, s) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		run := SolveRun{Strategy: name}
+		assign, err := st.Solve(inst.Net)
+		if err != nil {
+			run.Err = err.Error()
+		} else {
+			if len(got) == 0 {
+				return nil, fmt.Errorf("experiments: strategy %q emitted no stats", name)
+			}
+			run.Stats = got[len(got)-1]
+			run.Aggregate = model.Aggregate(inst.Net, assign, Redistribute)
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *SolveResult) Tables() []Table {
+	t := Table{
+		Caption: fmt.Sprintf("Per-solve strategy stats (%d users × %d extenders)", r.Users, r.Extenders),
+		Header: []string{"strategy", "phase1 ms", "phase2 ms", "total ms",
+			"augment", "iters", "sweeps", "evals", "aggregate Mbps"},
+	}
+	ms := func(d time.Duration) string {
+		return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 2, 64)
+	}
+	for _, run := range r.Runs {
+		if run.Err != "" {
+			t.Rows = append(t.Rows, []string{run.Strategy, "-", "-", "-", "-", "-", "-", "-",
+				"error: " + run.Err})
+			continue
+		}
+		s := run.Stats
+		t.Rows = append(t.Rows, []string{
+			run.Strategy, ms(s.Phase1), ms(s.Phase2), ms(s.Total),
+			strconv.Itoa(s.HungarianAugmentations), strconv.Itoa(s.Phase2Iterations),
+			strconv.Itoa(s.PolishSweeps), strconv.Itoa(s.Evaluations), f1(run.Aggregate),
+		})
+	}
+	return []Table{t}
+}

@@ -2,17 +2,15 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 
-	"github.com/plcwifi/wolt/internal/baseline"
-	"github.com/plcwifi/wolt/internal/core"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/netsim"
 	"github.com/plcwifi/wolt/internal/nphard"
 	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/stats"
+	"github.com/plcwifi/wolt/internal/strategy"
 	"github.com/plcwifi/wolt/internal/topology"
 )
 
@@ -35,7 +33,7 @@ func NPHard(opts Options) (*NPHardResult, error) {
 	opts = opts.withDefaults(50)
 	type verdict struct{ agreed, positive bool }
 	verdicts, err := parallel.Map(opts.context(), opts.Trials, opts.Workers, func(trial int) (verdict, error) {
-		rng := rand.New(rand.NewSource(seed.Derive(opts.Seed, seed.NPHardTrial, int64(trial))))
+		rng := seed.Rand(opts.Seed, seed.NPHardTrial, int64(trial))
 		m := 2 + rng.Intn(9)
 		weights := make([]int, m)
 		for i := range weights {
@@ -90,10 +88,15 @@ type GapResult struct {
 	RSSIRatios   []float64
 }
 
+// gapStrategies are the policies Gap compares against the exhaustive
+// optimum, resolved through the strategy registry.
+var gapStrategies = []string{"wolt", "greedy", "rssi"}
+
 // Gap runs Options.Trials small random networks (default 40) and compares
 // every policy against the exhaustive optimum under the redistribution
 // model. Instances fan out over Options.Workers goroutines with
-// bit-identical results for any worker count.
+// bit-identical results for any worker count (each trial creates its own
+// strategy instances, so no scratch state is shared across workers).
 func Gap(opts Options) (*GapResult, error) {
 	opts = opts.withDefaults(40)
 	ratios, err := parallel.Map(opts.context(), opts.Trials, opts.Workers, func(trial int) ([3]float64, error) {
@@ -106,27 +109,29 @@ func Gap(opts Options) (*GapResult, error) {
 		}
 		inst := netsim.Build(topo, scen.Radio)
 
-		_, opt, err := baseline.Optimal(inst.Net, Redistribute)
+		reference, err := strategy.New("optimal", strategy.Config{ModelOpts: Redistribute})
 		if err != nil {
 			return [3]float64{}, err
 		}
-		wolt, err := core.Assign(inst.Net, core.Options{})
+		optAssign, err := reference.Solve(inst.Net)
 		if err != nil {
 			return [3]float64{}, err
 		}
-		greedy, err := baseline.Greedy(inst.Net, nil, Redistribute)
-		if err != nil {
-			return [3]float64{}, err
+		opt := model.Aggregate(inst.Net, optAssign, Redistribute)
+
+		var out [3]float64
+		for k, name := range gapStrategies {
+			st, err := strategy.New(name, strategy.Config{ModelOpts: Redistribute})
+			if err != nil {
+				return [3]float64{}, err
+			}
+			assign, err := st.Solve(inst.Net)
+			if err != nil {
+				return [3]float64{}, fmt.Errorf("%s: %w", name, err)
+			}
+			out[k] = stats.Ratio(model.Aggregate(inst.Net, assign, Redistribute), opt)
 		}
-		rssi, err := baseline.RSSIByRate(inst.Net)
-		if err != nil {
-			return [3]float64{}, err
-		}
-		return [3]float64{
-			stats.Ratio(model.Aggregate(inst.Net, wolt.Assign, Redistribute), opt),
-			stats.Ratio(model.Aggregate(inst.Net, greedy, Redistribute), opt),
-			stats.Ratio(model.Aggregate(inst.Net, rssi, Redistribute), opt),
-		}, nil
+		return out, nil
 	})
 	if err != nil {
 		return nil, err

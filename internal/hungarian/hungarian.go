@@ -53,7 +53,15 @@ type Workspace struct {
 	negRows    [][]float64
 	tr         []float64 // backing store for the transposed matrix (rows > cols)
 	trRows     [][]float64
+
+	augmentations int
 }
+
+// Augmentations reports how many shortest-augmenting-path steps (column
+// visits across all rows) the most recent Minimize/Maximize on this
+// workspace performed — the solver's dominant work unit, useful as a
+// scale-free cost metric for per-solve stats.
+func (w *Workspace) Augmentations() int { return w.augmentations }
 
 // Minimize solves the minimum-cost matching reusing the workspace's
 // buffers. Only the returned rowToCol slice is freshly allocated (the
@@ -104,6 +112,7 @@ func (w *Workspace) Maximize(utility [][]float64) (rowToCol []int, total float64
 // solve runs shortest augmenting path with potentials on an n×m matrix
 // with n <= m; 1-indexed internals. Inputs must already be validated.
 func (w *Workspace) solve(cost [][]float64, n, m int) (rowToCol []int, total float64) {
+	w.augmentations = 0
 	u := growFloats(&w.u, n+1)
 	v := growFloats(&w.v, m+1)
 	minv := growFloats(&w.minv, m+1)
@@ -125,6 +134,7 @@ func (w *Workspace) solve(cost [][]float64, n, m int) (rowToCol []int, total flo
 			used[j] = false
 		}
 		for {
+			w.augmentations++
 			used[j0] = true
 			i0 := p[j0]
 			delta := math.Inf(1)

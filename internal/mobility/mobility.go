@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/topology"
 )
 
@@ -70,7 +71,7 @@ func NewFleet(topo *topology.Topology, cfg Config) (*Fleet, error) {
 	f := &Fleet{
 		cfg:     cfg,
 		topo:    topo,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     seed.Root(cfg.Seed),
 		walkers: make(map[int]*Walker, len(topo.Users)),
 	}
 	for _, u := range topo.Users {

@@ -183,6 +183,13 @@ type Result struct {
 // retained. A scratch is not safe for concurrent use; give each worker
 // goroutine its own.
 type EvalScratch struct {
+	// Evals counts the evaluations performed through this scratch since
+	// the caller last reset it — the natural work metric of the
+	// probe-heavy strategies (greedy, selfish, optimal, incremental).
+	// The counter never influences results; it exists for per-solve
+	// stats reporting.
+	Evals int
+
 	invSum    []float64 // Σ 1/r_ij per extender
 	count     []int     // users per extender
 	active    []int     // extenders with >= 1 user
@@ -230,6 +237,7 @@ func EvaluateWith(s *EvalScratch, n *Network, a Assignment, opts Options) (*Resu
 	if s == nil {
 		s = &local
 	}
+	s.Evals++
 	res := &s.res
 	res.PerUser = growZeroFloats(res.PerUser, n.NumUsers())
 	res.PerExtender = growZeroFloats(res.PerExtender, numExt)

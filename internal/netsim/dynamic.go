@@ -3,7 +3,6 @@ package netsim
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/radio"
@@ -75,7 +74,7 @@ func RunDynamic(cfg DynamicConfig, policy Policy) ([]EpochResult, error) {
 	}
 	// Positions for arriving users come from a dedicated stream so the
 	// trace and the geometry stay independently reproducible.
-	posRng := rand.New(rand.NewSource(seed.Derive(cfg.Topology.Seed, seed.NetsimPositions, 0)))
+	posRng := seed.Rand(cfg.Topology.Seed, seed.NetsimPositions, 0)
 
 	// Current association, keyed by topology user ID.
 	current := make(map[int]int, len(topo.Users))

@@ -16,13 +16,13 @@ import (
 	"math/rand"
 	"sync"
 
-	"github.com/plcwifi/wolt/internal/baseline"
 	"github.com/plcwifi/wolt/internal/core"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/radio"
 	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/stats"
+	"github.com/plcwifi/wolt/internal/strategy"
 	"github.com/plcwifi/wolt/internal/topology"
 )
 
@@ -92,6 +92,13 @@ type WOLTPolicy struct {
 // Name implements Policy.
 func (WOLTPolicy) Name() string { return "WOLT" }
 
+// newStrategy implements strategyBacked: the epoch recomputation is the
+// "wolt" registry strategy (arrivals stay signal-based — the strategy
+// layer sees rates, not RSSI).
+func (p WOLTPolicy) newStrategy() (strategy.Strategy, error) {
+	return strategy.New("wolt", strategy.Config{Core: p.Options})
+}
+
 // OnArrival implements Policy: initial contact via strongest RSSI.
 func (WOLTPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
 	return assignBestRSSI(inst, assign, user)
@@ -99,15 +106,11 @@ func (WOLTPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) e
 
 // OnEpoch implements Policy: full two-phase recomputation.
 func (p WOLTPolicy) OnEpoch(inst *Instance, assign model.Assignment) (model.Assignment, error) {
-	return p.onEpochWith(nil, inst, assign)
-}
-
-func (p WOLTPolicy) onEpochWith(s *core.Scratch, inst *Instance, _ model.Assignment) (model.Assignment, error) {
-	res, err := core.AssignWith(s, inst.Net, p.Options)
+	st, err := p.newStrategy()
 	if err != nil {
 		return nil, err
 	}
-	return res.Assign, nil
+	return strategyEpoch(st, inst, assign)
 }
 
 // GreedyPolicy is the paper's online baseline: each arrival picks the
@@ -119,14 +122,18 @@ type GreedyPolicy struct {
 // Name implements Policy.
 func (GreedyPolicy) Name() string { return "Greedy" }
 
-// OnArrival implements Policy.
-func (p GreedyPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
-	return p.onArrivalWith(nil, inst, assign, user)
+// newStrategy implements strategyBacked.
+func (p GreedyPolicy) newStrategy() (strategy.Strategy, error) {
+	return strategy.New("greedy", strategy.Config{ModelOpts: p.ModelOpts})
 }
 
-func (p GreedyPolicy) onArrivalWith(s *model.EvalScratch, inst *Instance, assign model.Assignment, user int) error {
-	_, err := baseline.GreedyAddWith(s, inst.Net, assign, user, p.ModelOpts)
-	return err
+// OnArrival implements Policy.
+func (p GreedyPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
+	st, err := p.newStrategy()
+	if err != nil {
+		return err
+	}
+	return strategyArrival(st, inst, assign, user)
 }
 
 // OnEpoch implements Policy: greedy never reassigns.
@@ -144,14 +151,18 @@ type SelfishPolicy struct {
 // Name implements Policy.
 func (SelfishPolicy) Name() string { return "Selfish" }
 
-// OnArrival implements Policy.
-func (p SelfishPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
-	return p.onArrivalWith(nil, inst, assign, user)
+// newStrategy implements strategyBacked.
+func (p SelfishPolicy) newStrategy() (strategy.Strategy, error) {
+	return strategy.New("selfish", strategy.Config{ModelOpts: p.ModelOpts})
 }
 
-func (p SelfishPolicy) onArrivalWith(s *model.EvalScratch, inst *Instance, assign model.Assignment, user int) error {
-	_, err := baseline.SelfishAddWith(s, inst.Net, assign, user, p.ModelOpts)
-	return err
+// OnArrival implements Policy.
+func (p SelfishPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
+	st, err := p.newStrategy()
+	if err != nil {
+		return err
+	}
+	return strategyArrival(st, inst, assign, user)
 }
 
 // OnEpoch implements Policy: selfish users never move.
@@ -183,19 +194,19 @@ type RandomPolicy struct {
 // Name implements Policy.
 func (RandomPolicy) Name() string { return "Random" }
 
+// newStrategy implements strategyBacked. Every instance shares the
+// policy's rng, which is why the policy is sequentialOnly.
+func (p RandomPolicy) newStrategy() (strategy.Strategy, error) {
+	return strategy.New("random", strategy.Config{Rng: p.Rng})
+}
+
 // OnArrival implements Policy.
 func (p RandomPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
-	var reachable []int
-	for j, r := range inst.Net.WiFiRates[user] {
-		if r > 0 {
-			reachable = append(reachable, j)
-		}
+	st, err := p.newStrategy()
+	if err != nil {
+		return err
 	}
-	if len(reachable) == 0 {
-		return fmt.Errorf("netsim: user %d reaches no extender", user)
-	}
-	assign[user] = reachable[p.Rng.Intn(len(reachable))]
-	return nil
+	return strategyArrival(st, inst, assign, user)
 }
 
 // OnEpoch implements Policy.
@@ -340,6 +351,10 @@ func RunStatic(cfg StaticConfig, policies []Policy) ([]StaticResult, error) {
 	if forcesSequential(policies) {
 		workers = 1
 	}
+	// The pool is per-run: workspaces cache strategy instances keyed by
+	// this run's policy indices, so they must not leak into a later run
+	// with a different policy slice.
+	wsPool := sync.Pool{New: func() any { return new(trialWorkspace) }}
 	err := parallel.ForEach(ctx, cfg.Trials, workers, func(trial int) error {
 		topoCfg := cfg.Topology
 		topoCfg.Seed = seed.Derive(cfg.Topology.Seed, seed.NetsimTrial, int64(trial))
@@ -368,16 +383,33 @@ func RunTrial(topoCfg topology.Config, rm radio.Model, policies []Policy, opts m
 	return runTrial(topoCfg, rm, policies, opts, &trialWorkspace{})
 }
 
-// trialWorkspace bundles the per-worker solver and evaluation scratch
-// buffers a trial reuses across its policies. Scratch contents never
-// influence results (only capacity is retained between uses), so pooled
-// reuse across goroutines preserves determinism.
+// trialWorkspace bundles the per-worker state a trial reuses across its
+// policies: the evaluation scratch and one strategy instance per
+// strategy-backed policy (keyed by the policy's index in the run's
+// policy slice). Strategy instances carry their own solver scratches;
+// scratch contents never influence results (only capacity is retained
+// between uses), so pooled reuse across goroutines preserves
+// determinism.
 type trialWorkspace struct {
-	core core.Scratch
-	eval model.EvalScratch
+	eval   model.EvalScratch
+	strats []strategy.Strategy
 }
 
-var wsPool = sync.Pool{New: func() any { return new(trialWorkspace) }}
+// strategyFor returns the workspace's cached strategy instance for the
+// policy at index idx, creating it on first use.
+func (ws *trialWorkspace) strategyFor(idx int, sb strategyBacked) (strategy.Strategy, error) {
+	for len(ws.strats) <= idx {
+		ws.strats = append(ws.strats, nil)
+	}
+	if ws.strats[idx] == nil {
+		st, err := sb.newStrategy()
+		if err != nil {
+			return nil, err
+		}
+		ws.strats[idx] = st
+	}
+	return ws.strats[idx], nil
+}
 
 func runTrial(topoCfg topology.Config, rm radio.Model, policies []Policy, opts model.Options, ws *trialWorkspace) ([]TrialResult, error) {
 	topo, err := topology.Generate(topoCfg)
@@ -389,11 +421,11 @@ func runTrial(topoCfg topology.Config, rm radio.Model, policies []Policy, opts m
 	for p, policy := range policies {
 		assign := newUnassigned(len(topo.Users))
 		for i := range topo.Users {
-			if err := policyArrival(policy, inst, assign, i, ws); err != nil {
+			if err := policyArrival(policy, inst, assign, i, ws, p); err != nil {
 				return nil, fmt.Errorf("netsim: %s arrival: %w", policy.Name(), err)
 			}
 		}
-		assign, err := policyEpoch(policy, inst, assign, ws)
+		assign, err := policyEpoch(policy, inst, assign, ws, p)
 		if err != nil {
 			return nil, fmt.Errorf("netsim: %s epoch: %w", policy.Name(), err)
 		}
@@ -433,16 +465,36 @@ func saturationFraction(res *model.Result) float64 {
 	return float64(saturated) / float64(active)
 }
 
-// arrivalScratcher and epochScratcher are the scratch-aware fast paths
-// of the built-in policies: when a policy implements one, the simulator
-// hands it the per-worker workspace instead of letting it allocate.
+// strategyBacked marks the built-in policies whose behaviour is
+// delegated to a named strategy from the internal/strategy registry.
+// The simulator caches one instance per worker workspace, so repeated
+// trials reuse the strategy's scratch buffers instead of allocating.
 // External Policy implementations fall back to the plain interface.
-type arrivalScratcher interface {
-	onArrivalWith(s *model.EvalScratch, inst *Instance, assign model.Assignment, user int) error
+type strategyBacked interface {
+	newStrategy() (strategy.Strategy, error)
 }
 
-type epochScratcher interface {
-	onEpochWith(s *core.Scratch, inst *Instance, assign model.Assignment) (model.Assignment, error)
+// strategyArrival routes an arrival through the strategy's online form;
+// strategies without one (e.g. WOLT, whose initial contact is handled
+// by the policy's own RSSI rule) fall back to the caller.
+func strategyArrival(st strategy.Strategy, inst *Instance, assign model.Assignment, user int) error {
+	on, ok := st.(strategy.Online)
+	if !ok {
+		return fmt.Errorf("netsim: strategy %q has no online arrival form: %w",
+			st.Name(), strategy.ErrNoOnlineForm)
+	}
+	_, err := on.Add(inst.Net, assign, user)
+	return err
+}
+
+// strategyEpoch routes an epoch boundary through the strategy's
+// reassignment form; strategies that never reassign leave the
+// association unchanged.
+func strategyEpoch(st strategy.Strategy, inst *Instance, assign model.Assignment) (model.Assignment, error) {
+	if re, ok := st.(strategy.Reassigner); ok {
+		return re.Reassign(inst.Net, assign)
+	}
+	return assign, nil
 }
 
 // sequentialPolicy marks policies that must not run trials concurrently
@@ -458,16 +510,26 @@ func forcesSequential(policies []Policy) bool {
 	return false
 }
 
-func policyArrival(p Policy, inst *Instance, assign model.Assignment, user int, ws *trialWorkspace) error {
-	if sp, ok := p.(arrivalScratcher); ok {
-		return sp.onArrivalWith(&ws.eval, inst, assign, user)
+func policyArrival(p Policy, inst *Instance, assign model.Assignment, user int, ws *trialWorkspace, idx int) error {
+	if sb, ok := p.(strategyBacked); ok {
+		st, err := ws.strategyFor(idx, sb)
+		if err != nil {
+			return err
+		}
+		if _, online := st.(strategy.Online); online {
+			return strategyArrival(st, inst, assign, user)
+		}
 	}
 	return p.OnArrival(inst, assign, user)
 }
 
-func policyEpoch(p Policy, inst *Instance, assign model.Assignment, ws *trialWorkspace) (model.Assignment, error) {
-	if sp, ok := p.(epochScratcher); ok {
-		return sp.onEpochWith(&ws.core, inst, assign)
+func policyEpoch(p Policy, inst *Instance, assign model.Assignment, ws *trialWorkspace, idx int) (model.Assignment, error) {
+	if sb, ok := p.(strategyBacked); ok {
+		st, err := ws.strategyFor(idx, sb)
+		if err != nil {
+			return nil, err
+		}
+		return strategyEpoch(st, inst, assign)
 	}
 	return p.OnEpoch(inst, assign)
 }

@@ -17,14 +17,28 @@
 //     solver used for cross-validation and as a cheap alternative.
 //
 // Both return complete assignments; tests assert they agree on optima.
+//
+// # Intra-solve parallelism
+//
+// Options.Workers fans the per-user work of one solve out over
+// internal/parallel: gradient rows and simplex projections are
+// row-independent and split into fixed-size row chunks, and the polish
+// phase's pairwise-swap candidates are scored concurrently in fixed-size
+// chunks folded sequentially in pair order (lowest improving index wins,
+// exactly like the sequential scan). Chunk boundaries never depend on the
+// worker count, every score is a pure function of the current iterate,
+// and all mutation happens in the sequential fold — so results are
+// bit-identical for every Workers value (DESIGN.md §7).
 package nlp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/parallel"
 )
 
 // Problem is a Phase II instance.
@@ -86,6 +100,10 @@ type Options struct {
 	// Step is the initial gradient step size (default 0.5); the solver
 	// backtracks when a step does not improve the objective.
 	Step float64
+	// Workers bounds the goroutines used inside one solve (gradient
+	// rows, simplex projections, polish swap scoring). <= 1 runs fully
+	// sequentially; results are bit-identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +115,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Step <= 0 {
 		o.Step = 0.5
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -110,30 +131,103 @@ type Solution struct {
 	Objective float64
 	// Iterations is the number of solver iterations performed.
 	Iterations int
+	// PolishSweeps is the total number of discrete best-response sweeps
+	// (single moves + pairwise swaps) run while polishing the integral
+	// solution, summed over every polish pass of the solve.
+	PolishSweeps int
 	// IntegralAtConvergence reports whether the continuous iterate was
 	// already (numerically) integral when the gradient solver stopped —
 	// the empirical observation the paper makes about Theorem 3.
 	IntegralAtConvergence bool
 }
 
-// cellState tracks per-extender user count and inverse-rate sum.
-type cellState struct {
-	n []float64 // N_j including fractional mass
-	s []float64 // S_j = Σ 1/r (weighted by mass for fractional users)
+// rowChunk is the fixed number of free-user rows per parallel task. It
+// must not depend on the worker count (chunk boundaries are part of the
+// deterministic schedule); it only bounds task granularity.
+const rowChunk = 64
+
+// swapChunk is the fixed number of candidate pair-swaps scored per
+// parallel round during polish. Like rowChunk it is workers-independent.
+const swapChunk = 1024
+
+// swapSubTasks is the fixed number of scoring sub-ranges one swap chunk
+// is split into; each sub-range owns a private scratch copy of the
+// per-extender loads.
+const swapSubTasks = 16
+
+// forRows runs fn over [0, n) split into rowChunk-sized ranges on the
+// given number of workers. fn must only write state owned by its range.
+func forRows(n, workers int, fn func(lo, hi int)) {
+	chunks := (n + rowChunk - 1) / rowChunk
+	if chunks <= 1 || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	_ = parallel.ForEach(context.Background(), chunks, workers, func(c int) error {
+		lo := c * rowChunk
+		hi := lo + rowChunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+		return nil
+	})
 }
 
-func newCellState(numExt int) *cellState {
-	return &cellState{n: make([]float64, numExt), s: make([]float64, numExt)}
+// pgState holds the projected-gradient solver's reusable buffers so the
+// per-iteration loop allocates nothing.
+type pgState struct {
+	x, cand, grad  [][]float64
+	xb, cb, gb     []float64
+	cellsN, cellsS []float64
+	fixedN, fixedS []float64
+	proj           []projScratch
 }
 
-func (c *cellState) objective() float64 {
-	var total float64
-	for j := range c.n {
-		if c.s[j] > 0 {
-			total += c.n[j] / c.s[j]
+func matrixOver(buf []float64, rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = buf[i*cols : (i+1)*cols]
+	}
+	return m
+}
+
+func newPGState(p Problem, free []int, numExt int) *pgState {
+	f := len(free)
+	st := &pgState{
+		xb:     make([]float64, f*numExt),
+		cb:     make([]float64, f*numExt),
+		gb:     make([]float64, f*numExt),
+		cellsN: make([]float64, numExt),
+		cellsS: make([]float64, numExt),
+		proj:   make([]projScratch, (f+rowChunk-1)/rowChunk),
+	}
+	st.x = matrixOver(st.xb, f, numExt)
+	st.cand = matrixOver(st.cb, f, numExt)
+	st.grad = matrixOver(st.gb, f, numExt)
+	st.fixedN, st.fixedS = fixedLoad(p, numExt)
+	return st
+}
+
+// cells recomputes the fractional per-extender loads of iterate x into
+// the state's cell buffers and returns the relaxation objective. The
+// accumulation order (fixed load first, then free rows in ascending k)
+// is fixed, so the result is bit-identical however the caller
+// parallelizes the rest of the iteration.
+func (st *pgState) cells(p Problem, free []int, x [][]float64) float64 {
+	copy(st.cellsN, st.fixedN)
+	copy(st.cellsS, st.fixedS)
+	for k, i := range free {
+		row := x[k]
+		rates := p.Rates[i]
+		for j, mass := range row {
+			if mass > 0 {
+				st.cellsN[j] += mass
+				st.cellsS[j] += mass / rates[j]
+			}
 		}
 	}
-	return total
+	return SumThroughput(st.cellsN, st.cellsS)
 }
 
 // SolveProjectedGradient solves the Phase II relaxation by projected
@@ -146,99 +240,81 @@ func SolveProjectedGradient(p Problem, opts Options) (*Solution, error) {
 	}
 	opts = opts.withDefaults()
 
-	fixedN, fixedS := fixedLoad(p, numExt)
-
 	if len(free) == 0 {
 		assign := p.Fixed.Clone()
 		obj := discreteObjective(p, assign, numExt)
 		return &Solution{Assign: assign, Objective: obj, IntegralAtConvergence: true}, nil
 	}
 
+	st := newPGState(p, free, numExt)
+
 	// x[k][j]: fractional assignment of free user k to extender j,
 	// initialized uniformly over reachable extenders.
-	x := make([][]float64, len(free))
 	for k, i := range free {
-		x[k] = make([]float64, numExt)
 		reachable := 0
-		for j, r := range p.Rates[i] {
+		for _, r := range p.Rates[i] {
 			if r > 0 {
 				reachable++
-				_ = j
 			}
 		}
 		for j, r := range p.Rates[i] {
 			if r > 0 {
-				x[k][j] = 1 / float64(reachable)
+				st.x[k][j] = 1 / float64(reachable)
 			}
 		}
 	}
 
-	objAt := func(x [][]float64) float64 {
-		cells := newCellState(numExt)
-		copy(cells.n, fixedN)
-		copy(cells.s, fixedS)
-		for k, i := range free {
-			for j, mass := range x[k] {
-				if mass > 0 {
-					cells.n[j] += mass
-					cells.s[j] += mass / p.Rates[i][j]
-				}
-			}
-		}
-		return cells.objective()
-	}
-
-	prev := objAt(x)
+	prev := st.cells(p, free, st.x)
 	step := opts.Step
 	iters := 0
 	for ; iters < opts.MaxIter; iters++ {
-		// Gradient of Σ N_j/S_j wrt x_kj: (S_j - N_j/r_ij) / S_j².
-		cells := newCellState(numExt)
-		copy(cells.n, fixedN)
-		copy(cells.s, fixedS)
-		for k, i := range free {
-			for j, mass := range x[k] {
-				if mass > 0 {
-					cells.n[j] += mass
-					cells.s[j] += mass / p.Rates[i][j]
+		// Per-extender loads of the current iterate, then the gradient of
+		// Σ N_j/S_j wrt x_kj: (S_j - N_j/r_ij) / S_j². Rows are
+		// independent given the loads, so they fan out.
+		st.cells(p, free, st.x)
+		forRows(len(free), opts.Workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				i := free[k]
+				row := st.grad[k]
+				for j := 0; j < numExt; j++ {
+					r := p.Rates[i][j]
+					if r <= 0 {
+						row[j] = 0
+						continue
+					}
+					s := st.cellsS[j]
+					if s <= 0 {
+						// Empty cell: joining it alone yields throughput r.
+						row[j] = r
+						continue
+					}
+					row[j] = (s - st.cellsN[j]/r) / (s * s)
 				}
 			}
-		}
-		grad := make([][]float64, len(free))
-		for k, i := range free {
-			grad[k] = make([]float64, numExt)
-			for j := 0; j < numExt; j++ {
-				r := p.Rates[i][j]
-				if r <= 0 {
-					continue
-				}
-				s := cells.s[j]
-				if s <= 0 {
-					// Empty cell: joining it alone yields throughput r.
-					grad[k][j] = r
-					continue
-				}
-				grad[k][j] = (s - cells.n[j]/r) / (s * s)
-			}
-		}
+		})
 
-		// Backtracking line search on the projected step.
+		// Backtracking line search on the projected step. The candidate
+		// build + per-row simplex projection is row-independent and fans
+		// out; the accept/backtrack decision is sequential.
 		improved := false
 		for attempt := 0; attempt < 20; attempt++ {
-			cand := make([][]float64, len(free))
-			for k, i := range free {
-				row := make([]float64, numExt)
-				for j := range row {
-					if p.Rates[i][j] > 0 {
-						row[j] = x[k][j] + step*grad[k][j]
+			stepNow := step
+			forRows(len(free), opts.Workers, func(lo, hi int) {
+				ps := &st.proj[lo/rowChunk]
+				for k := lo; k < hi; k++ {
+					i := free[k]
+					row := st.cand[k]
+					for j := range row {
+						if p.Rates[i][j] > 0 {
+							row[j] = st.x[k][j] + stepNow*st.grad[k][j]
+						}
 					}
+					projectSimplexWith(ps, row, p.Rates[i])
 				}
-				projectSimplex(row, p.Rates[i])
-				cand[k] = row
-			}
-			obj := objAt(cand)
+			})
+			obj := st.cells(p, free, st.cand)
 			if obj > prev {
-				x = cand
+				st.x, st.cand = st.cand, st.x
 				if obj-prev < opts.Tol {
 					prev = obj
 					improved = false // converged per the paper's criterion
@@ -259,8 +335,8 @@ func SolveProjectedGradient(p Problem, opts Options) (*Solution, error) {
 	}
 
 	integral := true
-	for k := range x {
-		for _, mass := range x[k] {
+	for k := range st.x {
+		for _, mass := range st.x[k] {
 			if mass > 1e-6 && mass < 1-1e-6 {
 				integral = false
 			}
@@ -273,27 +349,31 @@ func SolveProjectedGradient(p Problem, opts Options) (*Solution, error) {
 	assign := p.Fixed.Clone()
 	for k, i := range free {
 		best, bestMass := -1, -1.0
-		for j, mass := range x[k] {
+		for j, mass := range st.x[k] {
 			if mass > bestMass {
 				best, bestMass = j, mass
 			}
 		}
 		assign[i] = best
 	}
-	obj := coordinatePolish(p, assign, free, numExt)
+	obj, sweeps := polish(p, assign, free, numExt, SumThroughput, opts.Workers)
 
 	// The relaxation is non-convex, so the gradient iterate can land in a
 	// poorer basin than a greedy discrete start. Keep the better of the
 	// two (multi-start local search).
-	if alt, err := SolveCoordinate(p); err == nil && alt.Objective > obj+1e-12 {
-		assign = alt.Assign
-		obj = alt.Objective
+	if alt, err := solveCoordinate(p, SumThroughput, opts.Workers); err == nil {
+		sweeps += alt.PolishSweeps
+		if alt.Objective > obj+1e-12 {
+			assign = alt.Assign
+			obj = alt.Objective
+		}
 	}
 
 	return &Solution{
 		Assign:                assign,
 		Objective:             obj,
 		Iterations:            iters,
+		PolishSweeps:          sweeps,
 		IntegralAtConvergence: integral,
 	}, nil
 }
@@ -339,6 +419,10 @@ func SolveCoordinate(p Problem) (*Solution, error) {
 // objective. The returned Solution's Objective is the given objective's
 // value (not Σ T_WiFi) unless the objectives coincide.
 func SolveCoordinateWith(p Problem, objective CellObjective) (*Solution, error) {
+	return solveCoordinate(p, objective, 1)
+}
+
+func solveCoordinate(p Problem, objective CellObjective, workers int) (*Solution, error) {
 	if objective == nil {
 		return nil, fmt.Errorf("nlp: nil objective")
 	}
@@ -348,9 +432,12 @@ func SolveCoordinateWith(p Problem, objective CellObjective) (*Solution, error) 
 	}
 	assign := p.Fixed.Clone()
 
-	// Greedy seeding in user order, by marginal objective gain.
+	// Greedy seeding in user order, by marginal objective gain. The
+	// per-extender loads are maintained incrementally: probe moves
+	// mutate and exactly restore them (save/restore, not add-subtract,
+	// so restoration is bit-exact).
+	n, s := loadOf(p, assign, numExt)
 	for _, i := range free {
-		n, s := loadOf(p, assign, numExt)
 		before := objective(n, s)
 		bestJ, bestGain := -1, math.Inf(-1)
 		for j := 0; j < numExt; j++ {
@@ -358,79 +445,180 @@ func SolveCoordinateWith(p Problem, objective CellObjective) (*Solution, error) 
 			if r <= 0 {
 				continue
 			}
-			n[j]++
-			s[j] += 1 / r
+			nj, sj := n[j], s[j]
+			n[j], s[j] = nj+1, sj+1/r
 			gain := objective(n, s) - before
-			n[j]--
-			s[j] -= 1 / r
+			n[j], s[j] = nj, sj
 			if gain > bestGain {
 				bestJ, bestGain = j, gain
 			}
 		}
 		assign[i] = bestJ
+		n[bestJ], s[bestJ] = n[bestJ]+1, s[bestJ]+1/p.Rates[i][bestJ]
 	}
 
-	obj := polishWith(p, assign, free, numExt, objective)
-	return &Solution{Assign: assign, Objective: obj, IntegralAtConvergence: true}, nil
+	obj, sweeps := polish(p, assign, free, numExt, objective, workers)
+	return &Solution{Assign: assign, Objective: obj, PolishSweeps: sweeps, IntegralAtConvergence: true}, nil
 }
 
-// coordinatePolish runs discrete best-response sweeps under the Σ T_WiFi
-// objective.
-func coordinatePolish(p Problem, assign model.Assignment, free []int, numExt int) float64 {
-	return polishWith(p, assign, free, numExt, SumThroughput)
-}
-
-// polishWith runs discrete best-response sweeps over the free users
-// (single moves plus pairwise swaps, which escape the common local optima
-// single moves cannot), mutating assign, and returns the final objective.
-func polishWith(p Problem, assign model.Assignment, free []int, numExt int, objective CellObjective) float64 {
+// polish runs discrete best-response sweeps over the free users (single
+// moves plus pairwise swaps, which escape the common local optima single
+// moves cannot), mutating assign, and returns the final objective and
+// the number of sweeps performed.
+//
+// Scoring is incremental: the per-extender loads (n, s) are maintained
+// across moves, a candidate is scored by writing the (at most two)
+// affected cells and restoring their saved values afterwards, and an
+// accepted move re-applies exactly the arithmetic that produced its
+// score. Swap candidates are enumerated in fixed pair order and scored
+// swapChunk at a time: every pair in a chunk is scored against the same
+// state (concurrently when workers > 1, each sub-range on a private copy
+// of s), then the lowest improving pair index is applied and the scan
+// resumes right after it — exactly the sequential first-improvement
+// schedule, for any worker count.
+func polish(p Problem, assign model.Assignment, free []int, numExt int, objective CellObjective, workers int) (float64, int) {
 	const maxSweeps = 100
-	obj := objectiveWith(p, assign, numExt, objective)
+	if workers < 1 {
+		workers = 1
+	}
+	n, s := loadOf(p, assign, numExt)
+	obj := objective(n, s)
+
+	var (
+		chunkA = make([]int, swapChunk)
+		chunkB = make([]int, swapChunk)
+		scores = make([]float64, swapChunk)
+		sBufs  = make([][]float64, swapSubTasks)
+	)
+	for t := range sBufs {
+		sBufs[t] = make([]float64, numExt)
+	}
+
+	sweeps := 0
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		sweeps++
 		changed := false
-		// Single-user moves.
+
+		// Single-user moves: per user, score every candidate extender
+		// against the current loads and take the best (lowest index wins
+		// ties through the strict epsilon comparison).
 		for _, i := range free {
 			current := assign[i]
+			invCur := 1 / p.Rates[i][current]
+			nCur, sCur := n[current], s[current]
 			bestJ, bestObj := current, obj
 			for j := 0; j < numExt; j++ {
 				if j == current || p.Rates[i][j] <= 0 {
 					continue
 				}
-				assign[i] = j
-				cand := objectiveWith(p, assign, numExt, objective)
+				nj, sj := n[j], s[j]
+				n[current], s[current] = nCur-1, sCur-invCur
+				n[j], s[j] = nj+1, sj+1/p.Rates[i][j]
+				cand := objective(n, s)
+				n[current], s[current] = nCur, sCur
+				n[j], s[j] = nj, sj
 				if cand > bestObj+1e-12 {
 					bestJ, bestObj = j, cand
 				}
 			}
-			assign[i] = bestJ
 			if bestJ != current {
+				n[current], s[current] = nCur-1, sCur-invCur
+				n[bestJ], s[bestJ] = n[bestJ]+1, s[bestJ]+1/p.Rates[i][bestJ]
+				assign[i] = bestJ
 				obj = bestObj
 				changed = true
 			}
 		}
-		// Pairwise swaps between free users on different extenders.
-		for a := 0; a < len(free); a++ {
-			for b := a + 1; b < len(free); b++ {
-				ia, ib := free[a], free[b]
-				ja, jb := assign[ia], assign[ib]
-				if ja == jb || p.Rates[ia][jb] <= 0 || p.Rates[ib][ja] <= 0 {
-					continue
+
+		// Pairwise swaps between free users on different extenders,
+		// first-improvement in fixed pair order via chunked scans.
+		cursor := pairCursor{a: 0, b: 1}
+		for {
+			cnt := 0
+			for cnt < swapChunk {
+				a, b, ok := cursor.next(len(free))
+				if !ok {
+					break
 				}
-				assign[ia], assign[ib] = jb, ja
-				cand := objectiveWith(p, assign, numExt, objective)
-				if cand > obj+1e-12 {
-					obj = cand
+				chunkA[cnt], chunkB[cnt] = a, b
+				cnt++
+			}
+			if cnt == 0 {
+				break
+			}
+
+			stride := (cnt + swapSubTasks - 1) / swapSubTasks
+			_ = parallel.ForEach(context.Background(), swapSubTasks, workers, func(t int) error {
+				lo := t * stride
+				hi := lo + stride
+				if hi > cnt {
+					hi = cnt
+				}
+				if lo >= hi {
+					return nil
+				}
+				buf := sBufs[t]
+				copy(buf, s)
+				for g := lo; g < hi; g++ {
+					ia, ib := free[chunkA[g]], free[chunkB[g]]
+					ja, jb := assign[ia], assign[ib]
+					if ja == jb || p.Rates[ia][jb] <= 0 || p.Rates[ib][ja] <= 0 {
+						scores[g] = math.Inf(-1)
+						continue
+					}
+					buf[ja] = s[ja] - 1/p.Rates[ia][ja] + 1/p.Rates[ib][ja]
+					buf[jb] = s[jb] - 1/p.Rates[ib][jb] + 1/p.Rates[ia][jb]
+					scores[g] = objective(n, buf)
+					buf[ja], buf[jb] = s[ja], s[jb]
+				}
+				return nil
+			})
+
+			applied := false
+			for g := 0; g < cnt; g++ {
+				if scores[g] > obj+1e-12 {
+					ia, ib := free[chunkA[g]], free[chunkB[g]]
+					ja, jb := assign[ia], assign[ib]
+					s[ja] = s[ja] - 1/p.Rates[ia][ja] + 1/p.Rates[ib][ja]
+					s[jb] = s[jb] - 1/p.Rates[ib][jb] + 1/p.Rates[ia][jb]
+					assign[ia], assign[ib] = jb, ja
+					obj = scores[g]
 					changed = true
-				} else {
-					assign[ia], assign[ib] = ja, jb
+					applied = true
+					cursor = pairCursor{a: chunkA[g], b: chunkB[g] + 1}
+					break
 				}
 			}
+			if !applied && cnt < swapChunk {
+				break // triangle exhausted with no improvement left
+			}
 		}
+
 		if !changed {
 			break
 		}
 	}
-	return obj
+	return obj, sweeps
+}
+
+// pairCursor walks the strict upper triangle (a < b) of the free-user
+// pair space in fixed row-major order.
+type pairCursor struct{ a, b int }
+
+// next returns the cursor's pair and advances it; ok is false when the
+// triangle is exhausted.
+func (c *pairCursor) next(nFree int) (a, b int, ok bool) {
+	for c.a < nFree-1 {
+		if c.b >= nFree {
+			c.a++
+			c.b = c.a + 1
+			continue
+		}
+		a, b = c.a, c.b
+		c.b++
+		return a, b, true
+	}
+	return 0, 0, false
 }
 
 // joinGain is the change in Σ T_WiFi when a user of rate r joins a cell
@@ -471,11 +659,25 @@ func fixedLoad(p Problem, numExt int) (n, s []float64) {
 	return loadOf(p, p.Fixed, numExt)
 }
 
+// projScratch holds the reusable buffers of projectSimplexWith.
+type projScratch struct {
+	support []int
+	vals    []float64
+	sorted  []float64
+}
+
 // projectSimplex projects row onto the probability simplex restricted to
 // coordinates where rates > 0 (unreachable extenders stay at 0), using the
 // sort-based algorithm of Duchi et al.
 func projectSimplex(row, rates []float64) {
-	var support []int
+	var ps projScratch
+	projectSimplexWith(&ps, row, rates)
+}
+
+// projectSimplexWith is projectSimplex with caller-owned scratch buffers,
+// for hot loops that project many rows.
+func projectSimplexWith(ps *projScratch, row, rates []float64) {
+	support := ps.support[:0]
 	for j, r := range rates {
 		if r > 0 {
 			support = append(support, j)
@@ -483,14 +685,20 @@ func projectSimplex(row, rates []float64) {
 			row[j] = 0
 		}
 	}
+	ps.support = support
 	if len(support) == 0 {
 		return
 	}
-	vals := make([]float64, len(support))
+	if cap(ps.vals) < len(support) {
+		ps.vals = make([]float64, len(support))
+		ps.sorted = make([]float64, len(support))
+	}
+	vals := ps.vals[:len(support)]
+	sorted := ps.sorted[:len(support)]
 	for k, j := range support {
 		vals[k] = row[j]
 	}
-	sorted := append([]float64(nil), vals...)
+	copy(sorted, vals)
 	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
 	var cum, theta float64
 	rho := -1

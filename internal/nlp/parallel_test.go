@@ -1,0 +1,168 @@
+package nlp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/seed"
+)
+
+// largeProblem builds a deterministic Phase II instance: users users
+// over numExt extenders, the first numExt users pinned (as Phase I
+// would), everyone else free.
+func largeProblem(users, numExt int) Problem {
+	rng := seed.Root(42)
+	rates := make([][]float64, users)
+	fixed := make(model.Assignment, users)
+	steps := []float64{6, 9, 12, 18, 24, 36, 48, 54}
+	for i := range rates {
+		rates[i] = make([]float64, numExt)
+		reachable := false
+		for j := range rates[i] {
+			// Sparse reachability with 802.11g-like rate steps.
+			if rng.Float64() < 0.6 {
+				rates[i][j] = steps[rng.Intn(len(steps))]
+				reachable = true
+			}
+		}
+		if !reachable {
+			rates[i][rng.Intn(numExt)] = steps[rng.Intn(len(steps))]
+		}
+		fixed[i] = model.Unassigned
+	}
+	for j := 0; j < numExt; j++ {
+		// Pin user j to extender j, making the pair reachable if needed.
+		if rates[j][j] <= 0 {
+			rates[j][j] = steps[rng.Intn(len(steps))]
+		}
+		fixed[j] = j
+	}
+	return Problem{Rates: rates, Fixed: fixed}
+}
+
+// TestProjectedGradientWorkerBitIdentity is the DESIGN.md §7 contract
+// for intra-solve parallelism: a 1k-user solve is bit-identical — same
+// assignment, bit-equal objective, same iteration and sweep counts —
+// for every worker count.
+func TestProjectedGradientWorkerBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-user solve in -short mode")
+	}
+	p := largeProblem(1000, 12)
+	ref, err := SolveProjectedGradient(p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got, err := SolveProjectedGradient(p, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Objective != ref.Objective {
+			t.Errorf("workers=%d: objective %v != %v (diff %g)",
+				workers, got.Objective, ref.Objective, got.Objective-ref.Objective)
+		}
+		if got.Iterations != ref.Iterations {
+			t.Errorf("workers=%d: iterations %d != %d", workers, got.Iterations, ref.Iterations)
+		}
+		if got.PolishSweeps != ref.PolishSweeps {
+			t.Errorf("workers=%d: polish sweeps %d != %d", workers, got.PolishSweeps, ref.PolishSweeps)
+		}
+		for i := range got.Assign {
+			if got.Assign[i] != ref.Assign[i] {
+				t.Fatalf("workers=%d: user %d assigned to %d, want %d",
+					workers, i, got.Assign[i], ref.Assign[i])
+			}
+		}
+	}
+}
+
+// TestWorkerBitIdentitySmall covers the boundary shapes (fewer rows than
+// one chunk, exactly one chunk, just past a chunk) quickly.
+func TestWorkerBitIdentitySmall(t *testing.T) {
+	for _, users := range []int{5, rowChunk, rowChunk + 1, 3 * rowChunk} {
+		p := largeProblem(users, 4)
+		ref, err := SolveProjectedGradient(p, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveProjectedGradient(p, Options{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Objective != ref.Objective || got.Iterations != ref.Iterations ||
+			got.PolishSweeps != ref.PolishSweeps {
+			t.Fatalf("users=%d: (obj, iters, sweeps) = (%v,%d,%d) != (%v,%d,%d)",
+				users, got.Objective, got.Iterations, got.PolishSweeps,
+				ref.Objective, ref.Iterations, ref.PolishSweeps)
+		}
+		for i := range got.Assign {
+			if got.Assign[i] != ref.Assign[i] {
+				t.Fatalf("users=%d: assignment diverged at user %d", users, i)
+			}
+		}
+	}
+}
+
+// FuzzProjectSimplex checks the three invariants of the capped-support
+// simplex projection: the result is a distribution over the reachable
+// support (sums to one, non-negative), unreachable coordinates stay
+// zero, and the projection is idempotent.
+func FuzzProjectSimplex(f *testing.F) {
+	f.Add(0.3, -0.2, 1.5, 0.1, int64(1))
+	f.Add(0.0, 0.0, 0.0, 0.0, int64(2))
+	f.Add(-5.0, 10.0, 0.25, 0.25, int64(3))
+	f.Add(1e9, -1e9, 1e-9, 0.5, int64(4))
+	f.Fuzz(func(t *testing.T, a, b, c, d float64, seedV int64) {
+		row := []float64{a, b, c, d}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		rng := seed.Root(seedV)
+		rates := make([]float64, len(row))
+		support := 0
+		for j := range rates {
+			if rng.Intn(3) > 0 { // ~2/3 reachable
+				rates[j] = 6 + 48*rng.Float64()
+				support++
+			}
+		}
+		projectSimplex(row, rates)
+
+		if support == 0 {
+			for j, r := range rates {
+				if r <= 0 && row[j] != 0 {
+					t.Fatalf("unreachable coordinate %d = %v, want 0", j, row[j])
+				}
+			}
+			return
+		}
+		sum := 0.0
+		for j, v := range row {
+			if rates[j] <= 0 {
+				if v != 0 {
+					t.Fatalf("unreachable coordinate %d = %v, want 0", j, v)
+				}
+				continue
+			}
+			if v < 0 {
+				t.Fatalf("negative mass %v at %d", v, j)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("mass sums to %v, want 1 (row=%v rates=%v)", sum, row, rates)
+		}
+
+		again := append([]float64(nil), row...)
+		projectSimplex(again, rates)
+		for j := range row {
+			if math.Abs(again[j]-row[j]) > 1e-9 {
+				t.Fatalf("not idempotent at %d: %v -> %v", j, row[j], again[j])
+			}
+		}
+	})
+}

@@ -23,6 +23,8 @@
 // small-offset accident).
 package seed
 
+import "math/rand"
+
 // Stream identifies one logical consumer of randomness. Every
 // experiment driver that derives per-index seeds owns a distinct
 // constant, so no two drivers can ever share an RNG sequence, no matter
@@ -65,6 +67,9 @@ const (
 	NPHardTrial
 	// GapTrial seeds the small brute-force optimality-gap instances.
 	GapTrial
+	// StrategyRand seeds a strategy instance's private randomness
+	// (internal/strategy; e.g. the random baseline's draws).
+	StrategyRand
 )
 
 // golden is the SplitMix64 increment, the odd integer closest to
@@ -92,4 +97,20 @@ func Derive(base int64, stream Stream, index int64) int64 {
 	z = mix64(z + golden*uint64(stream))
 	z = mix64(z + golden*uint64(index))
 	return int64(z)
+}
+
+// Rand returns a generator seeded with Derive(base, stream, index). It
+// is the only sanctioned way to construct a *rand.Rand for a derived
+// stream: scripts/lint-seeds.sh rejects direct rand.New(rand.NewSource(
+// calls outside this package, so call sites cannot silently bypass the
+// stream scheme.
+func Rand(base int64, stream Stream, index int64) *rand.Rand {
+	return rand.New(rand.NewSource(Derive(base, stream, index)))
+}
+
+// Root returns a generator seeded directly with s, for the package
+// roots of a seed hierarchy (topology generation, churn traces, walker
+// fleets) whose seed is itself already a derived or user-chosen value.
+func Root(s int64) *rand.Rand {
+	return rand.New(rand.NewSource(s))
 }

@@ -1,0 +1,156 @@
+package strategy
+
+import (
+	"time"
+
+	"github.com/plcwifi/wolt/internal/core"
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+func init() {
+	Register("wolt", newWOLT("wolt", core.Phase2ProjectedGradient))
+	Register("wolt-coordinate", newWOLT("wolt-coordinate", core.Phase2Coordinate))
+	Register("wolt-fair", func(cfg Config) Strategy {
+		return &fairStrategy{cfg: cfg}
+	})
+	Register("wolt-incremental", func(cfg Config) Strategy {
+		budget := cfg.MoveBudget
+		if budget <= 0 {
+			budget = -1 // core's "unlimited"
+		}
+		return &incrementalStrategy{cfg: cfg, opts: coreOptions(cfg, 0), budget: budget}
+	})
+}
+
+// coreOptions derives the two-phase solver options of a WOLT variant:
+// the named variant's Phase II engine overrides Config.Core.Solver, and
+// Config.Workers flows into the NLP solver unless the caller tuned
+// NLP.Workers explicitly.
+func coreOptions(cfg Config, solver core.Phase2Solver) core.Options {
+	opts := cfg.Core
+	if solver != 0 {
+		opts.Solver = solver
+	}
+	if opts.NLP.Workers == 0 {
+		opts.NLP.Workers = cfg.Workers
+	}
+	return opts
+}
+
+// woltStats builds the Stats record of one two-phase solve.
+func woltStats(name string, n *model.Network, res *core.Result, total time.Duration, evals int) Stats {
+	st := Stats{
+		Strategy:               name,
+		Users:                  n.NumUsers(),
+		Extenders:              n.NumExtenders(),
+		Phase1:                 res.Phase1Time,
+		Phase2:                 res.Phase2Time,
+		Total:                  total,
+		Phase1Users:            len(res.PhaseIUsers),
+		HungarianAugmentations: res.Phase1Augmentations,
+		Evaluations:            evals,
+	}
+	if res.Phase2 != nil {
+		st.Phase2Iterations = res.Phase2.Iterations
+		st.PolishSweeps = res.Phase2.PolishSweeps
+	}
+	return st
+}
+
+// woltStrategy runs the full two-phase algorithm (projected-gradient or
+// coordinate Phase II); epochs recompute from scratch.
+type woltStrategy struct {
+	name    string
+	cfg     Config
+	opts    core.Options
+	scratch core.Scratch
+}
+
+func newWOLT(name string, solver core.Phase2Solver) Factory {
+	return func(cfg Config) Strategy {
+		return &woltStrategy{name: name, cfg: cfg, opts: coreOptions(cfg, solver)}
+	}
+}
+
+// Name implements Strategy.
+func (w *woltStrategy) Name() string { return w.name }
+
+// Solve implements Strategy.
+func (w *woltStrategy) Solve(n *model.Network) (model.Assignment, error) {
+	start := time.Now()
+	res, err := core.AssignWith(&w.scratch, n, w.opts)
+	if err != nil {
+		return nil, err
+	}
+	w.cfg.emit(woltStats(w.name, n, res, time.Since(start), 0))
+	return res.Assign, nil
+}
+
+// Reassign implements Reassigner: WOLT's controller recomputes the full
+// association at every epoch; the previous assignment is ignored.
+func (w *woltStrategy) Reassign(n *model.Network, _ model.Assignment) (model.Assignment, error) {
+	return w.Solve(n)
+}
+
+// fairStrategy is the proportional-fairness variant: Phase I unchanged,
+// Phase II maximizes Σ log(throughput).
+type fairStrategy struct {
+	cfg Config
+}
+
+// Name implements Strategy.
+func (f *fairStrategy) Name() string { return "wolt-fair" }
+
+// Solve implements Strategy.
+func (f *fairStrategy) Solve(n *model.Network) (model.Assignment, error) {
+	start := time.Now()
+	res, err := core.AssignProportionalFair(n, f.cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	f.cfg.emit(woltStats("wolt-fair", n, res, time.Since(start), 0))
+	return res.Assign, nil
+}
+
+// Reassign implements Reassigner.
+func (f *fairStrategy) Reassign(n *model.Network, _ model.Assignment) (model.Assignment, error) {
+	return f.Solve(n)
+}
+
+// incrementalStrategy is the budgeted re-association extension: Reassign
+// steers the previous association toward the full WOLT target while
+// moving at most Config.MoveBudget existing users; Solve (no previous
+// state) is a plain two-phase solve.
+type incrementalStrategy struct {
+	cfg     Config
+	opts    core.Options
+	budget  int
+	scratch core.Scratch
+	eval    model.EvalScratch
+}
+
+// Name implements Strategy.
+func (s *incrementalStrategy) Name() string { return "wolt-incremental" }
+
+// Solve implements Strategy.
+func (s *incrementalStrategy) Solve(n *model.Network) (model.Assignment, error) {
+	start := time.Now()
+	res, err := core.AssignWith(&s.scratch, n, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.cfg.emit(woltStats("wolt-incremental", n, res, time.Since(start), 0))
+	return res.Assign, nil
+}
+
+// Reassign implements Reassigner.
+func (s *incrementalStrategy) Reassign(n *model.Network, prev model.Assignment) (model.Assignment, error) {
+	start := time.Now()
+	s.eval.Evals = 0
+	res, err := core.AssignIncrementalWith(&s.scratch, &s.eval, n, prev, s.budget, s.opts, s.cfg.ModelOpts)
+	if err != nil {
+		return nil, err
+	}
+	s.cfg.emit(woltStats("wolt-incremental", n, res.Target, time.Since(start), s.eval.Evals))
+	return res.Assign, nil
+}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"github.com/plcwifi/wolt/internal/seed"
 )
 
 // Point is a position on the floor plan in meters.
@@ -118,7 +120,7 @@ func Generate(cfg Config) (*Topology, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := seed.Root(cfg.Seed)
 
 	topo := &Topology{
 		Width:     cfg.Width,

@@ -8,9 +8,9 @@ package workload
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"github.com/plcwifi/wolt/internal/eventsim"
+	"github.com/plcwifi/wolt/internal/seed"
 )
 
 // EventKind distinguishes arrivals from departures.
@@ -91,7 +91,7 @@ func Generate(cfg Config) ([]Event, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := seed.Root(cfg.Seed)
 	sim := eventsim.New()
 
 	var (

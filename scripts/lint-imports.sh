@@ -1,0 +1,24 @@
+#!/bin/sh
+# lint-imports.sh — keep internal/baseline an implementation detail of
+# the strategy layer.
+#
+# Every consumer (simulator, experiments, control plane, CLI, facade)
+# must go through internal/strategy: one registry, one instrumentation
+# point, one scratch discipline. Direct baseline imports are allowed
+# only inside internal/strategy and internal/baseline themselves, and
+# in test files (which compare strategies against the raw algorithms).
+set -eu
+cd "$(dirname "$0")/.."
+
+bad=$(grep -rnF '"github.com/plcwifi/wolt/internal/baseline"' --include='*.go' . \
+	| grep -v '^\./internal/baseline/' \
+	| grep -v '^\./internal/strategy/' \
+	| grep -v '_test\.go:' || true)
+
+if [ -n "$bad" ]; then
+	echo "import lint: direct internal/baseline import outside the strategy layer:" >&2
+	echo "$bad" >&2
+	echo "route it through internal/strategy (registry name or passthrough)" >&2
+	exit 1
+fi
+echo "import lint: clean"

@@ -19,4 +19,19 @@ if [ -n "$bad" ]; then
 	echo "$bad" >&2
 	exit 1
 fi
+
+# Raw rng construction bypasses the stream discipline entirely: every
+# non-test *rand.Rand must come from seed.Rand(base, stream, index) or
+# seed.Root(base) so fan-out cannot alias streams. Tests may build
+# throwaway rngs directly.
+raw=$(grep -rnF 'rand.New(rand.NewSource(' --include='*.go' . \
+	| grep -v '^\./internal/seed/' \
+	| grep -v '_test\.go:' \
+	| grep -vE ':[0-9]+:\s*//' || true)
+
+if [ -n "$raw" ]; then
+	echo "seed lint: raw rand.New(rand.NewSource(...)) found — use seed.Rand or seed.Root instead:" >&2
+	echo "$raw" >&2
+	exit 1
+fi
 echo "seed lint: clean"

@@ -44,12 +44,12 @@ package wolt
 import (
 	"math/rand"
 
-	"github.com/plcwifi/wolt/internal/baseline"
 	"github.com/plcwifi/wolt/internal/core"
 	"github.com/plcwifi/wolt/internal/mobility"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/netsim"
 	"github.com/plcwifi/wolt/internal/radio"
+	"github.com/plcwifi/wolt/internal/strategy"
 	"github.com/plcwifi/wolt/internal/topology"
 	"github.com/plcwifi/wolt/internal/workload"
 )
@@ -126,31 +126,54 @@ func Evaluate(n *Network, a Assignment, opts EvalOptions) (*EvalResult, error) {
 // AssignRSSI associates every user with the extender of strongest signal
 // (signal[i][j] in dBm); the commodity default behaviour.
 func AssignRSSI(n *Network, signal [][]float64) (Assignment, error) {
-	return baseline.RSSI(n, signal)
+	return strategy.RSSI(n, signal)
 }
 
 // AssignGreedy runs the paper's online greedy baseline: users arrive in
 // the given order (nil = index order) and each picks the extender
 // maximizing the aggregate throughput so far.
 func AssignGreedy(n *Network, order []int, opts EvalOptions) (Assignment, error) {
-	return baseline.Greedy(n, order, opts)
+	return strategy.Greedy(n, order, opts)
 }
 
 // AssignSelfish runs the §III-B online greedy: each arrival maximizes its
 // own end-to-end throughput.
 func AssignSelfish(n *Network, order []int, opts EvalOptions) (Assignment, error) {
-	return baseline.Selfish(n, order, opts)
+	return strategy.Selfish(n, order, opts)
 }
 
 // AssignOptimal exhaustively searches all associations (small networks
 // only) and returns the optimum and its aggregate throughput.
 func AssignOptimal(n *Network, opts EvalOptions) (Assignment, float64, error) {
-	return baseline.Optimal(n, opts)
+	return strategy.Optimal(n, opts)
 }
 
 // AssignRandom associates every user uniformly at random.
 func AssignRandom(n *Network, rng *rand.Rand) (Assignment, error) {
-	return baseline.Random(n, rng)
+	return strategy.Random(n, rng)
+}
+
+// Strategy-registry types: every association algorithm (WOLT variants
+// and baselines) is available as a named, instrumented Strategy.
+type (
+	// Strategy computes associations; instances carry their own scratch
+	// and rng (give each goroutine its own).
+	Strategy = strategy.Strategy
+	// StrategyConfig parameterizes a strategy instance.
+	StrategyConfig = strategy.Config
+	// StrategyStats is the per-solve instrumentation record.
+	StrategyStats = strategy.Stats
+)
+
+// NewStrategy builds a configured instance of a named strategy from the
+// registry (see StrategyNames).
+func NewStrategy(name string, cfg StrategyConfig) (Strategy, error) {
+	return strategy.New(name, cfg)
+}
+
+// StrategyNames lists the registered strategy names, sorted.
+func StrategyNames() []string {
+	return strategy.Names()
 }
 
 // Simulation types.
