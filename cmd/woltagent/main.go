@@ -3,6 +3,13 @@
 // RSSI), prints the association directives it receives, and leaves
 // cleanly on interrupt.
 //
+// Against a sharded controller (woltcc -shards N) any member's address
+// works: if the dialed member does not own the user's best-rate
+// extender, the agent transparently follows the controller's redirect to
+// the owning member. Idle connections are kept alive with periodic
+// pings, so a quiet agent is never dropped by the controller's read
+// deadline.
+//
 // Example:
 //
 //	woltagent -addr 127.0.0.1:9650 -user 1 -rates 15,10 -rssi -60,-70

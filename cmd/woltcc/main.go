@@ -2,9 +2,21 @@
 // agents (see cmd/woltagent), collects their scan reports, computes
 // associations under the configured policy and pushes directives.
 //
-// Example:
+// With -shards N the controller runs as a sharded control plane: a
+// deterministic consistent-hash ring partitions the extenders across N
+// shard members, each backed by its own policy engine, and joins that
+// enter through the wrong member are redirected to the owning one
+// (agents follow redirects transparently). By default all N members run
+// in this process on consecutive ports; -shard-member k hosts only
+// member k, with -peers naming every member's address so redirects can
+// cross processes.
+//
+// Examples:
 //
 //	woltcc -addr 127.0.0.1:9650 -caps 60,20 -policy wolt
+//	woltcc -addr 127.0.0.1:9650 -caps 60,20,40,30 -shards 2
+//	woltcc -addr 127.0.0.1:9651 -caps 60,20,40,30 -shards 2 \
+//	       -shard-member 1 -peers 127.0.0.1:9650,127.0.0.1:9651
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 
 	"github.com/plcwifi/wolt/internal/control"
 	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/shard"
 )
 
 func main() {
@@ -32,10 +45,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("woltcc", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:9650", "listen address")
+		addr     = fs.String("addr", "127.0.0.1:9650", "listen address (base address in sharded mode)")
 		capsFlag = fs.String("caps", "", "comma-separated PLC isolation capacities in Mbps, one per extender (required)")
-		policy   = fs.String("policy", "wolt", "association policy: wolt, greedy or rssi")
+		policy   = fs.String("policy", "wolt", "association policy (any strategy-registry name, plus rssi)")
 		statsSec = fs.Duration("stats-interval", 10*time.Second, "interval between stats log lines (0 disables)")
+		shards   = fs.Int("shards", 1, "partition the extenders across N consistent-hash shard members")
+		member   = fs.Int("shard-member", -1, "host only this shard member (default: all members in-process)")
+		peers    = fs.String("peers", "", "comma-separated addresses of all shard members, required with -shard-member")
+		seedFlag = fs.Int64("seed", 2020, "seed for the shard ring and policy randomness; all members must share it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,10 +63,15 @@ func run(args []string) error {
 	}
 
 	logger := log.New(os.Stderr, "woltcc: ", log.LstdFlags)
+	if *shards > 1 || *member >= 0 {
+		return runSharded(logger, *addr, caps, *policy, *shards, *member, *peers, *seedFlag, *statsSec)
+	}
+
 	server, err := control.NewServer(*addr, control.ServerConfig{
 		PLCCaps:   caps,
-		Policy:    control.PolicyKind(*policy),
+		Policy:    *policy,
 		ModelOpts: model.Options{Redistribute: true},
+		Seed:      *seedFlag,
 		Logger:    logger,
 	})
 	if err != nil {
@@ -79,6 +101,62 @@ func run(args []string) error {
 	<-stop
 	logger.Print("shutting down")
 	return server.Close()
+}
+
+// runSharded boots the consistent-hash shard plane and logs merged
+// stats until interrupted.
+func runSharded(logger *log.Logger, addr string, caps []float64, policy string,
+	shards, member int, peers string, seedBase int64, statsSec time.Duration) error {
+	var peerList []string
+	if peers != "" {
+		for _, p := range strings.Split(peers, ",") {
+			peerList = append(peerList, strings.TrimSpace(p))
+		}
+	}
+	plane, err := shard.Listen(shard.PlaneConfig{
+		Addr:      addr,
+		Member:    member,
+		Peers:     peerList,
+		Shards:    shards,
+		PLCCaps:   caps,
+		Policy:    policy,
+		ModelOpts: model.Options{Redistribute: true},
+		Seed:      seedBase,
+		Logger:    logger,
+	})
+	if err != nil {
+		return err
+	}
+	for _, m := range plane.Members() {
+		if a := plane.Addrs()[m]; a != "" {
+			logger.Printf("shard member %d/%d listening on %s (policy=%s, %d extenders total)",
+				m, shards, a, policy, len(caps))
+		} else {
+			logger.Printf("shard member %d/%d owns no extenders; no listener", m, shards)
+		}
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if statsSec > 0 {
+		ticker := time.NewTicker(statsSec)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				st := plane.Stats()
+				logger.Printf("shards=%d users=%d joins=%d leaves=%d reassociations=%d redirects=%d",
+					st.Shards, st.Users, st.Joins, st.Leaves, st.Reassociations, st.Redirects)
+			case <-stop:
+				logger.Print("shutting down")
+				return plane.Close()
+			}
+		}
+	}
+	<-stop
+	logger.Print("shutting down")
+	return plane.Close()
 }
 
 func parseCaps(s string) ([]float64, error) {

@@ -47,4 +47,13 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-caps", "60,20", "-policy", "bogus", "-addr", "127.0.0.1:0", "-stats-interval", "0s"}); err == nil {
 		t.Error("unknown policy: want error")
 	}
+	// Sharded-mode validation: member mode without peers.
+	if err := run([]string{"-caps", "60,20", "-addr", "127.0.0.1:0", "-shards", "2",
+		"-shard-member", "0", "-stats-interval", "0s"}); err == nil {
+		t.Error("shard member without peers: want error")
+	}
+	if err := run([]string{"-caps", "60,20", "-addr", "127.0.0.1:0", "-shards", "2",
+		"-shard-member", "5", "-peers", "a,b", "-stats-interval", "0s"}); err == nil {
+		t.Error("shard member out of range: want error")
+	}
 }

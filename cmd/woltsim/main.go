@@ -6,7 +6,7 @@
 //
 // Experiments: fig2a fig2b fig2c fig3 fig4a fig4b fig4c fig5 fig6a
 // fig6b fig6c fairness nphard gap solve sweep mobility channels qos
-// verify all
+// shard verify all
 //
 // Each experiment prints one or more paper-style tables. See DESIGN.md
 // for the experiment ↔ paper mapping and EXPERIMENTS.md for recorded
@@ -166,6 +166,7 @@ func registry() map[string]runnerFunc {
 		"channels": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Channels(o) }),
 		"verify":   wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Verify(o) }),
 		"qos":      wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.QoS(o) }),
+		"shard":    wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Shard(o) }),
 	}
 }
 
@@ -174,7 +175,7 @@ func registry() map[string]runnerFunc {
 func experimentIDs() []string {
 	return []string{
 		"fig2a", "fig2b", "fig2c", "fig3", "fig4a", "fig5",
-		"fig6a", "fig6b", "fairness", "nphard", "gap", "solve", "sweep", "mobility", "channels", "qos",
+		"fig6a", "fig6b", "fairness", "nphard", "gap", "solve", "sweep", "mobility", "channels", "qos", "shard",
 	}
 }
 

@@ -3,33 +3,46 @@ package control
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"time"
-
-	"net"
 
 	"github.com/plcwifi/wolt/internal/model"
 )
 
+// keepaliveInterval is how often an idle agent pings the controller so
+// the server-side read deadline (DefaultIOTimeout) never fires on a
+// healthy connection.
+const keepaliveInterval = 10 * time.Second
+
+// maxRedirectHops bounds how many MsgRedirect bounces one Join follows
+// before giving up (a misconfigured shard ring could otherwise loop).
+const maxRedirectHops = 8
+
 // Agent is a user-side client of the central controller. It sends the
-// user's scan report on Join and tracks the association directives the
-// controller pushes (including later re-associations).
+// user's scan report on Join, follows cross-shard redirects to the
+// controller that owns its best-rate extender, and tracks the
+// association directives the controller pushes (including later
+// re-associations).
 type Agent struct {
 	userID int
-	jc     *jsonConn
 
 	mu       sync.Mutex
+	jc       *jsonConn
 	extender int
 	moves    int // directives that changed an existing association
 	lastErr  error
 
-	directives chan Message
-	// statsReplies carries MsgStatsReply messages only. Stats replies get
-	// their own channel so a concurrent WaitForMove (which drains
-	// directives) can never steal them — and vice versa.
+	// directives and statsReplies are replaced wholesale when a Join
+	// follows a redirect to another shard; always read them through
+	// dirCh/statsCh. Stats replies get their own channel so a concurrent
+	// WaitForMove (which drains directives) can never steal them — and
+	// vice versa.
+	directives   chan Message
 	statsReplies chan Message
-	done         chan struct{}
-	readerWG     sync.WaitGroup
+
+	done     chan struct{}
+	readerWG sync.WaitGroup
 }
 
 // Dial connects an agent to the controller at addr.
@@ -47,16 +60,40 @@ func Dial(addr string, userID int) (*Agent, error) {
 		done:         make(chan struct{}),
 	}
 	a.readerWG.Add(1)
-	go a.readLoop()
+	go a.readLoop(a.jc, a.directives, a.statsReplies)
+	go a.keepaliveLoop()
 	return a, nil
 }
 
-func (a *Agent) readLoop() {
+// send writes a message on the agent's current connection. jsonConn
+// serializes concurrent writers (keepalive vs Join/UpdateScan).
+func (a *Agent) send(m Message) error {
+	a.mu.Lock()
+	jc := a.jc
+	a.mu.Unlock()
+	return jc.send(m)
+}
+
+func (a *Agent) dirCh() chan Message {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.directives
+}
+
+func (a *Agent) statsCh() chan Message {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.statsReplies
+}
+
+// readLoop drains one connection; it exits (closing that connection's
+// channels) when the connection dies or is replaced by a redirect.
+func (a *Agent) readLoop(jc *jsonConn, directives, statsReplies chan Message) {
 	defer a.readerWG.Done()
-	defer close(a.directives)
-	defer close(a.statsReplies)
+	defer close(directives)
+	defer close(statsReplies)
 	for {
-		msg, err := a.jc.recv()
+		msg, err := jc.recv()
 		if err != nil {
 			return
 		}
@@ -74,13 +111,13 @@ func (a *Agent) readLoop() {
 			a.mu.Unlock()
 		case MsgStatsReply:
 			select {
-			case a.statsReplies <- msg:
+			case statsReplies <- msg:
 			default:
 			}
 			continue // never mixed into the directive stream
 		}
 		select {
-		case a.directives <- msg:
+		case directives <- msg:
 		default:
 			// Slow consumer: drop the notification; state above is
 			// already updated.
@@ -88,22 +125,71 @@ func (a *Agent) readLoop() {
 	}
 }
 
+// keepaliveLoop pings the controller while the agent is alive, so the
+// server's per-read deadline never drops a healthy idle connection.
+func (a *Agent) keepaliveLoop() {
+	ticker := time.NewTicker(keepaliveInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-ticker.C:
+			// A failed ping means the connection is gone; the read loop
+			// observes that independently.
+			_ = a.send(Message{Type: MsgPing})
+		}
+	}
+}
+
+// redial replaces the agent's connection with one to addr (following a
+// cross-shard MsgRedirect). Only Join triggers redials, before the agent
+// is associated; concurrent WaitForMove/Stats calls started before the
+// redial observe a closed-connection error.
+func (a *Agent) redial(addr string) error {
+	a.mu.Lock()
+	old := a.jc
+	a.mu.Unlock()
+	_ = old.close()
+	a.readerWG.Wait()
+
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("control: redirect to %s: %w", addr, err)
+	}
+	jc := newJSONConn(conn)
+	directives := make(chan Message, 16)
+	statsReplies := make(chan Message, 16)
+	a.mu.Lock()
+	a.jc = jc
+	a.directives = directives
+	a.statsReplies = statsReplies
+	a.mu.Unlock()
+	a.readerWG.Add(1)
+	go a.readLoop(jc, directives, statsReplies)
+	return nil
+}
+
 // Join sends the agent's scan report (per-extender WiFi rates and RSSI)
-// and waits for the controller's first association directive.
+// and waits for the controller's first association directive. When a
+// shard-member controller answers with a redirect, Join re-dials the
+// owning member and re-sends the report (at most maxRedirectHops times).
 func (a *Agent) Join(rates, rssi []float64, timeout time.Duration) (int, error) {
-	if err := a.jc.send(Message{
+	joinMsg := Message{
 		Type:   MsgJoin,
 		UserID: a.userID,
 		Rates:  rates,
 		RSSI:   rssi,
-	}); err != nil {
+	}
+	if err := a.send(joinMsg); err != nil {
 		return 0, fmt.Errorf("control: join: %w", err)
 	}
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
+	hops := 0
 	for {
 		select {
-		case msg, ok := <-a.directives:
+		case msg, ok := <-a.dirCh():
 			if !ok {
 				return 0, errors.New("control: connection closed before directive")
 			}
@@ -111,6 +197,17 @@ func (a *Agent) Join(rates, rssi []float64, timeout time.Duration) (int, error) 
 			case MsgAssociate:
 				if msg.UserID == a.userID {
 					return msg.Extender, nil
+				}
+			case MsgRedirect:
+				hops++
+				if hops > maxRedirectHops {
+					return 0, fmt.Errorf("control: join: gave up after %d redirects", hops-1)
+				}
+				if err := a.redial(msg.Addr); err != nil {
+					return 0, err
+				}
+				if err := a.send(joinMsg); err != nil {
+					return 0, fmt.Errorf("control: join after redirect: %w", err)
 				}
 			case MsgError:
 				return 0, errors.New(msg.Error)
@@ -155,7 +252,7 @@ func (a *Agent) WaitForMove(from int, timeout time.Duration) (int, error) {
 			return cur, nil
 		}
 		select {
-		case _, ok := <-a.directives:
+		case _, ok := <-a.dirCh():
 			if !ok {
 				if cur := a.Extender(); cur != from && cur != model.Unassigned {
 					return cur, nil
@@ -172,14 +269,14 @@ func (a *Agent) WaitForMove(from int, timeout time.Duration) (int, error) {
 // dedicated channel, so Stats is safe to call concurrently with
 // WaitForMove or Join.
 func (a *Agent) Stats(timeout time.Duration) (Stats, error) {
-	if err := a.jc.send(Message{Type: MsgStats}); err != nil {
+	if err := a.send(Message{Type: MsgStats}); err != nil {
 		return Stats{}, err
 	}
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	for {
 		select {
-		case msg, ok := <-a.statsReplies:
+		case msg, ok := <-a.statsCh():
 			if !ok {
 				return Stats{}, errors.New("control: connection closed before stats reply")
 			}
@@ -196,7 +293,7 @@ func (a *Agent) Stats(timeout time.Duration) (Stats, error) {
 // Any resulting re-association arrives asynchronously; use Extender or
 // WaitForMove to observe it.
 func (a *Agent) UpdateScan(rates, rssi []float64) error {
-	return a.jc.send(Message{
+	return a.send(Message{
 		Type:   MsgUpdate,
 		UserID: a.userID,
 		Rates:  rates,
@@ -207,7 +304,7 @@ func (a *Agent) UpdateScan(rates, rssi []float64) error {
 // Leave tells the controller the user is departing and closes the
 // connection.
 func (a *Agent) Leave() error {
-	err := a.jc.send(Message{Type: MsgLeave, UserID: a.userID})
+	err := a.send(Message{Type: MsgLeave, UserID: a.userID})
 	closeErr := a.Close()
 	if err != nil {
 		return err
@@ -224,7 +321,10 @@ func (a *Agent) Close() error {
 	default:
 		close(a.done)
 	}
-	err := a.jc.close()
+	a.mu.Lock()
+	jc := a.jc
+	a.mu.Unlock()
+	err := jc.close()
 	a.readerWG.Wait()
 	return err
 }

@@ -1,0 +1,418 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/strategy"
+)
+
+// PolicyKind names the controller's association policy. Any name from the
+// internal/strategy registry is accepted; PolicyRSSI additionally uses
+// the agents' reported RSSI values (the registry's rates-based "rssi"
+// strategy never sees them).
+//
+// Deprecated: PolicyKind is a plain string alias kept for source
+// compatibility. Policies are strategy-registry names, validated against
+// the registry at NewEngine/NewServer time; use string directly.
+type PolicyKind = string
+
+// Common controller policies (any strategy registry name works).
+const (
+	PolicyWOLT   PolicyKind = "wolt"
+	PolicyGreedy PolicyKind = "greedy"
+	PolicyRSSI   PolicyKind = "rssi"
+)
+
+// EngineConfig configures a policy engine.
+type EngineConfig struct {
+	// PLCCaps are the offline-estimated PLC isolation capacities c_j,
+	// indexed by GLOBAL extender ID (§V-A: measured by saturating each
+	// link). Every scan report the engine sees is this wide.
+	PLCCaps []float64
+	// Owned restricts the engine to a subset of global extender IDs (a
+	// shard member's share of the consistent-hash ring). The engine only
+	// ever assigns users to owned extenders; directives still carry
+	// global IDs. Empty means the engine owns every extender.
+	Owned []int
+	// Policy is the association policy: a strategy-registry name
+	// (default PolicyWOLT). The name is validated against the registry
+	// at construction, so the control plane cannot drift from
+	// internal/strategy.
+	Policy string
+	// ModelOpts selects the evaluation model used by evaluation-driven
+	// policies (greedy, selfish, incremental candidates).
+	ModelOpts model.Options
+	// Workers bounds WOLT's intra-solve Phase II parallelism; results
+	// are bit-identical for every value (DESIGN.md §7).
+	Workers int
+	// Seed derives the policy instance's private randomness (e.g. the
+	// random baseline's draws).
+	Seed int64
+}
+
+// Engine is the transport-free policy/state core of a central
+// controller: it owns the user table, applies the configured association
+// strategy on joins and scan updates, and reports the directives each
+// operation produced. The TCP Server, the in-process tests and the
+// internal/shard members all drive the same Engine; none of them carry
+// policy logic of their own.
+//
+// All methods are safe for concurrent use; each operation runs under the
+// engine's lock (strategy instances are not safe for concurrent solves).
+type Engine struct {
+	cfg    EngineConfig
+	policy string
+	// owned lists the global extender IDs this engine may assign, in
+	// increasing order; localOf inverts it. identity is true when the
+	// engine owns every extender in order (the common single-CC case),
+	// which lets recompute reuse per-user rate slices without projection.
+	owned     []int
+	localOf   map[int]int
+	ownedCaps []float64
+	identity  bool
+	// strategy is the policy instance (nil for PolicyRSSI, which places
+	// users by their reported signal instead). Only used under mu.
+	strategy strategy.Strategy
+
+	mu             sync.Mutex
+	users          map[int]*userState
+	joins          int
+	leaves         int
+	reassociations int
+}
+
+type userState struct {
+	rates []float64 // global width
+	rssi  []float64 // global width or empty
+	// extender is the user's current association as a GLOBAL extender ID
+	// (model.Unassigned before the first directive).
+	extender int
+}
+
+// Directive is one association order produced by an engine operation:
+// user UserID moves to (global) extender Extender. The transport layer
+// forwards directives to agents as MsgAssociate messages.
+type Directive struct {
+	UserID        int
+	Extender      int
+	Reassociation bool
+}
+
+// NewEngine builds a policy engine. The policy name is validated against
+// the strategy registry; unknown names fail here, not at first join.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if len(cfg.PLCCaps) == 0 {
+		return nil, errors.New("control: no PLC capacities configured")
+	}
+	for j, c := range cfg.PLCCaps {
+		if c <= 0 {
+			return nil, fmt.Errorf("control: extender %d has non-positive capacity %v", j, c)
+		}
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyWOLT
+	}
+	// Every policy name — including "rssi" — must exist in the registry:
+	// the registry is the single catalogue of association policies, and
+	// validating here keeps the control plane from drifting from it.
+	st, err := strategy.New(cfg.Policy, strategy.Config{
+		ModelOpts: cfg.ModelOpts,
+		Workers:   cfg.Workers,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("control: %w", err)
+	}
+	if cfg.Policy == PolicyRSSI {
+		// The controller's RSSI policy places users by their REPORTED
+		// signal strengths; the registry's rates-based instance is only
+		// used to validate the name.
+		st = nil
+	}
+
+	e := &Engine{
+		cfg:      cfg,
+		policy:   cfg.Policy,
+		strategy: st,
+		users:    make(map[int]*userState),
+	}
+	if err := e.resolveOwned(cfg.Owned); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// resolveOwned normalizes the owned-extender subset (sorted, unique,
+// in range) and precomputes the local projection tables.
+func (e *Engine) resolveOwned(owned []int) error {
+	numExt := len(e.cfg.PLCCaps)
+	if len(owned) == 0 {
+		e.owned = make([]int, numExt)
+		for j := range e.owned {
+			e.owned[j] = j
+		}
+	} else {
+		e.owned = append([]int(nil), owned...)
+		sort.Ints(e.owned)
+	}
+	e.localOf = make(map[int]int, len(e.owned))
+	e.ownedCaps = make([]float64, len(e.owned))
+	for l, g := range e.owned {
+		if g < 0 || g >= numExt {
+			return fmt.Errorf("control: owned extender %d out of range [0,%d)", g, numExt)
+		}
+		if _, dup := e.localOf[g]; dup {
+			return fmt.Errorf("control: extender %d owned twice", g)
+		}
+		e.localOf[g] = l
+		e.ownedCaps[l] = e.cfg.PLCCaps[g]
+	}
+	e.identity = len(e.owned) == numExt
+	return nil
+}
+
+// Policy returns the engine's policy name.
+func (e *Engine) Policy() string { return e.policy }
+
+// NumExtenders returns the GLOBAL extender count (scan-report width).
+func (e *Engine) NumExtenders() int { return len(e.cfg.PLCCaps) }
+
+// Owned returns a copy of the global extender IDs this engine assigns.
+func (e *Engine) Owned() []int { return append([]int(nil), e.owned...) }
+
+// validateScan checks a scan report's shape and that the user reaches at
+// least one extender this engine owns.
+func (e *Engine) validateScan(userID int, rates, rssi []float64) error {
+	numExt := len(e.cfg.PLCCaps)
+	if len(rates) != numExt {
+		return fmt.Errorf("scan report has %d rates, controller manages %d extenders",
+			len(rates), numExt)
+	}
+	if len(rssi) != 0 && len(rssi) != numExt {
+		return fmt.Errorf("scan report has %d RSSI entries, want %d", len(rssi), numExt)
+	}
+	for _, g := range e.owned {
+		if rates[g] > 0 {
+			return nil
+		}
+	}
+	if e.identity {
+		return fmt.Errorf("user %d reaches no extender", userID)
+	}
+	return fmt.Errorf("user %d reaches no extender owned by this shard", userID)
+}
+
+// Join admits a user with its scan report, runs the policy and returns
+// the directives it produced (always including one for the new user on
+// success). A failed join leaves the engine unchanged.
+func (e *Engine) Join(userID int, rates, rssi []float64) ([]Directive, error) {
+	if err := e.validateScan(userID, rates, rssi); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.users[userID]; ok {
+		return nil, fmt.Errorf("user %d already joined", userID)
+	}
+	e.users[userID] = &userState{
+		rates:    append([]float64(nil), rates...),
+		rssi:     append([]float64(nil), rssi...),
+		extender: model.Unassigned,
+	}
+	e.joins++
+	dirs, err := e.recomputeLocked(userID)
+	if err != nil {
+		delete(e.users, userID)
+		e.joins--
+		return nil, err
+	}
+	return dirs, nil
+}
+
+// Update refreshes an associated user's scan report and lets the policy
+// react: WOLT recomputes the full association (it may move anyone), RSSI
+// re-places just the reporting user (client roaming), and arrival-only
+// strategies (greedy, selfish, random) never reassign — the refreshed
+// report only affects placements of future arrivals.
+func (e *Engine) Update(userID int, rates, rssi []float64) ([]Directive, error) {
+	if err := e.validateScan(userID, rates, rssi); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	u, ok := e.users[userID]
+	if !ok {
+		return nil, fmt.Errorf("user %d not joined", userID)
+	}
+	u.rates = append([]float64(nil), rates...)
+	u.rssi = append([]float64(nil), rssi...)
+	if e.policy == PolicyRSSI {
+		// Client roaming: re-place just the reporting user.
+		return e.recomputeLocked(userID)
+	}
+	if _, ok := e.strategy.(strategy.Reassigner); ok {
+		// Recomputing strategies (the WOLT variants) may move anyone.
+		return e.recomputeLocked(userID)
+	}
+	return nil, nil
+}
+
+// Leave removes a user (explicit leave or dropped connection) and
+// reports whether it was present. The paper's CC recomputes on joins
+// (directives accompany new associations); departures simply free
+// capacity.
+func (e *Engine) Leave(userID int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.users[userID]; !ok {
+		return false
+	}
+	delete(e.users, userID)
+	e.leaves++
+	return true
+}
+
+// Extender returns the user's current global extender assignment.
+func (e *Engine) Extender(userID int) (int, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	u, ok := e.users[userID]
+	if !ok {
+		return model.Unassigned, false
+	}
+	return u.extender, true
+}
+
+// Stats returns the engine's counters and current assignment (global
+// extender IDs).
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	assignment := make(map[int]int, len(e.users))
+	for id, u := range e.users {
+		assignment[id] = u.extender
+	}
+	return Stats{
+		Policy:         e.policy,
+		Users:          len(e.users),
+		Joins:          e.joins,
+		Leaves:         e.leaves,
+		Reassociations: e.reassociations,
+		Assignment:     assignment,
+	}
+}
+
+// recomputeLocked runs the policy after newUser joined or reported fresh
+// rates, updates the user table and returns the resulting directives.
+// Callers hold e.mu.
+func (e *Engine) recomputeLocked(newUser int) ([]Directive, error) {
+	ids := make([]int, 0, len(e.users))
+	for id := range e.users {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	n := &model.Network{
+		WiFiRates: make([][]float64, len(ids)),
+		PLCCaps:   e.ownedCaps,
+	}
+	assign := make(model.Assignment, len(ids))
+	newRow := -1
+	for row, id := range ids {
+		u := e.users[id]
+		if e.identity {
+			n.WiFiRates[row] = u.rates
+		} else {
+			local := make([]float64, len(e.owned))
+			for l, g := range e.owned {
+				local[l] = u.rates[g]
+			}
+			n.WiFiRates[row] = local
+		}
+		assign[row] = e.localIndex(u.extender)
+		if id == newUser {
+			newRow = row
+		}
+	}
+
+	if e.policy == PolicyRSSI {
+		u := e.users[newUser]
+		best, bestSig := model.Unassigned, -1e18
+		for l, g := range e.owned {
+			r := u.rates[g]
+			if r <= 0 {
+				continue
+			}
+			sig := r
+			if len(u.rssi) == len(u.rates) {
+				sig = u.rssi[g]
+			}
+			if sig > bestSig {
+				best, bestSig = l, sig
+			}
+		}
+		assign[newRow] = best
+	} else {
+		var err error
+		if assign, err = e.applyStrategy(n, assign, newRow); err != nil {
+			return nil, err
+		}
+	}
+
+	// Record every changed user and emit its directive.
+	var dirs []Directive
+	for row, id := range ids {
+		u := e.users[id]
+		globalExt := model.Unassigned
+		if assign[row] != model.Unassigned {
+			globalExt = e.owned[assign[row]]
+		}
+		if globalExt == u.extender {
+			continue
+		}
+		reassoc := u.extender != model.Unassigned
+		u.extender = globalExt
+		if reassoc {
+			e.reassociations++
+		}
+		dirs = append(dirs, Directive{UserID: id, Extender: globalExt, Reassociation: reassoc})
+	}
+	return dirs, nil
+}
+
+// localIndex maps a global extender ID to this engine's local index
+// (model.Unassigned passes through).
+func (e *Engine) localIndex(globalExt int) int {
+	if globalExt == model.Unassigned {
+		return model.Unassigned
+	}
+	l, ok := e.localOf[globalExt]
+	if !ok {
+		return model.Unassigned
+	}
+	return l
+}
+
+// applyStrategy runs the configured strategy after newRow joined (or
+// reported fresh rates): recomputing strategies may move anyone, online
+// strategies place just the new user, and offline-only strategies (the
+// exhaustive "optimal") are rejected with a typed error wrapping
+// strategy.ErrNoOnlineForm — the controller never silently falls back
+// to a different policy than the one configured.
+func (e *Engine) applyStrategy(n *model.Network, assign model.Assignment, newRow int) (model.Assignment, error) {
+	if re, ok := e.strategy.(strategy.Reassigner); ok {
+		return re.Reassign(n, assign)
+	}
+	if on, ok := e.strategy.(strategy.Online); ok {
+		if _, err := on.Add(n, assign, newRow); err != nil {
+			return nil, err
+		}
+		return assign, nil
+	}
+	return nil, fmt.Errorf("control: policy %q cannot place an arriving user: %w",
+		e.policy, strategy.ErrNoOnlineForm)
+}

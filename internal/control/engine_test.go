@@ -1,0 +1,250 @@
+package control
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/strategy"
+)
+
+// fig3Engine builds a transport-free engine over the paper's Fig 3
+// network (two extenders with PLC capacities 60 and 20 Mbps).
+func fig3Engine(t *testing.T, policy string) *Engine {
+	t.Helper()
+	e, err := NewEngine(EngineConfig{
+		PLCCaps:   []float64{60, 20},
+		Policy:    policy,
+		ModelOpts: model.Options{Redistribute: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// directiveFor returns the directive addressed to the given user, or
+// fails the test.
+func directiveFor(t *testing.T, dirs []Directive, userID int) Directive {
+	t.Helper()
+	for _, d := range dirs {
+		if d.UserID == userID {
+			return d
+		}
+	}
+	t.Fatalf("no directive for user %d in %v", userID, dirs)
+	return Directive{}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(EngineConfig{}); err == nil {
+		t.Error("no capacities: want error")
+	}
+	if _, err := NewEngine(EngineConfig{PLCCaps: []float64{10, -3}}); err == nil {
+		t.Error("negative capacity: want error")
+	}
+	if _, err := NewEngine(EngineConfig{PLCCaps: []float64{10}, Policy: "bogus"}); err == nil {
+		t.Error("unknown policy: want error")
+	}
+	if _, err := NewEngine(EngineConfig{PLCCaps: []float64{10, 20}, Owned: []int{0, 2}}); err == nil {
+		t.Error("owned extender out of range: want error")
+	}
+	if _, err := NewEngine(EngineConfig{PLCCaps: []float64{10, 20}, Owned: []int{1, 1}}); err == nil {
+		t.Error("duplicate owned extender: want error")
+	}
+}
+
+// TestEngineRegistryNamesAccepted pins the satellite contract that any
+// strategy-registry name is a valid policy — the control plane no longer
+// has its own closed policy enum.
+func TestEngineRegistryNamesAccepted(t *testing.T) {
+	for _, name := range []string{"wolt", "wolt-coordinate", "wolt-incremental", "greedy", "selfish", "rssi"} {
+		if _, err := NewEngine(EngineConfig{PLCCaps: []float64{60, 20}, Policy: name}); err != nil {
+			t.Errorf("policy %q rejected: %v", name, err)
+		}
+	}
+}
+
+// TestEngineFig3Semantics replays the Fig 3 case study directly against
+// the engine: user 2's arrival makes WOLT move user 1 to extender 2
+// (a reassociation directive) so both PLC links carry traffic.
+func TestEngineFig3Semantics(t *testing.T) {
+	e := fig3Engine(t, PolicyWOLT)
+
+	dirs, err := e.Join(1, []float64{15, 10}, []float64{-60, -70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := directiveFor(t, dirs, 1)
+	if d1.Reassociation {
+		t.Error("first join: want initial association, got reassociation")
+	}
+
+	dirs, err = e.Join(2, []float64{40, 5}, []float64{-55, -80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := directiveFor(t, dirs, 2)
+	if d2.Extender != 0 {
+		t.Errorf("user 2 on extender %d, want 0 (the 60 Mbps link)", d2.Extender)
+	}
+	if ext, _ := e.Extender(1); ext != 1 {
+		t.Errorf("user 1 on extender %d, want 1 after WOLT rebalances", ext)
+	}
+
+	st := e.Stats()
+	if st.Users != 2 || st.Joins != 2 {
+		t.Errorf("stats = %+v, want 2 users / 2 joins", st)
+	}
+	if st.Reassociations == 0 {
+		t.Error("want at least one reassociation when user 2 displaces user 1")
+	}
+}
+
+func TestEngineJoinRejections(t *testing.T) {
+	e := fig3Engine(t, PolicyWOLT)
+	if _, err := e.Join(1, []float64{15}, nil); err == nil {
+		t.Error("short scan report: want error")
+	}
+	if _, err := e.Join(1, []float64{0, 0}, nil); err == nil ||
+		!strings.Contains(err.Error(), "reaches no extender") {
+		t.Errorf("unreachable user: got %v, want 'reaches no extender'", err)
+	}
+	if _, err := e.Join(1, []float64{15, 10}, []float64{-60}); err == nil {
+		t.Error("short RSSI vector: want error")
+	}
+	if _, err := e.Join(1, []float64{15, 10}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Join(1, []float64{15, 10}, nil); err == nil {
+		t.Error("duplicate join: want error")
+	}
+	// A failed join must leave no trace: user 5's rejection does not
+	// bump the join counter.
+	if _, err := e.Join(5, []float64{0, 0}, nil); err == nil {
+		t.Fatal("want rejection")
+	}
+	if st := e.Stats(); st.Users != 1 || st.Joins != 1 {
+		t.Errorf("stats after rejected join = %+v, want 1 user / 1 join", st)
+	}
+}
+
+func TestEngineLeave(t *testing.T) {
+	e := fig3Engine(t, PolicyWOLT)
+	if e.Leave(1) {
+		t.Error("leave of unknown user: want false")
+	}
+	if _, err := e.Join(1, []float64{15, 10}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Leave(1) {
+		t.Error("leave of joined user: want true")
+	}
+	if st := e.Stats(); st.Users != 0 || st.Leaves != 1 {
+		t.Errorf("stats = %+v, want 0 users / 1 leave", st)
+	}
+	// The departed user's ID is free for a fresh join.
+	if _, err := e.Join(1, []float64{15, 10}, nil); err != nil {
+		t.Errorf("rejoin after leave: %v", err)
+	}
+}
+
+func TestEngineUpdateSemantics(t *testing.T) {
+	t.Run("before join", func(t *testing.T) {
+		e := fig3Engine(t, PolicyWOLT)
+		if _, err := e.Update(9, []float64{15, 10}, nil); err == nil {
+			t.Error("update before join: want error")
+		}
+	})
+	t.Run("wolt reassociates", func(t *testing.T) {
+		e := fig3Engine(t, PolicyWOLT)
+		if _, err := e.Join(1, []float64{15, 10}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Join(2, []float64{40, 5}, nil); err != nil {
+			t.Fatal(err)
+		}
+		// User 2's link to extender 1 collapses; WOLT must move it off.
+		dirs, err := e.Update(2, []float64{1, 30}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := directiveFor(t, dirs, 2)
+		if d.Extender != 1 || !d.Reassociation {
+			t.Errorf("got %+v, want reassociation to extender 1", d)
+		}
+	})
+	t.Run("greedy stays put", func(t *testing.T) {
+		e := fig3Engine(t, PolicyGreedy)
+		if _, err := e.Join(1, []float64{15, 10}, nil); err != nil {
+			t.Fatal(err)
+		}
+		dirs, err := e.Update(1, []float64{1, 100}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dirs) != 0 {
+			t.Errorf("greedy produced directives on update: %v", dirs)
+		}
+	})
+	t.Run("rssi roams the reporting user", func(t *testing.T) {
+		e := fig3Engine(t, PolicyRSSI)
+		if _, err := e.Join(1, []float64{15, 10}, []float64{-60, -80}); err != nil {
+			t.Fatal(err)
+		}
+		if ext, _ := e.Extender(1); ext != 0 {
+			t.Fatalf("user 1 on extender %d, want 0 (strongest signal)", ext)
+		}
+		dirs, err := e.Update(1, []float64{15, 10}, []float64{-85, -50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := directiveFor(t, dirs, 1)
+		if d.Extender != 1 || !d.Reassociation {
+			t.Errorf("got %+v, want roam to extender 1", d)
+		}
+	})
+}
+
+// TestEngineOfflineOnlyPolicy pins the typed-error contract: a policy
+// with no online form (the exhaustive "optimal") is accepted by the
+// registry but rejects arrivals with strategy.ErrNoOnlineForm.
+func TestEngineOfflineOnlyPolicy(t *testing.T) {
+	e := fig3Engine(t, "optimal")
+	_, err := e.Join(1, []float64{15, 10}, nil)
+	if !errors.Is(err, strategy.ErrNoOnlineForm) {
+		t.Errorf("got %v, want strategy.ErrNoOnlineForm", err)
+	}
+	if st := e.Stats(); st.Users != 0 || st.Joins != 0 {
+		t.Errorf("failed join left state behind: %+v", st)
+	}
+}
+
+// TestEngineOwnedSubset exercises the shard-member projection: an engine
+// owning only extender 1 of a 3-extender deployment sees global-width
+// scans, assigns only its own extender, and reports global IDs.
+func TestEngineOwnedSubset(t *testing.T) {
+	e, err := NewEngine(EngineConfig{
+		PLCCaps: []float64{60, 20, 40},
+		Owned:   []int{1},
+		Policy:  PolicyWOLT,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The user's best global extender is 0, but this engine only owns 1.
+	dirs, err := e.Join(7, []float64{50, 12, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := directiveFor(t, dirs, 7); d.Extender != 1 {
+		t.Errorf("shard engine assigned global extender %d, want 1", d.Extender)
+	}
+	// A user reaching only unowned extenders is rejected with the
+	// shard-specific message.
+	_, err = e.Join(8, []float64{50, 0, 30}, nil)
+	if err == nil || !strings.Contains(err.Error(), "owned by this shard") {
+		t.Errorf("got %v, want shard-ownership rejection", err)
+	}
+}

@@ -6,6 +6,13 @@
 // association policy (WOLT, Greedy or RSSI) and pushes association
 // directives back. WOLT may re-associate existing users when topology
 // changes; Greedy and RSSI never do.
+//
+// The package is layered (DESIGN.md §9): Engine is the transport-free
+// policy/state core (association bookkeeping plus strategy execution),
+// Server is a thin TCP adapter over an Engine, and Agent is the
+// user-side client. internal/shard composes several Engines behind a
+// consistent-hash ring; the MsgRedirect message is how a shard member
+// bounces an agent to the shard that owns its best-rate extender.
 package control
 
 import (
@@ -13,6 +20,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
+	"time"
 )
 
 // MsgType discriminates protocol messages.
@@ -31,6 +40,14 @@ const (
 	MsgUpdate MsgType = "update"
 	// MsgAssociate is sent by the CC to direct an agent to an extender.
 	MsgAssociate MsgType = "associate"
+	// MsgRedirect is sent by a shard-member CC that does not own the
+	// joining user's best-rate extender: Addr names the member that does,
+	// and the agent re-sends its join there (cross-shard handoff).
+	MsgRedirect MsgType = "redirect"
+	// MsgPing is an agent keepalive. The controller ignores it, but the
+	// bytes reset the server-side read deadline, so a healthy idle agent
+	// is never dropped as stalled.
+	MsgPing MsgType = "ping"
 	// MsgStats asks the CC for a snapshot of controller statistics.
 	MsgStats MsgType = "stats"
 	// MsgStatsReply answers MsgStats.
@@ -49,11 +66,18 @@ type Message struct {
 	Rates []float64 `json:"ratesMbps,omitempty"`
 	// RSSI is the scan report's signal strengths in dBm (join).
 	RSSI []float64 `json:"rssiDbm,omitempty"`
-	// Extender is the association directive target (associate).
-	Extender int `json:"extender,omitempty"`
+	// Extender is the association directive target (associate). It is
+	// deliberately NOT omitempty: extender 0 is a valid directive target
+	// and must appear explicitly on the wire rather than lean on Go's
+	// zero-value decoding.
+	Extender int `json:"extender"`
 	// Reassociation marks a directive that moves an already-associated
-	// user (associate).
-	Reassociation bool `json:"reassociation,omitempty"`
+	// user (associate). Like Extender it is always serialized: "false"
+	// is a statement (first association), not an absence.
+	Reassociation bool `json:"reassociation"`
+	// Addr is the address of the shard member the agent should re-join
+	// (redirect).
+	Addr string `json:"addr,omitempty"`
 	// Stats is the controller snapshot (stats_reply).
 	Stats *Stats `json:"stats,omitempty"`
 	// Error carries a human-readable failure description (error).
@@ -70,11 +94,21 @@ type Stats struct {
 	Assignment     map[int]int `json:"assignment"`
 }
 
-// conn wraps a TCP connection with newline-delimited JSON framing.
+// jsonConn wraps a TCP connection with newline-delimited JSON framing.
+// sendMu serializes writers: the server pushes directives to a connection
+// from recompute paths while that connection's own handler goroutine may
+// be replying to a stats request, and the agent's keepalive ticker writes
+// concurrently with Join/UpdateScan.
 type jsonConn struct {
-	c   net.Conn
-	r   *bufio.Reader
-	enc *json.Encoder
+	c      net.Conn
+	r      *bufio.Reader
+	sendMu sync.Mutex
+	enc    *json.Encoder
+	// readTimeout/writeTimeout bound a single recv/send; zero disables
+	// the deadline. The server arms these from ServerConfig so a stalled
+	// agent cannot pin a handler goroutine forever.
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 }
 
 func newJSONConn(c net.Conn) *jsonConn {
@@ -82,10 +116,22 @@ func newJSONConn(c net.Conn) *jsonConn {
 }
 
 func (jc *jsonConn) send(m Message) error {
+	jc.sendMu.Lock()
+	defer jc.sendMu.Unlock()
+	if jc.writeTimeout > 0 {
+		if err := jc.c.SetWriteDeadline(time.Now().Add(jc.writeTimeout)); err != nil {
+			return err
+		}
+	}
 	return jc.enc.Encode(m)
 }
 
 func (jc *jsonConn) recv() (Message, error) {
+	if jc.readTimeout > 0 {
+		if err := jc.c.SetReadDeadline(time.Now().Add(jc.readTimeout)); err != nil {
+			return Message{}, err
+		}
+	}
 	line, err := jc.r.ReadBytes('\n')
 	if err != nil {
 		return Message{}, err

@@ -1,0 +1,48 @@
+package control
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestAssociateExtenderZeroRoundTrip pins the wire contract for
+// extender 0: the first extender is a perfectly ordinary directive
+// target, so "extender":0 and "reassociation":false must be serialized
+// explicitly — an omitempty here would make the directive
+// indistinguishable from a malformed message on the wire.
+func TestAssociateExtenderZeroRoundTrip(t *testing.T) {
+	in := Message{Type: MsgAssociate, UserID: 3, Extender: 0, Reassociation: false}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"extender":0`, `"reassociation":false`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("encoded directive %s missing %s", raw, want)
+		}
+	}
+	var out Message
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MsgAssociate || out.UserID != 3 || out.Extender != 0 || out.Reassociation {
+		t.Errorf("round trip mangled the message: %+v", out)
+	}
+}
+
+// TestRedirectRoundTrip covers the shard handoff message.
+func TestRedirectRoundTrip(t *testing.T) {
+	in := Message{Type: MsgRedirect, UserID: 9, Addr: "127.0.0.1:4242"}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Message
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MsgRedirect || out.UserID != 9 || out.Addr != "127.0.0.1:4242" {
+		t.Errorf("round trip mangled the message: %+v", out)
+	}
+}

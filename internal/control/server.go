@@ -1,104 +1,107 @@
 package control
 
 import (
-	"errors"
 	"fmt"
 	"log"
 	"net"
-	"sort"
 	"sync"
+	"time"
 
 	"github.com/plcwifi/wolt/internal/model"
-	"github.com/plcwifi/wolt/internal/strategy"
 )
 
-// PolicyKind selects the controller's association policy. Any name from
-// the internal/strategy registry is accepted; PolicyRSSI additionally
-// uses the agents' reported RSSI values (the registry's rates-based
-// "rssi" strategy never sees them).
-type PolicyKind string
-
-// Common controller policies (any strategy registry name works).
-const (
-	PolicyWOLT   PolicyKind = "wolt"
-	PolicyGreedy PolicyKind = "greedy"
-	PolicyRSSI   PolicyKind = "rssi"
-)
+// DefaultIOTimeout bounds a single read or write on a server-side
+// connection when ServerConfig leaves the timeouts zero. Agents keep
+// idle connections alive with MsgPing well inside this window.
+const DefaultIOTimeout = 30 * time.Second
 
 // ServerConfig configures a central controller.
 type ServerConfig struct {
 	// PLCCaps are the offline-estimated PLC isolation capacities c_j,
-	// indexed by extender ID (§V-A: measured by saturating each link).
+	// indexed by global extender ID (§V-A).
 	PLCCaps []float64
-	// Policy is the association policy (default PolicyWOLT).
+	// Owned restricts this server's engine to a subset of global
+	// extender IDs (shard-member mode); empty owns all of them.
+	Owned []int
+	// Policy is the association policy: a strategy-registry name
+	// (default PolicyWOLT), validated at NewServer time.
 	Policy PolicyKind
-	// ModelOpts selects the evaluation model used by the greedy policy.
+	// ModelOpts selects the evaluation model used by evaluation-driven
+	// policies.
 	ModelOpts model.Options
+	// Workers bounds WOLT's intra-solve Phase II parallelism.
+	Workers int
+	// Seed derives the policy instance's private randomness.
+	Seed int64
+	// ReadTimeout bounds one message read per connection: a stalled
+	// agent is disconnected (and treated as departed if it had joined)
+	// instead of pinning a server goroutine forever. Zero selects
+	// DefaultIOTimeout; negative disables the deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one message write per connection. Zero selects
+	// DefaultIOTimeout; negative disables the deadline.
+	WriteTimeout time.Duration
+	// Redirect, when set, is consulted before every join: returning
+	// (addr, true) answers the agent with MsgRedirect instead of
+	// admitting it — the shard layer's cross-shard handoff hook.
+	Redirect func(userID int, rates []float64) (addr string, ok bool)
 	// Logger receives connection-level errors; nil discards them.
 	Logger *log.Logger
 }
 
-// Server is the WOLT Central Controller: it accepts agent connections,
-// collects scan reports, computes associations and pushes directives.
+// Server is the WOLT Central Controller's TCP transport: it accepts
+// agent connections, decodes protocol messages, and forwards them to a
+// policy Engine. All association policy and user state live in the
+// Engine; the Server only moves messages.
 type Server struct {
 	cfg      ServerConfig
+	engine   *Engine
 	listener net.Listener
-	// strategy is the configured association strategy (nil for
-	// PolicyRSSI, which places users by their reported signal instead).
-	// It is only used under mu: strategy instances are not safe for
-	// concurrent solves.
-	strategy strategy.Strategy
 
-	mu             sync.Mutex
-	users          map[int]*userState
-	conns          map[*jsonConn]struct{}
-	joins          int
-	leaves         int
-	reassociations int
+	// opMu serializes engine-operation + directive-push pairs so that
+	// directives reach agents in the order the engine produced them
+	// (two concurrent joins must not interleave their pushes, or an
+	// agent could end on a stale extender).
+	opMu sync.Mutex
+
+	mu        sync.Mutex
+	conns     map[*jsonConn]struct{}
+	userConns map[int]*jsonConn
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
-type userState struct {
-	rates    []float64
-	rssi     []float64
-	extender int
-	conn     *jsonConn
-}
-
 // NewServer starts a controller listening on addr (e.g. "127.0.0.1:0").
 func NewServer(addr string, cfg ServerConfig) (*Server, error) {
-	if len(cfg.PLCCaps) == 0 {
-		return nil, errors.New("control: no PLC capacities configured")
+	engine, err := NewEngine(EngineConfig{
+		PLCCaps:   cfg.PLCCaps,
+		Owned:     cfg.Owned,
+		Policy:    cfg.Policy,
+		ModelOpts: cfg.ModelOpts,
+		Workers:   cfg.Workers,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
 	}
-	for j, c := range cfg.PLCCaps {
-		if c <= 0 {
-			return nil, fmt.Errorf("control: extender %d has non-positive capacity %v", j, c)
-		}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = DefaultIOTimeout
 	}
-	if cfg.Policy == "" {
-		cfg.Policy = PolicyWOLT
-	}
-	var st strategy.Strategy
-	if cfg.Policy != PolicyRSSI {
-		var err error
-		st, err = strategy.New(string(cfg.Policy), strategy.Config{ModelOpts: cfg.ModelOpts})
-		if err != nil {
-			return nil, fmt.Errorf("control: %w", err)
-		}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultIOTimeout
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("control: listen: %w", err)
 	}
 	s := &Server{
-		cfg:      cfg,
-		listener: ln,
-		strategy: st,
-		users:    make(map[int]*userState),
-		conns:    make(map[*jsonConn]struct{}),
-		closed:   make(chan struct{}),
+		cfg:       cfg,
+		engine:    engine,
+		listener:  ln,
+		conns:     make(map[*jsonConn]struct{}),
+		userConns: make(map[int]*jsonConn),
+		closed:    make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -108,6 +111,13 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 // Addr returns the controller's listen address.
 func (s *Server) Addr() string {
 	return s.listener.Addr().String()
+}
+
+// Engine returns the server's policy engine (shared state; the shard
+// coordinator and tests read stats or drive in-process operations
+// through it).
+func (s *Server) Engine() *Engine {
+	return s.engine
 }
 
 // Close shuts the controller down and waits for its goroutines. Every
@@ -126,24 +136,7 @@ func (s *Server) Close() error {
 
 // StatsSnapshot returns the controller's counters and current assignment.
 func (s *Server) StatsSnapshot() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.statsLocked()
-}
-
-func (s *Server) statsLocked() Stats {
-	assignment := make(map[int]int, len(s.users))
-	for id, u := range s.users {
-		assignment[id] = u.extender
-	}
-	return Stats{
-		Policy:         string(s.cfg.Policy),
-		Users:          len(s.users),
-		Joins:          s.joins,
-		Leaves:         s.leaves,
-		Reassociations: s.reassociations,
-		Assignment:     assignment,
-	}
+	return s.engine.Stats()
 }
 
 func (s *Server) acceptLoop() {
@@ -159,8 +152,15 @@ func (s *Server) acceptLoop() {
 				return
 			}
 		}
+		jc := newJSONConn(conn)
+		if s.cfg.ReadTimeout > 0 {
+			jc.readTimeout = s.cfg.ReadTimeout
+		}
+		if s.cfg.WriteTimeout > 0 {
+			jc.writeTimeout = s.cfg.WriteTimeout
+		}
 		s.wg.Add(1)
-		go s.handle(newJSONConn(conn))
+		go s.handle(jc)
 	}
 }
 
@@ -192,15 +192,22 @@ func (s *Server) handle(jc *jsonConn) {
 	for {
 		msg, err := jc.recv()
 		if err != nil {
-			// Connection gone: treat as an implicit leave.
+			// Connection gone (or its read deadline expired): treat as
+			// an implicit leave.
 			if joinedUser >= 0 {
-				s.removeUser(joinedUser)
+				s.removeUser(joinedUser, jc)
 			}
 			return
 		}
 		switch msg.Type {
 		case MsgJoin:
-			if err := s.handleJoin(jc, msg); err != nil {
+			if s.cfg.Redirect != nil {
+				if addr, ok := s.cfg.Redirect(msg.UserID, msg.Rates); ok {
+					_ = jc.send(Message{Type: MsgRedirect, UserID: msg.UserID, Addr: addr})
+					continue
+				}
+			}
+			if err := s.join(jc, msg); err != nil {
 				_ = jc.send(Message{Type: MsgError, Error: err.Error()})
 				continue
 			}
@@ -210,19 +217,19 @@ func (s *Server) handle(jc *jsonConn) {
 				_ = jc.send(Message{Type: MsgError, Error: "update before join"})
 				continue
 			}
-			if err := s.handleUpdate(msg); err != nil {
+			if err := s.update(msg); err != nil {
 				_ = jc.send(Message{Type: MsgError, Error: err.Error()})
 			}
 		case MsgLeave:
 			if joinedUser >= 0 {
-				s.removeUser(joinedUser)
+				s.removeUser(joinedUser, jc)
 				joinedUser = -1
 			}
 			return
+		case MsgPing:
+			// Keepalive: the read itself refreshed the deadline.
 		case MsgStats:
-			s.mu.Lock()
-			stats := s.statsLocked()
-			s.mu.Unlock()
+			stats := s.engine.Stats()
 			if err := jc.send(Message{Type: MsgStatsReply, Stats: &stats}); err != nil {
 				return
 			}
@@ -232,194 +239,69 @@ func (s *Server) handle(jc *jsonConn) {
 	}
 }
 
-func (s *Server) handleJoin(jc *jsonConn, msg Message) error {
-	numExt := len(s.cfg.PLCCaps)
-	if len(msg.Rates) != numExt {
-		return fmt.Errorf("scan report has %d rates, controller manages %d extenders",
-			len(msg.Rates), numExt)
-	}
-	if len(msg.RSSI) != 0 && len(msg.RSSI) != numExt {
-		return fmt.Errorf("scan report has %d RSSI entries, want %d", len(msg.RSSI), numExt)
-	}
-	reachable := false
-	for _, r := range msg.Rates {
-		if r > 0 {
-			reachable = true
-			break
-		}
-	}
-	if !reachable {
-		return fmt.Errorf("user %d reaches no extender", msg.UserID)
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.users[msg.UserID]; ok {
-		return fmt.Errorf("user %d already joined", msg.UserID)
-	}
-	s.users[msg.UserID] = &userState{
-		rates:    append([]float64(nil), msg.Rates...),
-		rssi:     append([]float64(nil), msg.RSSI...),
-		extender: model.Unassigned,
-		conn:     jc,
-	}
-	s.joins++
-	if err := s.recomputeLocked(msg.UserID); err != nil {
-		delete(s.users, msg.UserID)
-		s.joins--
+// join admits the agent through the engine and pushes the resulting
+// directives (the joining user's own directive included).
+func (s *Server) join(jc *jsonConn, msg Message) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	dirs, err := s.engine.Join(msg.UserID, msg.Rates, msg.RSSI)
+	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	s.userConns[msg.UserID] = jc
+	s.mu.Unlock()
+	s.pushDirectives(dirs)
 	return nil
 }
 
-// handleUpdate refreshes an associated user's scan report and lets the
-// policy react: WOLT recomputes the full association (it may move
-// anyone), RSSI re-places just the reporting user (client roaming), and
-// Greedy — which never reassigns — leaves everything as is.
-func (s *Server) handleUpdate(msg Message) error {
-	numExt := len(s.cfg.PLCCaps)
-	if len(msg.Rates) != numExt {
-		return fmt.Errorf("scan report has %d rates, controller manages %d extenders",
-			len(msg.Rates), numExt)
+func (s *Server) update(msg Message) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	dirs, err := s.engine.Update(msg.UserID, msg.Rates, msg.RSSI)
+	if err != nil {
+		return err
 	}
-	if len(msg.RSSI) != 0 && len(msg.RSSI) != numExt {
-		return fmt.Errorf("scan report has %d RSSI entries, want %d", len(msg.RSSI), numExt)
-	}
-	reachable := false
-	for _, r := range msg.Rates {
-		if r > 0 {
-			reachable = true
-			break
-		}
-	}
-	if !reachable {
-		return fmt.Errorf("user %d reaches no extender", msg.UserID)
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	u, ok := s.users[msg.UserID]
-	if !ok {
-		return fmt.Errorf("user %d not joined", msg.UserID)
-	}
-	u.rates = append([]float64(nil), msg.Rates...)
-	u.rssi = append([]float64(nil), msg.RSSI...)
-	if s.cfg.Policy == PolicyRSSI {
-		// Client roaming: re-place just the reporting user.
-		return s.recomputeLocked(msg.UserID)
-	}
-	if _, ok := s.strategy.(strategy.Reassigner); ok {
-		// Recomputing strategies (the WOLT variants) may move anyone.
-		return s.recomputeLocked(msg.UserID)
-	}
-	// Arrival-only strategies (greedy, selfish, random) never reassign;
-	// the refreshed report only affects placements of future arrivals.
+	s.pushDirectives(dirs)
 	return nil
 }
 
-func (s *Server) removeUser(id int) {
+// removeUser drops a departed user from the engine. The connection guard
+// prevents a stale handler (e.g. a user ID that re-joined on a new
+// connection) from unmapping the live one.
+func (s *Server) removeUser(id int, jc *jsonConn) {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.users[id]; !ok {
+	if cur, ok := s.userConns[id]; ok && cur == jc {
+		delete(s.userConns, id)
+	} else if ok {
+		s.mu.Unlock()
 		return
 	}
-	delete(s.users, id)
-	s.leaves++
-	// The paper's CC recomputes on joins (directives accompany new
-	// associations); departures simply free capacity.
+	s.mu.Unlock()
+	s.engine.Leave(id)
 }
 
-// recomputeLocked runs the policy after newUser joined and pushes
-// directives. Callers hold s.mu.
-func (s *Server) recomputeLocked(newUser int) error {
-	ids := make([]int, 0, len(s.users))
-	for id := range s.users {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-
-	n := &model.Network{
-		WiFiRates: make([][]float64, len(ids)),
-		PLCCaps:   s.cfg.PLCCaps,
-	}
-	assign := make(model.Assignment, len(ids))
-	newRow := -1
-	for row, id := range ids {
-		u := s.users[id]
-		n.WiFiRates[row] = u.rates
-		assign[row] = u.extender
-		if id == newUser {
-			newRow = row
-		}
-	}
-
-	switch {
-	case s.cfg.Policy == PolicyRSSI:
-		u := s.users[newUser]
-		best, bestSig := model.Unassigned, -1e18
-		for j, r := range u.rates {
-			if r <= 0 {
-				continue
-			}
-			sig := r
-			if len(u.rssi) == len(u.rates) {
-				sig = u.rssi[j]
-			}
-			if sig > bestSig {
-				best, bestSig = j, sig
-			}
-		}
-		assign[newRow] = best
-	default:
-		var err error
-		if assign, err = s.applyStrategy(n, assign, newRow); err != nil {
-			return err
-		}
-	}
-
-	// Push directives for every changed user.
-	for row, id := range ids {
-		u := s.users[id]
-		if assign[row] == u.extender {
+// pushDirectives forwards engine directives to the affected agents'
+// connections. Callers hold opMu, which keeps pushes in engine order.
+func (s *Server) pushDirectives(dirs []Directive) {
+	for _, d := range dirs {
+		s.mu.Lock()
+		jc := s.userConns[d.UserID]
+		s.mu.Unlock()
+		if jc == nil {
 			continue
 		}
-		reassoc := u.extender != model.Unassigned
-		u.extender = assign[row]
-		if reassoc {
-			s.reassociations++
-		}
-		if u.conn != nil {
-			if err := u.conn.send(Message{
-				Type:          MsgAssociate,
-				UserID:        id,
-				Extender:      u.extender,
-				Reassociation: reassoc,
-			}); err != nil {
-				s.logf("push directive to user %d: %v", id, err)
-			}
+		if err := jc.send(Message{
+			Type:          MsgAssociate,
+			UserID:        d.UserID,
+			Extender:      d.Extender,
+			Reassociation: d.Reassociation,
+		}); err != nil {
+			s.logf("push directive to user %d: %v", d.UserID, err)
 		}
 	}
-	return nil
-}
-
-// applyStrategy runs the configured strategy after newRow joined (or
-// reported fresh rates): recomputing strategies may move anyone, online
-// strategies place just the new user, and offline-only strategies (the
-// exhaustive "optimal") are rejected with a typed error wrapping
-// strategy.ErrNoOnlineForm — the controller never silently falls back
-// to a different policy than the one configured.
-func (s *Server) applyStrategy(n *model.Network, assign model.Assignment, newRow int) (model.Assignment, error) {
-	if re, ok := s.strategy.(strategy.Reassigner); ok {
-		return re.Reassign(n, assign)
-	}
-	if on, ok := s.strategy.(strategy.Online); ok {
-		if _, err := on.Add(n, assign, newRow); err != nil {
-			return nil, err
-		}
-		return assign, nil
-	}
-	return nil, fmt.Errorf("control: policy %q cannot place an arriving user: %w",
-		s.cfg.Policy, strategy.ErrNoOnlineForm)
 }
 
 func (s *Server) logf(format string, args ...any) {

@@ -70,6 +70,17 @@ const (
 	// StrategyRand seeds a strategy instance's private randomness
 	// (internal/strategy; e.g. the random baseline's draws).
 	StrategyRand
+	// ShardRing seeds the virtual-node positions of the consistent-hash
+	// ring (internal/shard); the index packs (member, vnode) as
+	// member*vnodes+vnode.
+	ShardRing
+	// ShardKey seeds the per-extender key hashes looked up on the ring.
+	ShardKey
+	// ShardEngine seeds shard member engines' policy randomness, indexed
+	// by member ID.
+	ShardEngine
+	// ShardTrial seeds the per-unit topologies of the shard experiment.
+	ShardTrial
 )
 
 // golden is the SplitMix64 increment, the odd integer closest to

@@ -1,0 +1,448 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/plcwifi/wolt/internal/control"
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/seed"
+)
+
+// Config parameterizes a sharded control plane.
+type Config struct {
+	// Shards is the initial shard-member count (>= 1).
+	Shards int
+	// PLCCaps are the global PLC isolation capacities, indexed by
+	// extender ID; the ring partitions these extenders across members.
+	PLCCaps []float64
+	// Policy is the per-member association policy (a strategy-registry
+	// name; default wolt).
+	Policy string
+	// ModelOpts selects the evaluation model of evaluation-driven
+	// policies.
+	ModelOpts model.Options
+	// Workers bounds each member's intra-solve parallelism (bit-identical
+	// results for any value).
+	Workers int
+	// Seed roots the ring's virtual-node positions, the extender keys
+	// and the member engines' policy randomness.
+	Seed int64
+	// VirtualNodes is the per-member virtual node count on the ring
+	// (<= 0 selects DefaultVirtualNodes).
+	VirtualNodes int
+}
+
+// Stats is the coordinator's merged snapshot: the global view a single
+// CC would have reported, plus shard-plane counters and the per-member
+// engine snapshots.
+type Stats struct {
+	// Shards is the current member count.
+	Shards int
+	// Users/Joins/Leaves/Reassociations are coordinator-level logical
+	// counters: rebalance re-joins are not counted as user joins, and a
+	// reassociation is any directive that moved an already-associated
+	// user — whether the policy moved it within a shard or a handoff
+	// moved it across shards.
+	Users          int
+	Joins          int
+	Leaves         int
+	Reassociations int
+	// Handoffs counts users moved between shard members (scan updates
+	// whose best-rate extender changed owner, plus rebalance moves).
+	Handoffs int
+	// Redirects counts joins that entered through a member that did not
+	// own the user (TCP plane only; the in-process coordinator routes
+	// directly).
+	Redirects int
+	// Assignment is the merged user→extender map (global extender IDs).
+	Assignment map[int]int
+	// PerShard holds each member engine's own snapshot, in member-ID
+	// order.
+	PerShard []control.Stats
+}
+
+// scan is a user's last reported radio scan, kept so rebalancing can
+// re-route users without asking the agents to re-report.
+type scan struct {
+	rates []float64
+	rssi  []float64
+}
+
+// Coordinator runs N shard engines behind one in-process API: it routes
+// every user to the member owning its best-rate extender, hands users
+// off across members when their radio environment moves them, and
+// rebalances when a shard joins or leaves.
+type Coordinator struct {
+	cfg  Config
+	ring *Ring
+
+	mu      sync.Mutex
+	nextID  int
+	members map[int]*control.Engine // nil engine = member owns no extenders
+	ownerOf []int                   // extender -> member ID
+	home    map[int]int             // user -> member ID
+	scans   map[int]scan
+	assign  map[int]int // user -> global extender (the merged view)
+
+	joins, leaves, reassociations int
+	handoffs, redirects           int
+}
+
+// NewCoordinator builds a sharded control plane with cfg.Shards members
+// (IDs 0..Shards-1) and partitions the extenders across them.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if len(cfg.PLCCaps) == 0 {
+		return nil, errors.New("shard: no PLC capacities configured")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = control.PolicyWOLT
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Seed, cfg.VirtualNodes),
+		nextID:  cfg.Shards,
+		members: make(map[int]*control.Engine, cfg.Shards),
+		home:    make(map[int]int),
+		scans:   make(map[int]scan),
+		assign:  make(map[int]int),
+	}
+	for m := 0; m < cfg.Shards; m++ {
+		c.ring.Add(m)
+		c.members[m] = nil
+	}
+	c.ownerOf = c.ring.OwnerMap(len(cfg.PLCCaps))
+	for m, owned := range c.ownedSets(c.ownerOf) {
+		eng, err := c.buildEngine(m, owned)
+		if err != nil {
+			return nil, err
+		}
+		c.members[m] = eng
+	}
+	return c, nil
+}
+
+// ownedSets groups extenders by owning member; every current member gets
+// an entry (possibly empty).
+func (c *Coordinator) ownedSets(ownerOf []int) map[int][]int {
+	sets := make(map[int][]int, len(c.members))
+	for m := range c.members {
+		sets[m] = nil
+	}
+	for j, m := range ownerOf {
+		sets[m] = append(sets[m], j)
+	}
+	return sets
+}
+
+// buildEngine constructs member m's engine over its owned extenders; a
+// member owning nothing gets no engine (it cannot accept users, and the
+// router never sends it any).
+func (c *Coordinator) buildEngine(m int, owned []int) (*control.Engine, error) {
+	if len(owned) == 0 {
+		return nil, nil
+	}
+	return control.NewEngine(control.EngineConfig{
+		PLCCaps:   c.cfg.PLCCaps,
+		Owned:     owned,
+		Policy:    c.cfg.Policy,
+		ModelOpts: c.cfg.ModelOpts,
+		Workers:   c.cfg.Workers,
+		Seed:      seed.Derive(c.cfg.Seed, seed.ShardEngine, int64(m)),
+	})
+}
+
+// NumShards returns the current member count.
+func (c *Coordinator) NumShards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.members)
+}
+
+// Owner returns the member ID owning the given extender.
+func (c *Coordinator) Owner(extender int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if extender < 0 || extender >= len(c.ownerOf) {
+		return -1
+	}
+	return c.ownerOf[extender]
+}
+
+// ownerForRatesLocked routes a scan report: the member owning the user's
+// best-rate extender, or -1 when the user reaches nothing.
+func ownerForRates(ownerOf []int, rates []float64) int {
+	best := bestExtender(rates)
+	if best < 0 || best >= len(ownerOf) {
+		return -1
+	}
+	return ownerOf[best]
+}
+
+// applyLocked folds engine directives into the merged assignment,
+// recomputing the Reassociation flag globally: an engine that just
+// admitted a handed-off user reports a fresh association, but from the
+// plane's point of view the user moved. Returns the (patched) directives.
+func (c *Coordinator) applyLocked(dirs []control.Directive) []control.Directive {
+	for i, d := range dirs {
+		old, had := c.assign[d.UserID]
+		reassoc := had && old != model.Unassigned && old != d.Extender
+		c.assign[d.UserID] = d.Extender
+		if reassoc {
+			c.reassociations++
+		}
+		dirs[i].Reassociation = reassoc
+	}
+	return dirs
+}
+
+// Join admits a user: its scan report is routed to the member owning its
+// best-rate extender, and the member's directives (with globally-correct
+// reassociation flags) are returned.
+func (c *Coordinator) Join(userID int, rates, rssi []float64) ([]control.Directive, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.home[userID]; ok {
+		return nil, fmt.Errorf("shard: user %d already joined", userID)
+	}
+	owner := ownerForRates(c.ownerOf, rates)
+	if owner < 0 {
+		return nil, fmt.Errorf("shard: user %d reaches no extender", userID)
+	}
+	eng := c.members[owner]
+	if eng == nil {
+		return nil, fmt.Errorf("shard: member %d owns no extenders", owner)
+	}
+	dirs, err := eng.Join(userID, rates, rssi)
+	if err != nil {
+		return nil, err
+	}
+	c.home[userID] = owner
+	c.scans[userID] = scan{
+		rates: append([]float64(nil), rates...),
+		rssi:  append([]float64(nil), rssi...),
+	}
+	c.joins++
+	return c.applyLocked(dirs), nil
+}
+
+// Update refreshes a user's scan report. When the report's best-rate
+// extender still belongs to the user's home member, the member handles
+// it; when it moved to another member's share (the user walked across
+// the ring), the coordinator hands the user off: leave the old engine,
+// join the new one, and report the move as a reassociation directive.
+func (c *Coordinator) Update(userID int, rates, rssi []float64) ([]control.Directive, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	home, ok := c.home[userID]
+	if !ok {
+		return nil, fmt.Errorf("shard: user %d not joined", userID)
+	}
+	owner := ownerForRates(c.ownerOf, rates)
+	if owner < 0 {
+		return nil, fmt.Errorf("shard: user %d reaches no extender", userID)
+	}
+	stored := scan{
+		rates: append([]float64(nil), rates...),
+		rssi:  append([]float64(nil), rssi...),
+	}
+	if owner == home {
+		dirs, err := c.members[home].Update(userID, rates, rssi)
+		if err != nil {
+			return nil, err
+		}
+		c.scans[userID] = stored
+		return c.applyLocked(dirs), nil
+	}
+	// Cross-shard handoff.
+	eng := c.members[owner]
+	if eng == nil {
+		return nil, fmt.Errorf("shard: member %d owns no extenders", owner)
+	}
+	c.members[home].Leave(userID)
+	dirs, err := eng.Join(userID, rates, rssi)
+	if err != nil {
+		// The user is gone from its old shard and rejected by the new
+		// one (offline-only policy): it has effectively departed.
+		delete(c.home, userID)
+		delete(c.scans, userID)
+		delete(c.assign, userID)
+		c.leaves++
+		return nil, fmt.Errorf("shard: handoff of user %d to member %d: %w", userID, owner, err)
+	}
+	c.home[userID] = owner
+	c.scans[userID] = stored
+	c.handoffs++
+	return c.applyLocked(dirs), nil
+}
+
+// Leave removes a user from its home member and reports whether it was
+// present.
+func (c *Coordinator) Leave(userID int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	home, ok := c.home[userID]
+	if !ok {
+		return false
+	}
+	c.members[home].Leave(userID)
+	delete(c.home, userID)
+	delete(c.scans, userID)
+	delete(c.assign, userID)
+	c.leaves++
+	return true
+}
+
+// AddShard adds a new member to the ring and rebalances: extenders whose
+// ownership moved to the new member take their users with them. Returns
+// the new member's ID and the number of users handed off.
+func (c *Coordinator) AddShard() (member, handoffs int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	member = c.nextID
+	c.nextID++
+	c.ring.Add(member)
+	c.members[member] = nil
+	handoffs, err = c.rebalanceLocked()
+	return member, handoffs, err
+}
+
+// RemoveShard removes a member from the ring and rebalances its
+// extenders (and their users) onto the survivors. The last member cannot
+// be removed.
+func (c *Coordinator) RemoveShard(member int) (handoffs int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.members[member]; !ok {
+		return 0, fmt.Errorf("shard: no member %d", member)
+	}
+	if len(c.members) == 1 {
+		return 0, errors.New("shard: cannot remove the last member")
+	}
+	c.ring.Remove(member)
+	delete(c.members, member)
+	return c.rebalanceLocked()
+}
+
+// rebalanceLocked recomputes extender ownership after a ring change,
+// rebuilds the engines whose owned sets changed, and re-routes affected
+// users deterministically (ascending user ID). Users whose home member
+// changed count as handoffs; users re-joining a rebuilt engine of the
+// same member do not.
+func (c *Coordinator) rebalanceLocked() (int, error) {
+	newOwnerOf := c.ring.OwnerMap(len(c.cfg.PLCCaps))
+	newSets := c.ownedSets(newOwnerOf)
+	oldSets := c.ownedSets(c.ownerOf)
+
+	changed := make(map[int]bool, len(c.members))
+	for m := range c.members {
+		if !equalInts(oldSets[m], newSets[m]) {
+			changed[m] = true
+		}
+	}
+	for m := range changed {
+		eng, err := c.buildEngine(m, newSets[m])
+		if err != nil {
+			return 0, err
+		}
+		c.members[m] = eng
+	}
+
+	ids := make([]int, 0, len(c.home))
+	for id := range c.home {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	handoffs := 0
+	for _, id := range ids {
+		sc := c.scans[id]
+		oldHome := c.home[id]
+		newHome := ownerForRates(newOwnerOf, sc.rates)
+		oldEng, oldAlive := c.members[oldHome]
+		oldRebuilt := changed[oldHome]
+		if newHome == oldHome && oldAlive && !oldRebuilt {
+			continue
+		}
+		if oldAlive && !oldRebuilt && oldEng != nil {
+			// Old engine still live: the user is leaving it for another
+			// member. (Rebuilt engines start empty, and a removed member's
+			// engine dies with it; neither has anything to remove.)
+			oldEng.Leave(id)
+		}
+		if newHome < 0 || c.members[newHome] == nil {
+			// No surviving member owns anything this user reaches; it
+			// has effectively departed.
+			delete(c.home, id)
+			delete(c.scans, id)
+			delete(c.assign, id)
+			c.leaves++
+			continue
+		}
+		dirs, err := c.members[newHome].Join(id, sc.rates, sc.rssi)
+		if err != nil {
+			delete(c.home, id)
+			delete(c.scans, id)
+			delete(c.assign, id)
+			c.leaves++
+			continue
+		}
+		if newHome != oldHome {
+			handoffs++
+		}
+		c.home[id] = newHome
+		c.applyLocked(dirs)
+	}
+	c.ownerOf = newOwnerOf
+	c.handoffs += handoffs
+	return handoffs, nil
+}
+
+// Stats returns the coordinator's merged snapshot.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Shards:         len(c.members),
+		Users:          len(c.home),
+		Joins:          c.joins,
+		Leaves:         c.leaves,
+		Reassociations: c.reassociations,
+		Handoffs:       c.handoffs,
+		Redirects:      c.redirects,
+		Assignment:     make(map[int]int, len(c.assign)),
+	}
+	for id, ext := range c.assign {
+		st.Assignment[id] = ext
+	}
+	members := make([]int, 0, len(c.members))
+	for m := range c.members {
+		members = append(members, m)
+	}
+	sort.Ints(members)
+	for _, m := range members {
+		if eng := c.members[m]; eng != nil {
+			st.PerShard = append(st.PerShard, eng.Stats())
+		} else {
+			st.PerShard = append(st.PerShard, control.Stats{Policy: c.cfg.Policy})
+		}
+	}
+	return st
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"github.com/plcwifi/wolt/internal/control"
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+// TestPlaneRedirect boots a two-member TCP plane in one process, dials
+// the WRONG member for a user, and checks that the agent transparently
+// follows the MsgRedirect handoff to the owning member.
+func TestPlaneRedirect(t *testing.T) {
+	const numExt = 16
+	p, err := Listen(PlaneConfig{
+		Addr:      "127.0.0.1:0",
+		Member:    -1,
+		Shards:    2,
+		PLCCaps:   testCaps(numExt),
+		Policy:    control.PolicyWOLT,
+		ModelOpts: model.Options{Redistribute: true},
+		Seed:      77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+
+	addrs := p.Addrs()
+	// Find two members that both own extenders (and therefore run
+	// servers), and an extender owned by the second.
+	var front, ownerMember, target = -1, -1, -1
+	for m, addr := range addrs {
+		if addr == "" {
+			continue
+		}
+		if front < 0 {
+			front = m
+		} else if ownerMember < 0 {
+			ownerMember = m
+		}
+	}
+	if front < 0 || ownerMember < 0 {
+		t.Skip("ring gave one member everything at this seed; nothing to redirect between")
+	}
+	for j := 0; j < numExt; j++ {
+		if p.Owner(j) == ownerMember {
+			target = j
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatalf("member %d runs a server but owns nothing", ownerMember)
+	}
+
+	// The user's best-rate extender belongs to ownerMember, but it dials
+	// front.
+	rates := make([]float64, numExt)
+	for j := range rates {
+		rates[j] = 1
+	}
+	rates[target] = 80
+
+	a, err := control.Dial(addrs[front], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	ext, err := a.Join(rates, nil, 5*time.Second)
+	if err != nil {
+		t.Fatalf("redirected join: %v", err)
+	}
+	if got := p.Owner(ext); got != ownerMember {
+		t.Errorf("user landed on extender %d (member %d), want a member-%d extender",
+			ext, got, ownerMember)
+	}
+
+	st := p.Stats()
+	if st.Users != 1 {
+		t.Errorf("merged Users = %d, want 1", st.Users)
+	}
+	if st.Redirects != 1 {
+		t.Errorf("Redirects = %d, want 1", st.Redirects)
+	}
+}
+
+// TestPlaneValidation covers the config error paths.
+func TestPlaneValidation(t *testing.T) {
+	if _, err := Listen(PlaneConfig{Addr: "127.0.0.1:0", Shards: 0, PLCCaps: testCaps(4), Member: -1}); err == nil {
+		t.Error("zero shards: want error")
+	}
+	if _, err := Listen(PlaneConfig{Addr: "127.0.0.1:0", Shards: 2, Member: -1}); err == nil {
+		t.Error("no capacities: want error")
+	}
+	if _, err := Listen(PlaneConfig{Addr: "127.0.0.1:0", Shards: 2, Member: 5, PLCCaps: testCaps(4)}); err == nil {
+		t.Error("member out of range: want error")
+	}
+	if _, err := Listen(PlaneConfig{Addr: "127.0.0.1:0", Shards: 2, Member: 0, PLCCaps: testCaps(4)}); err == nil {
+		t.Error("member mode without peers: want error")
+	}
+	if _, err := Listen(PlaneConfig{Addr: "nonsense", Shards: 1, Member: -1, PLCCaps: testCaps(4)}); err == nil {
+		t.Error("unparseable address: want error")
+	}
+}
+
+// TestPlaneSingleShardIsGlobal sanity-checks the degenerate plane: one
+// member owns everything and no join is ever redirected.
+func TestPlaneSingleShardIsGlobal(t *testing.T) {
+	p, err := Listen(PlaneConfig{
+		Addr:      "127.0.0.1:0",
+		Member:    -1,
+		Shards:    1,
+		PLCCaps:   testCaps(4),
+		ModelOpts: model.Options{Redistribute: true},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+
+	a, err := control.Dial(p.Addrs()[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	if _, err := a.Join([]float64{5, 10, 2, 1}, nil, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Users != 1 || st.Redirects != 0 {
+		t.Errorf("stats = %+v, want 1 user / 0 redirects", st)
+	}
+}

@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/control"
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/seed"
+)
+
+// testCaps builds a uniform-capacity deployment of n extenders.
+func testCaps(n int) []float64 {
+	caps := make([]float64, n)
+	for j := range caps {
+		caps[j] = 50
+	}
+	return caps
+}
+
+// testRates synthesizes user i's scan report: positive PHY rates to
+// every extender, derived from the shared seed scheme so tests are
+// reproducible byte for byte.
+func testRates(base int64, i, numExt int) []float64 {
+	rng := seed.Rand(base, seed.ShardTrial, int64(i))
+	rates := make([]float64, numExt)
+	for j := range rates {
+		rates[j] = 10 + 90*rng.Float64()
+	}
+	return rates
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(42, 0)
+		for m := 0; m < 4; m++ {
+			r.Add(m)
+		}
+		return r
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.OwnerMap(64), b.OwnerMap(64)) {
+		t.Fatal("same seed, same members: owner maps differ")
+	}
+	if got := a.Members(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("members = %v", got)
+	}
+	for j, m := range a.OwnerMap(64) {
+		if m < 0 || m > 3 {
+			t.Fatalf("extender %d owned by out-of-range member %d", j, m)
+		}
+	}
+	// A different seed permutes ownership (overwhelmingly likely across
+	// 64 extenders).
+	other := NewRing(43, 0)
+	for m := 0; m < 4; m++ {
+		other.Add(m)
+	}
+	if reflect.DeepEqual(a.OwnerMap(64), other.OwnerMap(64)) {
+		t.Error("different seeds produced identical owner maps")
+	}
+}
+
+// TestRingMinimalMovement is consistent hashing's defining property:
+// adding one member to a K-member ring must re-own roughly 1/(K+1) of
+// the keys, not reshuffle everything.
+func TestRingMinimalMovement(t *testing.T) {
+	const numExt = 256
+	r := NewRing(7, 0)
+	for m := 0; m < 4; m++ {
+		r.Add(m)
+	}
+	before := r.OwnerMap(numExt)
+	r.Add(4)
+	after := r.OwnerMap(numExt)
+
+	moved := 0
+	for j := range before {
+		if before[j] != after[j] {
+			if after[j] != 4 {
+				t.Fatalf("extender %d moved between OLD members %d→%d", j, before[j], after[j])
+			}
+			moved++
+		}
+	}
+	// Expectation is numExt/5 ≈ 51; allow generous slack either way but
+	// reject a full reshuffle or a dead member.
+	if moved == 0 || moved > numExt/2 {
+		t.Errorf("adding a 5th member moved %d/%d extenders, want ~%d", moved, numExt, numExt/5)
+	}
+
+	// Removing it must restore the original map exactly.
+	r.Remove(4)
+	if !reflect.DeepEqual(r.OwnerMap(numExt), before) {
+		t.Error("remove did not restore the pre-add owner map")
+	}
+}
+
+func TestBestExtender(t *testing.T) {
+	cases := []struct {
+		rates []float64
+		want  int
+	}{
+		{[]float64{0, 0, 0}, -1},
+		{[]float64{0, 5, 0}, 1},
+		{[]float64{7, 5, 7}, 0}, // tie → lowest ID
+		{nil, -1},
+	}
+	for _, c := range cases {
+		if got := bestExtender(c.rates); got != c.want {
+			t.Errorf("bestExtender(%v) = %d, want %d", c.rates, got, c.want)
+		}
+	}
+}
+
+// newTestCoordinator builds a K-shard coordinator over numExt uniform
+// extenders.
+func newTestCoordinator(t *testing.T, shards, numExt int, sd int64) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(Config{
+		Shards:    shards,
+		PLCCaps:   testCaps(numExt),
+		Policy:    control.PolicyWOLT,
+		ModelOpts: model.Options{Redistribute: true},
+		Seed:      sd,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCoordinatorFourShardIntegration is the PR's acceptance test: 16
+// users join a 4-shard plane, several are handed off across shards by
+// scan updates, and at every step the merged Stats user count matches a
+// global single-CC engine driven with the same operations.
+func TestCoordinatorFourShardIntegration(t *testing.T) {
+	const (
+		numExt = 12
+		users  = 16
+		sd     = 1234
+	)
+	coord := newTestCoordinator(t, 4, numExt, sd)
+	global, err := control.NewEngine(control.EngineConfig{
+		PLCCaps:   testCaps(numExt),
+		Policy:    control.PolicyWOLT,
+		ModelOpts: model.Options{Redistribute: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < users; i++ {
+		rates := testRates(sd, i, numExt)
+		if _, err := coord.Join(i, rates, nil); err != nil {
+			t.Fatalf("coordinator join %d: %v", i, err)
+		}
+		if _, err := global.Join(i, rates, nil); err != nil {
+			t.Fatalf("global join %d: %v", i, err)
+		}
+	}
+
+	// Force cross-shard handoffs: move users 0 and 1 so their best-rate
+	// extender lands in a different member's share than their home.
+	for i := 0; i < 2; i++ {
+		home := coord.Owner(bestExtender(testRates(sd, i, numExt)))
+		// Build a scan whose best extender belongs to another member.
+		target := -1
+		for j := 0; j < numExt; j++ {
+			if coord.Owner(j) != home {
+				target = j
+				break
+			}
+		}
+		if target < 0 {
+			t.Fatal("all extenders owned by one member; cannot exercise a handoff")
+		}
+		moved := make([]float64, numExt)
+		for j := range moved {
+			moved[j] = 1
+		}
+		moved[target] = 99
+		if _, err := coord.Update(i, moved, nil); err != nil {
+			t.Fatalf("coordinator handoff update %d: %v", i, err)
+		}
+		if _, err := global.Update(i, moved, nil); err != nil {
+			t.Fatalf("global update %d: %v", i, err)
+		}
+	}
+
+	st := coord.Stats()
+	gst := global.Stats()
+	if st.Users != gst.Users {
+		t.Errorf("merged Users = %d, global single-CC Users = %d", st.Users, gst.Users)
+	}
+	if st.Users != users {
+		t.Errorf("merged Users = %d, want %d", st.Users, users)
+	}
+	if st.Handoffs < 2 {
+		t.Errorf("Handoffs = %d, want >= 2 (updates crossed shard boundaries)", st.Handoffs)
+	}
+	if st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Errorf("Shards = %d, PerShard = %d entries, want 4", st.Shards, len(st.PerShard))
+	}
+
+	// The merged assignment must be complete and self-consistent: every
+	// user assigned to an extender owned by its shard, and per-shard user
+	// counts must sum to the merged total.
+	if len(st.Assignment) != users {
+		t.Errorf("merged assignment has %d entries, want %d", len(st.Assignment), users)
+	}
+	sum := 0
+	for _, ps := range st.PerShard {
+		sum += ps.Users
+	}
+	if sum != st.Users {
+		t.Errorf("per-shard user counts sum to %d, merged Users = %d", sum, st.Users)
+	}
+	for id, ext := range st.Assignment {
+		if ext == model.Unassigned {
+			t.Errorf("user %d unassigned in merged view", id)
+		}
+	}
+}
+
+// TestCoordinatorJoinLeave covers the plain lifecycle and the logical
+// counters.
+func TestCoordinatorJoinLeave(t *testing.T) {
+	coord := newTestCoordinator(t, 2, 8, 5)
+	rates := testRates(5, 0, 8)
+	if _, err := coord.Join(1, rates, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Join(1, rates, nil); err == nil {
+		t.Error("duplicate join: want error")
+	}
+	if _, err := coord.Update(99, rates, nil); err == nil {
+		t.Error("update of unknown user: want error")
+	}
+	if coord.Leave(99) {
+		t.Error("leave of unknown user: want false")
+	}
+	if !coord.Leave(1) {
+		t.Error("leave of joined user: want true")
+	}
+	st := coord.Stats()
+	if st.Users != 0 || st.Joins != 1 || st.Leaves != 1 {
+		t.Errorf("stats = %+v, want 0 users / 1 join / 1 leave", st)
+	}
+	if _, err := coord.Join(2, make([]float64, 8), nil); err == nil {
+		t.Error("unreachable user: want error")
+	}
+}
+
+// TestCoordinatorRebalance grows and shrinks the plane and checks that
+// users survive: every rebalance re-routes them to the member owning
+// their best-rate extender, without inflating the logical join counter.
+func TestCoordinatorRebalance(t *testing.T) {
+	const (
+		numExt = 24
+		users  = 10
+		sd     = 99
+	)
+	coord := newTestCoordinator(t, 2, numExt, sd)
+	for i := 0; i < users; i++ {
+		if _, err := coord.Join(i, testRates(sd, i, numExt), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	member, _, err := coord.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if member != 2 {
+		t.Errorf("new member ID = %d, want 2", member)
+	}
+	st := coord.Stats()
+	if st.Shards != 3 {
+		t.Errorf("Shards = %d, want 3", st.Shards)
+	}
+	if st.Users != users {
+		t.Errorf("Users = %d after AddShard, want %d (rebalance must not lose users)", st.Users, users)
+	}
+	if st.Joins != users {
+		t.Errorf("Joins = %d after AddShard, want %d (rebalance re-joins are not user joins)", st.Joins, users)
+	}
+	// Routing invariant: every user's home owns its best extender.
+	for i := 0; i < users; i++ {
+		best := bestExtender(testRates(sd, i, numExt))
+		owner := coord.Owner(best)
+		if got := st.Assignment[i]; coord.Owner(got) != owner {
+			// The user's assigned extender must live on the same member
+			// that owns its best-rate extender (its routed home).
+			t.Errorf("user %d assigned to extender %d (member %d), routed home is member %d",
+				i, got, coord.Owner(got), owner)
+		}
+	}
+
+	if _, err := coord.RemoveShard(member); err != nil {
+		t.Fatal(err)
+	}
+	st = coord.Stats()
+	if st.Shards != 2 || st.Users != users {
+		t.Errorf("after RemoveShard: %d shards / %d users, want 2 / %d", st.Shards, st.Users, users)
+	}
+	if _, err := coord.RemoveShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.RemoveShard(1); err == nil {
+		t.Error("removing the last member: want error")
+	}
+}
+
+// TestCoordinatorDeterministicAcrossWorkers pins the determinism
+// contract at the shard layer: the merged assignment is bit-identical
+// whether the member engines solve with 1 worker or 8.
+func TestCoordinatorDeterministicAcrossWorkers(t *testing.T) {
+	const (
+		numExt = 12
+		users  = 14
+		sd     = 4321
+	)
+	run := func(workers int) map[int]int {
+		c, err := NewCoordinator(Config{
+			Shards:    4,
+			PLCCaps:   testCaps(numExt),
+			Policy:    control.PolicyWOLT,
+			ModelOpts: model.Options{Redistribute: true},
+			Workers:   workers,
+			Seed:      sd,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < users; i++ {
+			if _, err := c.Join(i, testRates(sd, i, numExt), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats().Assignment
+	}
+	if a1, a8 := run(1), run(8); !reflect.DeepEqual(a1, a8) {
+		t.Errorf("assignment differs across worker counts:\n1: %v\n8: %v", a1, a8)
+	}
+}

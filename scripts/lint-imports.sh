@@ -21,4 +21,16 @@ if [ -n "$bad" ]; then
 	echo "route it through internal/strategy (registry name or passthrough)" >&2
 	exit 1
 fi
+
+# The shard layer gets no test-file exemption: shards must observe
+# policies strictly through control.Engine (and thus the strategy
+# registry), so internal/baseline stays unreachable from internal/shard
+# in any file.
+bad=$(grep -rnF '"github.com/plcwifi/wolt/internal/baseline"' --include='*.go' ./internal/shard/ || true)
+if [ -n "$bad" ]; then
+	echo "import lint: internal/shard must not reach internal/baseline (not even in tests):" >&2
+	echo "$bad" >&2
+	echo "shard members drive policies only through control.Engine" >&2
+	exit 1
+fi
 echo "import lint: clean"
