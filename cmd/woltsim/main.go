@@ -21,6 +21,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"syscall"
@@ -54,6 +56,8 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "worker goroutines for trial fan-out (0 = all cores); results are identical for any value")
 		strat     = fs.String("strategy", "", "restrict strategy-iterating experiments to one registry strategy ("+strings.Join(strategy.Names(), " ")+")")
 		csvDir    = fs.String("csv", "", "also write each table as CSV into this directory")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: woltsim [flags] <experiment>\n\nexperiments: %s\n\nflags:\n",
@@ -98,15 +102,51 @@ func run(args []string) error {
 	}
 
 	name := fs.Arg(0)
-	if name == "all" {
-		for _, id := range experimentIDs() {
-			if err := runOne(id, opts, *csvDir); err != nil {
-				return fmt.Errorf("%s: %w", id, err)
-			}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
 		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	runExperiments := func() error {
+		if name == "all" {
+			for _, id := range experimentIDs() {
+				if err := runOne(id, opts, *csvDir); err != nil {
+					return fmt.Errorf("%s: %w", id, err)
+				}
+			}
+			return nil
+		}
+		return runOne(name, opts, *csvDir)
+	}
+	if err := runExperiments(); err != nil {
+		return err
+	}
+	return writeMemProfile(*memProf)
+}
+
+// writeMemProfile records a post-run heap profile (after a GC, so it
+// shows live retention rather than transient garbage). An empty path is
+// a no-op.
+func writeMemProfile(path string) error {
+	if path == "" {
 		return nil
 	}
-	return runOne(name, opts, *csvDir)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
 }
 
 // runOne executes one experiment, prints its tables and optionally

@@ -104,6 +104,35 @@ func Greedy(n *model.Network, order []int, opts model.Options) (model.Assignment
 	return assign, nil
 }
 
+// Adder owns the delta-evaluation state of the online add baselines
+// (GreedyAddWith / SelfishAddWith). Successive adds against the same
+// evolving assignment reuse the attached state — the usual case, where
+// the only change between calls is the extender the previous add itself
+// committed — so a whole arrival sequence costs one full build plus
+// O(Δ) probes per candidate instead of a full evaluation per candidate.
+// The zero value is ready to use. An Adder is not safe for concurrent
+// use; give each worker goroutine its own.
+type Adder struct {
+	delta model.DeltaEval
+}
+
+// ResetStats zeroes the evaluation counters.
+func (ad *Adder) ResetStats() { ad.delta.Evals, ad.delta.Probes = 0, 0 }
+
+// Stats returns the number of full evaluator builds (attaches) and
+// single-move probes performed since the last ResetStats.
+func (ad *Adder) Stats() (evals, probes int) { return ad.delta.Evals, ad.delta.Probes }
+
+// ensure attaches the delta evaluator to (n, assign, opts), skipping the
+// rebuild when the committed state already matches — bit-identical
+// either way, by the DeltaEval contract.
+func (ad *Adder) ensure(n *model.Network, assign model.Assignment, opts model.Options) error {
+	if ad.delta.Matches(n, assign, opts) {
+		return nil
+	}
+	return ad.delta.Attach(n, assign, opts)
+}
+
 // GreedyAdd places a single user into an existing partial assignment on
 // the extender maximizing the resulting aggregate throughput, mutating
 // assign, and returns the chosen extender. This is the online step used
@@ -112,33 +141,36 @@ func GreedyAdd(n *model.Network, assign model.Assignment, user int, opts model.O
 	return GreedyAddWith(nil, n, assign, user, opts)
 }
 
-// GreedyAddWith is GreedyAdd with an optional evaluation scratch: the
-// candidate search evaluates every reachable extender, and with a
-// caller-provided scratch those probe evaluations allocate nothing. A nil
-// scratch behaves exactly like GreedyAdd.
-func GreedyAddWith(s *model.EvalScratch, n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error) {
+// GreedyAddWith is GreedyAdd with an optional caller-owned Adder: the
+// candidate search probes every reachable extender through the attached
+// delta evaluator (one O(Δ) probe each, allocation-free, bit-identical
+// aggregates to a full evaluation), and an Adder held across calls also
+// amortizes the attach. A nil Adder behaves exactly like GreedyAdd.
+func GreedyAddWith(ad *Adder, n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error) {
 	if user < 0 || user >= n.NumUsers() {
 		return 0, fmt.Errorf("baseline: user %d out of range", user)
 	}
+	if ad == nil {
+		ad = &Adder{}
+	}
+	if err := ad.ensure(n, assign, opts); err != nil {
+		return 0, err
+	}
+	from := assign[user]
 	best, bestAgg := model.Unassigned, math.Inf(-1)
 	for j := 0; j < n.NumExtenders(); j++ {
 		if n.WiFiRates[user][j] <= 0 {
 			continue
 		}
-		assign[user] = j
-		res, err := model.EvaluateWith(s, n, assign, opts)
-		if err != nil {
-			assign[user] = model.Unassigned
-			return 0, err
-		}
-		if res.Aggregate > bestAgg+1e-12 {
-			best, bestAgg = j, res.Aggregate
+		if agg := ad.delta.ProbeMove(user, from, j); agg > bestAgg+1e-12 {
+			best, bestAgg = j, agg
 		}
 	}
 	if best == model.Unassigned {
 		assign[user] = model.Unassigned
 		return 0, fmt.Errorf("baseline: user %d reaches no extender", user)
 	}
+	ad.delta.Commit(user, from, best)
 	assign[user] = best
 	return best, nil
 }
@@ -187,31 +219,35 @@ func SelfishAdd(n *model.Network, assign model.Assignment, user int, opts model.
 	return SelfishAddWith(nil, n, assign, user, opts)
 }
 
-// SelfishAddWith is SelfishAdd with an optional evaluation scratch; a nil
-// scratch behaves exactly like SelfishAdd.
-func SelfishAddWith(s *model.EvalScratch, n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error) {
+// SelfishAddWith is SelfishAdd with an optional caller-owned Adder; the
+// candidate probes report the user's own hypothetical throughput
+// bit-identically to a full evaluation. A nil Adder behaves exactly like
+// SelfishAdd.
+func SelfishAddWith(ad *Adder, n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error) {
 	if user < 0 || user >= n.NumUsers() {
 		return 0, fmt.Errorf("baseline: user %d out of range", user)
 	}
+	if ad == nil {
+		ad = &Adder{}
+	}
+	if err := ad.ensure(n, assign, opts); err != nil {
+		return 0, err
+	}
+	from := assign[user]
 	best, bestOwn := model.Unassigned, math.Inf(-1)
 	for j := 0; j < n.NumExtenders(); j++ {
 		if n.WiFiRates[user][j] <= 0 {
 			continue
 		}
-		assign[user] = j
-		res, err := model.EvaluateWith(s, n, assign, opts)
-		if err != nil {
-			assign[user] = model.Unassigned
-			return 0, err
-		}
-		if res.PerUser[user] > bestOwn+1e-12 {
-			best, bestOwn = j, res.PerUser[user]
+		if _, own := ad.delta.ProbeMoveUser(user, from, j); own > bestOwn+1e-12 {
+			best, bestOwn = j, own
 		}
 	}
 	if best == model.Unassigned {
 		assign[user] = model.Unassigned
 		return 0, fmt.Errorf("baseline: user %d reaches no extender", user)
 	}
+	ad.delta.Commit(user, from, best)
 	assign[user] = best
 	return best, nil
 }
@@ -271,10 +307,28 @@ func OptimalBounded(n *model.Network, opts model.Options, limits OptimalLimits) 
 	return OptimalBoundedWith(nil, n, opts, limits)
 }
 
-// OptimalBoundedWith is OptimalBounded with an optional evaluation
-// scratch reused across every state of the exhaustive search; a nil
-// scratch behaves exactly like OptimalBounded.
-func OptimalBoundedWith(s *model.EvalScratch, n *model.Network, opts model.Options, limits OptimalLimits) (model.Assignment, float64, error) {
+// Searcher carries the exhaustive search's delta evaluator across
+// solves, so repeated OptimalBoundedWith calls reuse its buffers. The
+// zero value is ready to use.
+type Searcher struct {
+	delta model.DeltaEval
+}
+
+// ResetStats zeroes the evaluation counters.
+func (se *Searcher) ResetStats() { se.delta.Evals, se.delta.Probes = 0, 0 }
+
+// Stats returns the number of full evaluator builds (attaches) and
+// single-move probes performed since the last ResetStats.
+func (se *Searcher) Stats() (evals, probes int) { return se.delta.Evals, se.delta.Probes }
+
+// OptimalBoundedWith is OptimalBounded with an optional Searcher whose
+// delta evaluator is reused across every state of the exhaustive
+// search: the DFS commits one user per level and scores each leaf with
+// a single O(Δ) probe, so a leaf costs O(cell + active) instead of a
+// full evaluation — with aggregates bit-identical to the full
+// evaluator, the search visits the same states and returns the same
+// assignment. A nil searcher behaves exactly like OptimalBounded.
+func OptimalBoundedWith(se *Searcher, n *model.Network, opts model.Options, limits OptimalLimits) (model.Assignment, float64, error) {
 	if err := n.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -292,19 +346,42 @@ func OptimalBoundedWith(s *model.EvalScratch, n *model.Network, opts model.Optio
 		return nil, 0, fmt.Errorf("baseline: %d^%d states exceed the brute-force budget of %.0f evaluations",
 			n.NumExtenders(), n.NumUsers(), limits.MaxStates)
 	}
-	assign := make(model.Assignment, n.NumUsers())
-	best := make(model.Assignment, n.NumUsers())
+	numUsers := n.NumUsers()
+	if se == nil {
+		se = &Searcher{}
+	}
+	d := &se.delta
+	assign := make(model.Assignment, numUsers)
+	for i := range assign {
+		assign[i] = model.Unassigned
+	}
+	if err := d.Attach(n, assign, opts); err != nil {
+		return nil, 0, err
+	}
+	if numUsers == 0 {
+		return assign, d.Aggregate(), nil
+	}
+	best := make(model.Assignment, numUsers)
 	bestAgg := math.Inf(-1)
+	// The DFS keeps the evaluator committed to the current prefix: each
+	// inner level commits a placement before recursing and reverts it
+	// after, and the last level scores every candidate with one probe —
+	// the same enumeration order and the same (bit-identical) aggregates
+	// as evaluating every complete assignment from scratch, so the best
+	// state found is exactly the one the full-evaluation search returns.
 	var rec func(i int)
 	rec = func(i int) {
-		if i == n.NumUsers() {
-			res, err := model.EvaluateWith(s, n, assign, opts)
-			if err != nil {
-				return
-			}
-			if res.Aggregate > bestAgg {
-				bestAgg = res.Aggregate
-				copy(best, assign)
+		if i == numUsers-1 {
+			for j := 0; j < n.NumExtenders(); j++ {
+				if n.WiFiRates[i][j] <= 0 {
+					continue
+				}
+				if agg := d.ProbeMove(i, model.Unassigned, j); agg > bestAgg {
+					bestAgg = agg
+					assign[i] = j
+					copy(best, assign)
+					assign[i] = model.Unassigned
+				}
 			}
 			return
 		}
@@ -312,8 +389,11 @@ func OptimalBoundedWith(s *model.EvalScratch, n *model.Network, opts model.Optio
 			if n.WiFiRates[i][j] <= 0 {
 				continue
 			}
+			d.Commit(i, model.Unassigned, j)
 			assign[i] = j
 			rec(i + 1)
+			d.Commit(i, j, model.Unassigned)
+			assign[i] = model.Unassigned
 		}
 	}
 	rec(0)

@@ -24,6 +24,11 @@ type IncrementalResult struct {
 	// Target carries the unconstrained WOLT solve the moves steer
 	// toward, including its phase diagnostics.
 	Target *Result
+	// Evals counts full evaluator builds (DeltaEval attaches) and
+	// DeltaProbes the O(Δ) candidate-move probes of the greedy
+	// move-selection loop.
+	Evals       int
+	DeltaProbes int
 }
 
 // AssignIncremental moves the network toward the full WOLT association
@@ -39,14 +44,14 @@ type IncrementalResult struct {
 // unlimited (equivalent to full recomputation restricted to
 // target-directed moves).
 func AssignIncremental(n *model.Network, prev model.Assignment, budget int, opts Options, evalOpts model.Options) (*IncrementalResult, error) {
-	return AssignIncrementalWith(nil, nil, n, prev, budget, opts, evalOpts)
+	return AssignIncrementalWith(nil, n, prev, budget, opts, evalOpts)
 }
 
-// AssignIncrementalWith is AssignIncremental with optional caller-provided
-// scratches: cs backs the inner unconstrained WOLT solve and es the
-// candidate-move evaluations. Nil scratches behave exactly like
-// AssignIncremental.
-func AssignIncrementalWith(cs *Scratch, es *model.EvalScratch, n *model.Network, prev model.Assignment, budget int, opts Options, evalOpts model.Options) (*IncrementalResult, error) {
+// AssignIncrementalWith is AssignIncremental with an optional
+// caller-provided Scratch backing both the inner unconstrained WOLT
+// solve and the candidate-move delta evaluator. A nil scratch behaves
+// exactly like AssignIncremental.
+func AssignIncrementalWith(cs *Scratch, n *model.Network, prev model.Assignment, budget int, opts Options, evalOpts model.Options) (*IncrementalResult, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -55,6 +60,9 @@ func AssignIncrementalWith(cs *Scratch, es *model.EvalScratch, n *model.Network,
 			len(prev), n.NumUsers())
 	}
 
+	if cs == nil {
+		cs = &Scratch{}
+	}
 	target, err := AssignWith(cs, n, opts)
 	if err != nil {
 		return nil, err
@@ -77,36 +85,30 @@ func AssignIncrementalWith(cs *Scratch, es *model.EvalScratch, n *model.Network,
 		}
 	}
 
-	// Only aggregates are read from the candidate evaluations, so one
-	// scratch serves the whole greedy search without re-allocating the
-	// evaluation buffers per candidate.
-	if es == nil {
-		es = &model.EvalScratch{}
-	}
-	current, err := model.EvaluateWith(es, n, res.Assign, evalOpts)
-	if err != nil {
+	// One delta-evaluator attach validates and builds the accumulators
+	// for the post-arrival state; every candidate move is then an O(Δ)
+	// probe and every applied move an O(Δ) commit, instead of a full
+	// model evaluation each.
+	d := &cs.delta
+	evals0, probes0 := d.Evals, d.Probes
+	if err := d.Attach(n, res.Assign, evalOpts); err != nil {
 		return nil, err
 	}
-	currentAgg := current.Aggregate
+	currentAgg := d.Aggregate()
 	remaining := budget
 	for remaining != 0 && len(candidates) > 0 {
 		bestIdx, bestAgg := -1, currentAgg
 		for idx, user := range candidates {
-			old := res.Assign[user]
-			res.Assign[user] = target.Assign[user]
-			eval, err := model.EvaluateWith(es, n, res.Assign, evalOpts)
-			res.Assign[user] = old
-			if err != nil {
-				return nil, err
-			}
-			if eval.Aggregate > bestAgg+1e-12 {
-				bestIdx, bestAgg = idx, eval.Aggregate
+			agg := d.ProbeMove(user, res.Assign[user], target.Assign[user])
+			if agg > bestAgg+1e-12 {
+				bestIdx, bestAgg = idx, agg
 			}
 		}
 		if bestIdx < 0 {
 			break // no remaining single move helps
 		}
 		user := candidates[bestIdx]
+		d.Commit(user, res.Assign[user], target.Assign[user])
 		res.Assign[user] = target.Assign[user]
 		res.Moves = append(res.Moves, user)
 		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
@@ -116,8 +118,15 @@ func AssignIncrementalWith(cs *Scratch, es *model.EvalScratch, n *model.Network,
 		}
 	}
 
+	res.Evals = d.Evals - evals0
+	res.DeltaProbes = d.Probes - probes0
 	res.AchievedAggregate = currentAgg
-	res.TargetAggregate = model.Aggregate(n, target.Assign, evalOpts)
+	// The network was validated above and target.Assign was produced by
+	// AssignWith against this same network, so the full evaluation can
+	// skip re-validating the pair (model.Options.SkipValidate contract).
+	targetOpts := evalOpts
+	targetOpts.SkipValidate = true
+	res.TargetAggregate = model.Aggregate(n, target.Assign, targetOpts)
 	if math.IsNaN(res.TargetAggregate) {
 		return nil, fmt.Errorf("core: target aggregate is NaN")
 	}

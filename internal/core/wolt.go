@@ -97,6 +97,9 @@ type Scratch struct {
 	util    [][]float64
 	utilBuf []float64
 	hung    hungarian.Workspace
+	// delta backs AssignIncrementalWith's candidate-move probes; it is
+	// re-attached per call and its buffers persist across calls.
+	delta model.DeltaEval
 }
 
 // matrix shapes the scratch's utility buffer to rows×cols.

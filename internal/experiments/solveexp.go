@@ -85,14 +85,14 @@ func (r *SolveResult) Tables() []Table {
 	t := Table{
 		Caption: fmt.Sprintf("Per-solve strategy stats (%d users × %d extenders)", r.Users, r.Extenders),
 		Header: []string{"strategy", "phase1 ms", "phase2 ms", "total ms",
-			"augment", "iters", "sweeps", "evals", "aggregate Mbps"},
+			"augment", "iters", "sweeps", "evals", "probes", "aggregate Mbps"},
 	}
 	ms := func(d time.Duration) string {
 		return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 2, 64)
 	}
 	for _, run := range r.Runs {
 		if run.Err != "" {
-			t.Rows = append(t.Rows, []string{run.Strategy, "-", "-", "-", "-", "-", "-", "-",
+			t.Rows = append(t.Rows, []string{run.Strategy, "-", "-", "-", "-", "-", "-", "-", "-",
 				"error: " + run.Err})
 			continue
 		}
@@ -100,7 +100,8 @@ func (r *SolveResult) Tables() []Table {
 		t.Rows = append(t.Rows, []string{
 			run.Strategy, ms(s.Phase1), ms(s.Phase2), ms(s.Total),
 			strconv.Itoa(s.HungarianAugmentations), strconv.Itoa(s.Phase2Iterations),
-			strconv.Itoa(s.PolishSweeps), strconv.Itoa(s.Evaluations), f1(run.Aggregate),
+			strconv.Itoa(s.PolishSweeps), strconv.Itoa(s.Evaluations),
+			strconv.Itoa(s.DeltaProbes), f1(run.Aggregate),
 		})
 	}
 	return []Table{t}

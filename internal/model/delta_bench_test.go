@@ -1,0 +1,100 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/seed"
+)
+
+// benchDeltaInstance builds a dense (all links reachable) network with a
+// full random assignment at LargeSolve scale, seeded from the DeltaBench
+// stream so the probe schedule is reproducible.
+func benchDeltaInstance(numUsers, numExt int) (*Network, Assignment) {
+	rng := seed.Rand(2020, seed.DeltaBench, 0)
+	n := &Network{
+		WiFiRates: make([][]float64, numUsers),
+		PLCCaps:   make([]float64, numExt),
+	}
+	for j := range n.PLCCaps {
+		n.PLCCaps[j] = 40 + rng.Float64()*160
+	}
+	a := make(Assignment, numUsers)
+	for i := range n.WiFiRates {
+		row := make([]float64, numExt)
+		for j := range row {
+			row[j] = 2 + rng.Float64()*70
+		}
+		n.WiFiRates[i] = row
+		a[i] = rng.Intn(numExt)
+	}
+	return n, a
+}
+
+const (
+	benchDeltaUsers = 2000
+	benchDeltaExt   = 32
+)
+
+// BenchmarkDeltaProbe measures one single-move what-if through the
+// delta evaluator: O(cell + active) work and zero allocations.
+func BenchmarkDeltaProbe(b *testing.B) {
+	n, assign := benchDeltaInstance(benchDeltaUsers, benchDeltaExt)
+	opts := Options{Redistribute: true}
+	var d DeltaEval
+	if err := d.Attach(n, assign, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		user := i % benchDeltaUsers
+		from := assign[user]
+		to := (from + 1 + i%(benchDeltaExt-1)) % benchDeltaExt
+		d.ProbeMove(user, from, to)
+	}
+}
+
+// BenchmarkDeltaFullProbe answers the identical what-if questions with a
+// full EvaluateWith over the mutated assignment (validation hoisted via
+// SkipValidate, buffers reused) — the cost every probe loop paid before
+// the delta evaluator existed.
+func BenchmarkDeltaFullProbe(b *testing.B) {
+	n, assign := benchDeltaInstance(benchDeltaUsers, benchDeltaExt)
+	opts := Options{Redistribute: true, SkipValidate: true}
+	if err := validateAssignment(n, assign); err != nil {
+		b.Fatal(err)
+	}
+	var s EvalScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		user := i % benchDeltaUsers
+		from := assign[user]
+		to := (from + 1 + i%(benchDeltaExt-1)) % benchDeltaExt
+		assign[user] = to
+		if _, err := EvaluateWith(&s, n, assign, opts); err != nil {
+			b.Fatal(err)
+		}
+		assign[user] = from
+	}
+}
+
+// BenchmarkDeltaCommit measures a committed move (member-list edit, two
+// cell recomputations and the water-fill re-run).
+func BenchmarkDeltaCommit(b *testing.B) {
+	n, assign := benchDeltaInstance(benchDeltaUsers, benchDeltaExt)
+	opts := Options{Redistribute: true}
+	var d DeltaEval
+	if err := d.Attach(n, assign, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		user := i % benchDeltaUsers
+		from := assign[user]
+		to := (from + 1 + i%(benchDeltaExt-1)) % benchDeltaExt
+		d.Commit(user, from, to)
+		assign[user] = to
+	}
+}

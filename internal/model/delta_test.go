@@ -1,0 +1,236 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/seed"
+)
+
+// deltaInstance builds a random network (with unreachable links) and a
+// random partial assignment from the DeltaFuzz stream of base.
+func deltaInstance(base int64, numExt, numUsers int) (*Network, Assignment) {
+	rng := seed.Rand(base, seed.DeltaFuzz, 0)
+	n := &Network{
+		WiFiRates: make([][]float64, numUsers),
+		PLCCaps:   make([]float64, numExt),
+	}
+	for j := range n.PLCCaps {
+		n.PLCCaps[j] = 10 + rng.Float64()*150
+	}
+	a := make(Assignment, numUsers)
+	for i := range n.WiFiRates {
+		row := make([]float64, numExt)
+		var reach []int
+		for j := range row {
+			if rng.Float64() < 0.25 {
+				row[j] = 0
+			} else {
+				row[j] = 1 + rng.Float64()*60
+				reach = append(reach, j)
+			}
+		}
+		n.WiFiRates[i] = row
+		if len(reach) == 0 || rng.Float64() < 0.3 {
+			a[i] = Unassigned
+		} else {
+			a[i] = reach[rng.Intn(len(reach))]
+		}
+	}
+	return n, a
+}
+
+// checkDeltaAgainstFull attaches a DeltaEval to a random instance and
+// replays a random move sequence (moves to and from Unassigned
+// included), asserting after every probe and commit that the delta
+// evaluator agrees bit-for-bit — aggregate and per-user throughputs —
+// with a fresh full EvaluateWith of the same assignment.
+func checkDeltaAgainstFull(t *testing.T, base int64, numExt, numUsers, numMoves int, opts Options) {
+	t.Helper()
+	n, assign := deltaInstance(base, numExt, numUsers)
+	rng := seed.Rand(base, seed.DeltaFuzz, 1)
+
+	var d DeltaEval
+	if err := d.Attach(n, assign, opts); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	var full, fast EvalScratch
+	compare := func(step string) {
+		t.Helper()
+		res, err := EvaluateWith(&full, n, assign, opts)
+		if err != nil {
+			t.Fatalf("%s: full evaluate: %v", step, err)
+		}
+		if d.Aggregate() != res.Aggregate {
+			t.Fatalf("%s: aggregate %v != full %v", step, d.Aggregate(), res.Aggregate)
+		}
+		for i := range assign {
+			if d.PerUser(i) != res.PerUser[i] {
+				t.Fatalf("%s: user %d throughput %v != full %v", step, i, d.PerUser(i), res.PerUser[i])
+			}
+		}
+		// The SkipValidate fast path must be bit-identical too: this
+		// (network, assignment) pair was just validated above.
+		fastOpts := opts
+		fastOpts.SkipValidate = true
+		res2, err := EvaluateWith(&fast, n, assign, fastOpts)
+		if err != nil {
+			t.Fatalf("%s: fast evaluate: %v", step, err)
+		}
+		if res2.Aggregate != res.Aggregate {
+			t.Fatalf("%s: SkipValidate aggregate %v != %v", step, res2.Aggregate, res.Aggregate)
+		}
+	}
+	compare("attach")
+	if !d.Matches(n, assign, opts) {
+		t.Fatal("Matches = false for committed state")
+	}
+
+	probe := assign.Clone()
+	for m := 0; m < numMoves; m++ {
+		i := rng.Intn(numUsers)
+		var targets []int
+		for j, r := range n.WiFiRates[i] {
+			if r > 0 {
+				targets = append(targets, j)
+			}
+		}
+		targets = append(targets, Unassigned)
+		to := targets[rng.Intn(len(targets))]
+		from := assign[i]
+
+		agg, own := d.ProbeMoveUser(i, from, to)
+		copy(probe, assign)
+		probe[i] = to
+		res, err := EvaluateWith(&full, n, probe, opts)
+		if err != nil {
+			t.Fatalf("move %d: full evaluate: %v", m, err)
+		}
+		if agg != res.Aggregate {
+			t.Fatalf("move %d (%d: %d→%d): probe aggregate %v != full %v",
+				m, i, from, to, agg, res.Aggregate)
+		}
+		if own != res.PerUser[i] {
+			t.Fatalf("move %d (%d: %d→%d): probe own %v != full %v",
+				m, i, from, to, own, res.PerUser[i])
+		}
+
+		d.Commit(i, from, to)
+		assign[i] = to
+		compare("commit")
+	}
+}
+
+// deltaOptions enumerates the four Redistribute × FixedShare combos.
+var deltaOptions = []Options{
+	{},
+	{Redistribute: true},
+	{FixedShare: true},
+	{Redistribute: true, FixedShare: true},
+}
+
+func TestDeltaMatchesFull(t *testing.T) {
+	for _, opts := range deltaOptions {
+		for base := int64(0); base < 8; base++ {
+			checkDeltaAgainstFull(t, base, int(base%5)+1, int(base*3)%17+1, 40, opts)
+		}
+	}
+}
+
+// FuzzDeltaVsFull is the differential fuzz harness: DeltaEval's probes
+// and commits must agree bit-for-bit with a fresh EvaluateWith across
+// random networks, moves to/from Unassigned, and every
+// Redistribute/FixedShare combination.
+func FuzzDeltaVsFull(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(10), uint8(0))
+	f.Add(int64(2), uint8(1), uint8(6), uint8(1))
+	f.Add(int64(3), uint8(5), uint8(20), uint8(2))
+	f.Add(int64(4), uint8(2), uint8(15), uint8(3))
+	f.Fuzz(func(t *testing.T, base int64, ext, users, optBits uint8) {
+		numExt := int(ext%6) + 1
+		numUsers := int(users%24) + 1
+		opts := Options{
+			Redistribute: optBits&1 != 0,
+			FixedShare:   optBits&2 != 0,
+		}
+		checkDeltaAgainstFull(t, base, numExt, numUsers, 24, opts)
+	})
+}
+
+func TestDeltaGenerationGuard(t *testing.T) {
+	n, assign := deltaInstance(11, 3, 8)
+	var d DeltaEval
+	if err := d.Attach(n, assign, Options{Redistribute: true}); err != nil {
+		t.Fatal(err)
+	}
+	n.Invalidate()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("probe after Invalidate did not panic")
+		}
+		if !strings.Contains(r.(string), "mutated") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+	}()
+	d.Aggregate()
+}
+
+func TestDeltaAttachValidates(t *testing.T) {
+	n, assign := deltaInstance(12, 3, 8)
+	var d DeltaEval
+	bad := assign.Clone()
+	bad[0] = 99
+	if err := d.Attach(n, bad, Options{}); err == nil {
+		t.Error("out-of-range extender: want error")
+	}
+	if err := d.Attach(n, assign[:4], Options{}); err == nil {
+		t.Error("short assignment: want error")
+	}
+}
+
+func TestDeltaMatchesDetectsDrift(t *testing.T) {
+	n, assign := deltaInstance(13, 4, 10)
+	var d DeltaEval
+	opts := Options{Redistribute: true}
+	if err := d.Attach(n, assign, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Matches(n, assign, opts) {
+		t.Error("Matches = false right after Attach")
+	}
+	if d.Matches(n, assign, Options{}) {
+		t.Error("Matches = true under different options")
+	}
+	ext := assign.Clone()
+	var moved int
+	for i, j := range ext {
+		if j != Unassigned {
+			ext[i] = Unassigned
+			moved = i
+			break
+		}
+	}
+	if d.Matches(n, ext, opts) {
+		t.Errorf("Matches = true after external move of user %d", moved)
+	}
+	n.Invalidate()
+	if d.Matches(n, assign, opts) {
+		t.Error("Matches = true after Invalidate")
+	}
+}
+
+func TestDeltaCommitNoOp(t *testing.T) {
+	n, assign := deltaInstance(14, 3, 9)
+	var d DeltaEval
+	if err := d.Attach(n, assign, Options{Redistribute: true}); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Aggregate()
+	for i, j := range assign {
+		d.Commit(i, j, j)
+	}
+	if got := d.Aggregate(); got != before {
+		t.Fatalf("no-op commits changed aggregate: %v != %v", got, before)
+	}
+}

@@ -35,7 +35,20 @@ type Network struct {
 	WiFiRates [][]float64
 	// PLCCaps[j] is the PLC isolation capacity c_j (Mbps) of extender j.
 	PLCCaps []float64
+
+	// gen counts in-place mutations of the rate/capacity data. Code that
+	// rewrites WiFiRates or PLCCaps of a live network must call
+	// Invalidate so attached DeltaEval instances detect the change and
+	// refuse to keep probing stale state. Freshly built networks start at
+	// generation 0, which is always consistent with a fresh Attach.
+	gen uint64
 }
+
+// Invalidate records an in-place mutation of the network's rates or
+// capacities. Every DeltaEval attached before the call will panic on its
+// next probe instead of silently answering from stale accumulators; the
+// owner must Attach again.
+func (n *Network) Invalidate() { n.gen++ }
 
 // NumUsers returns |U|.
 func (n *Network) NumUsers() int { return len(n.WiFiRates) }
@@ -157,6 +170,14 @@ type Options struct {
 	// FixedShare=true, Redistribute=false is the paper's pure analytic
 	// model.
 	FixedShare bool
+	// SkipValidate skips the per-call structural scan (Network.Validate
+	// plus the per-user bounds/reachability loop). Invariant: the caller
+	// must have validated this exact (network, assignment) pair once
+	// already and mutated neither since — internal probe loops that
+	// re-evaluate a validated pair many times set it to keep the hot
+	// path pure arithmetic. With it set, behaviour on invalid input is
+	// undefined.
+	SkipValidate bool
 }
 
 // Result is the evaluated throughput of an assignment.
@@ -213,25 +234,12 @@ func Evaluate(n *Network, a Assignment, opts Options) (*Result, error) {
 // copy anything that must outlive it. A nil scratch behaves exactly like
 // Evaluate.
 func EvaluateWith(s *EvalScratch, n *Network, a Assignment, opts Options) (*Result, error) {
-	if err := n.Validate(); err != nil {
-		return nil, err
-	}
-	if len(a) != n.NumUsers() {
-		return nil, fmt.Errorf("model: assignment covers %d users, network has %d",
-			len(a), n.NumUsers())
+	if !opts.SkipValidate {
+		if err := validateAssignment(n, a); err != nil {
+			return nil, err
+		}
 	}
 	numExt := n.NumExtenders()
-	for i, j := range a {
-		if j == Unassigned {
-			continue
-		}
-		if j < 0 || j >= numExt {
-			return nil, fmt.Errorf("model: user %d assigned to invalid extender %d", i, j)
-		}
-		if n.WiFiRates[i][j] <= 0 {
-			return nil, fmt.Errorf("model: user %d assigned to unreachable extender %d", i, j)
-		}
-	}
 
 	var local EvalScratch
 	if s == nil {
@@ -314,6 +322,32 @@ func EvaluateWith(s *EvalScratch, n *Network, a Assignment, opts Options) (*Resu
 		res.Aggregate += res.PerExtender[j]
 	}
 	return res, nil
+}
+
+// validateAssignment is the structural scan EvaluateWith performs unless
+// Options.SkipValidate is set: network consistency, assignment length,
+// and per-user extender bounds and reachability.
+func validateAssignment(n *Network, a Assignment) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	if len(a) != n.NumUsers() {
+		return fmt.Errorf("model: assignment covers %d users, network has %d",
+			len(a), n.NumUsers())
+	}
+	numExt := n.NumExtenders()
+	for i, j := range a {
+		if j == Unassigned {
+			continue
+		}
+		if j < 0 || j >= numExt {
+			return fmt.Errorf("model: user %d assigned to invalid extender %d", i, j)
+		}
+		if n.WiFiRates[i][j] <= 0 {
+			return fmt.Errorf("model: user %d assigned to unreachable extender %d", i, j)
+		}
+	}
+	return nil
 }
 
 // Aggregate is a convenience wrapper returning only the total throughput

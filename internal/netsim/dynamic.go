@@ -79,11 +79,17 @@ func RunDynamic(cfg DynamicConfig, policy Policy) ([]EpochResult, error) {
 	// Current association, keyed by topology user ID.
 	current := make(map[int]int, len(topo.Users))
 
+	// One workspace serves the whole trace: the cached strategy instance
+	// (and its delta evaluator / solver scratches) persists across
+	// arrivals and epochs instead of being rebuilt per event, and full
+	// evaluations share one scratch.
+	ws := &trialWorkspace{}
+
 	rm := cfg.radioModel()
 	inst := Build(topo, rm)
 	assign := newUnassigned(len(topo.Users))
 	for i := range topo.Users {
-		if err := policy.OnArrival(inst, assign, i); err != nil {
+		if err := policyArrival(policy, inst, assign, i, ws, 0); err != nil {
 			return nil, err
 		}
 		current[inst.UserIDs[i]] = assign[i]
@@ -109,7 +115,7 @@ func RunDynamic(cfg DynamicConfig, policy Policy) ([]EpochResult, error) {
 				if row < 0 {
 					return nil, fmt.Errorf("netsim: arrived user %d missing from topology", ev.UserID)
 				}
-				if err := policy.OnArrival(inst, assign, row); err != nil {
+				if err := policyArrival(policy, inst, assign, row, ws, 0); err != nil {
 					return nil, err
 				}
 				current[ev.UserID] = assign[row]
@@ -123,7 +129,7 @@ func RunDynamic(cfg DynamicConfig, policy Policy) ([]EpochResult, error) {
 
 		inst = Build(topo, rm)
 		assign = assignFromMap(inst, current)
-		newAssign, err := policy.OnEpoch(inst, assign)
+		newAssign, err := policyEpoch(policy, inst, assign, ws, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +138,7 @@ func RunDynamic(cfg DynamicConfig, policy Policy) ([]EpochResult, error) {
 			current[inst.UserIDs[i]] = j
 		}
 
-		res, err := model.Evaluate(inst.Net, newAssign, cfg.ModelOpts)
+		res, err := model.EvaluateWith(&ws.eval, inst.Net, newAssign, cfg.ModelOpts)
 		if err != nil {
 			return nil, err
 		}

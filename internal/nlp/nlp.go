@@ -22,20 +22,19 @@
 //
 // Options.Workers fans the per-user work of one solve out over
 // internal/parallel: gradient rows and simplex projections are
-// row-independent and split into fixed-size row chunks, and the polish
-// phase's pairwise-swap candidates are scored concurrently in fixed-size
-// chunks folded sequentially in pair order (lowest improving index wins,
-// exactly like the sequential scan). Chunk boundaries never depend on the
-// worker count, every score is a pure function of the current iterate,
-// and all mutation happens in the sequential fold — so results are
-// bit-identical for every Workers value (DESIGN.md §7).
+// row-independent and split into fixed-size row chunks. Chunk boundaries
+// never depend on the worker count and every row is a pure function of
+// the current iterate, so results are bit-identical for every Workers
+// value (DESIGN.md §7). The discrete polish phase is sequential: since
+// the cell objectives decompose as Σ_j term(n_j, s_j), a candidate move
+// is scored by the two affected cells' term deltas in O(1) — cheaper
+// than fanning full rescans out ever was.
 package nlp
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/parallel"
@@ -101,8 +100,8 @@ type Options struct {
 	// backtracks when a step does not improve the objective.
 	Step float64
 	// Workers bounds the goroutines used inside one solve (gradient
-	// rows, simplex projections, polish swap scoring). <= 1 runs fully
-	// sequentially; results are bit-identical for every value.
+	// rows, simplex projections). <= 1 runs fully sequentially; results
+	// are bit-identical for every value.
 	Workers int
 }
 
@@ -146,15 +145,6 @@ type Solution struct {
 // deterministic schedule); it only bounds task granularity.
 const rowChunk = 64
 
-// swapChunk is the fixed number of candidate pair-swaps scored per
-// parallel round during polish. Like rowChunk it is workers-independent.
-const swapChunk = 1024
-
-// swapSubTasks is the fixed number of scoring sub-ranges one swap chunk
-// is split into; each sub-range owns a private scratch copy of the
-// per-extender loads.
-const swapSubTasks = 16
-
 // forRows runs fn over [0, n) split into rowChunk-sized ranges on the
 // given number of workers. fn must only write state owned by its range.
 func forRows(n, workers int, fn func(lo, hi int)) {
@@ -182,6 +172,18 @@ type pgState struct {
 	cellsN, cellsS []float64
 	fixedN, fixedS []float64
 	proj           []projScratch
+	// invR[k][j] is 1/Rates[free[k]][j] (0 when unreachable) and invS2
+	// the per-extender 1/S_j² of the current iterate: the gradient's
+	// inner loop runs on multiplications instead of two divisions per
+	// matrix element.
+	invR  [][]float64
+	invRb []float64
+	invS2 []float64
+	// supports[k] lists free user k's reachable extenders (ascending),
+	// computed once so the per-projection support scan disappears from
+	// the line-search hot loop.
+	supports [][]int
+	supBuf   []int
 }
 
 func matrixOver(buf []float64, rows, cols int) [][]float64 {
@@ -201,10 +203,33 @@ func newPGState(p Problem, free []int, numExt int) *pgState {
 		cellsN: make([]float64, numExt),
 		cellsS: make([]float64, numExt),
 		proj:   make([]projScratch, (f+rowChunk-1)/rowChunk),
+		invRb:  make([]float64, f*numExt),
+		invS2:  make([]float64, numExt),
 	}
 	st.x = matrixOver(st.xb, f, numExt)
 	st.cand = matrixOver(st.cb, f, numExt)
 	st.grad = matrixOver(st.gb, f, numExt)
+	st.invR = matrixOver(st.invRb, f, numExt)
+	reachable := 0
+	for k, i := range free {
+		for j, r := range p.Rates[i] {
+			if r > 0 {
+				st.invR[k][j] = 1 / r
+				reachable++
+			}
+		}
+	}
+	st.supports = make([][]int, f)
+	st.supBuf = make([]int, 0, reachable)
+	for k, i := range free {
+		lo := len(st.supBuf)
+		for j, r := range p.Rates[i] {
+			if r > 0 {
+				st.supBuf = append(st.supBuf, j)
+			}
+		}
+		st.supports[k] = st.supBuf[lo:len(st.supBuf):len(st.supBuf)]
+	}
 	st.fixedN, st.fixedS = fixedLoad(p, numExt)
 	return st
 }
@@ -217,17 +242,18 @@ func newPGState(p Problem, free []int, numExt int) *pgState {
 func (st *pgState) cells(p Problem, free []int, x [][]float64) float64 {
 	copy(st.cellsN, st.fixedN)
 	copy(st.cellsS, st.fixedS)
-	for k, i := range free {
+	for k := range free {
 		row := x[k]
-		rates := p.Rates[i]
+		invR := st.invR[k]
+		// Unreachable coordinates hold mass 0, and adding 0.0 to a
+		// non-negative accumulator is exact — so the loop runs
+		// branch-free on the precomputed inverse rates.
 		for j, mass := range row {
-			if mass > 0 {
-				st.cellsN[j] += mass
-				st.cellsS[j] += mass / rates[j]
-			}
+			st.cellsN[j] += mass
+			st.cellsS[j] += mass * invR[j]
 		}
 	}
-	return SumThroughput(st.cellsN, st.cellsS)
+	return Total(SumThroughput, st.cellsN, st.cellsS)
 }
 
 // SolveProjectedGradient solves the Phase II relaxation by projected
@@ -270,25 +296,35 @@ func SolveProjectedGradient(p Problem, opts Options) (*Solution, error) {
 	for ; iters < opts.MaxIter; iters++ {
 		// Per-extender loads of the current iterate, then the gradient of
 		// Σ N_j/S_j wrt x_kj: (S_j - N_j/r_ij) / S_j². Rows are
-		// independent given the loads, so they fan out.
+		// independent given the loads, so they fan out. The per-extender
+		// 1/S_j² factor is hoisted out of the row loop and the rate
+		// divisions were precomputed at attach, so the inner loop is
+		// multiply-only.
 		st.cells(p, free, st.x)
+		for j := 0; j < numExt; j++ {
+			if s := st.cellsS[j]; s > 0 {
+				st.invS2[j] = 1 / (s * s)
+			} else {
+				st.invS2[j] = 0
+			}
+		}
 		forRows(len(free), opts.Workers, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				i := free[k]
 				row := st.grad[k]
+				invR := st.invR[k]
 				for j := 0; j < numExt; j++ {
-					r := p.Rates[i][j]
-					if r <= 0 {
+					if invR[j] == 0 {
 						row[j] = 0
 						continue
 					}
 					s := st.cellsS[j]
 					if s <= 0 {
 						// Empty cell: joining it alone yields throughput r.
-						row[j] = r
+						row[j] = p.Rates[i][j]
 						continue
 					}
-					row[j] = (s - st.cellsN[j]/r) / (s * s)
+					row[j] = (s - st.cellsN[j]*invR[j]) * st.invS2[j]
 				}
 			}
 		})
@@ -302,14 +338,15 @@ func SolveProjectedGradient(p Problem, opts Options) (*Solution, error) {
 			forRows(len(free), opts.Workers, func(lo, hi int) {
 				ps := &st.proj[lo/rowChunk]
 				for k := lo; k < hi; k++ {
-					i := free[k]
 					row := st.cand[k]
+					x, grad := st.x[k], st.grad[k]
+					// Unreachable coordinates hold x = 0 and grad = 0,
+					// so the unconditional (vectorizable) build writes 0
+					// there and the on-support projection leaves them be.
 					for j := range row {
-						if p.Rates[i][j] > 0 {
-							row[j] = st.x[k][j] + stepNow*st.grad[k][j]
-						}
+						row[j] = x[j] + stepNow*grad[j]
 					}
-					projectSimplexWith(ps, row, p.Rates[i])
+					projectOnSupport(ps, row, st.supports[k])
 				}
 			})
 			obj := st.cells(p, free, st.cand)
@@ -356,12 +393,12 @@ func SolveProjectedGradient(p Problem, opts Options) (*Solution, error) {
 		}
 		assign[i] = best
 	}
-	obj, sweeps := polish(p, assign, free, numExt, SumThroughput, opts.Workers)
+	obj, sweeps := polish(p, assign, free, numExt, SumThroughput)
 
 	// The relaxation is non-convex, so the gradient iterate can land in a
 	// poorer basin than a greedy discrete start. Keep the better of the
 	// two (multi-start local search).
-	if alt, err := solveCoordinate(p, SumThroughput, opts.Workers); err == nil {
+	if alt, err := solveCoordinate(p, SumThroughput); err == nil {
 		sweeps += alt.PolishSweeps
 		if alt.Objective > obj+1e-12 {
 			assign = alt.Assign
@@ -378,32 +415,43 @@ func SolveProjectedGradient(p Problem, opts Options) (*Solution, error) {
 	}, nil
 }
 
-// CellObjective scores a complete placement from per-extender loads:
-// n[j] is the user count on extender j and s[j] the sum of inverse WiFi
-// rates. Larger is better.
-type CellObjective func(n, s []float64) float64
+// CellObjective is one extender's term of a separable placement
+// objective: given the cell's load — user count (or fractional mass) n
+// and inverse-rate sum s — it returns the cell's contribution, and the
+// placement scores Σ_j term(n_j, s_j) (see Total). Larger is better.
+// The separable form is what makes O(1) delta scoring possible: a
+// single-user move touches two cells, so its effect on the objective is
+// the two affected terms' deltas.
+type CellObjective func(n, s float64) float64
 
-// SumThroughput is Problem 2's objective: Σ_j T_WiFi_j = Σ_j n_j/s_j.
-func SumThroughput(n, s []float64) float64 {
-	var total float64
-	for j := range n {
-		if s[j] > 0 {
-			total += n[j] / s[j]
-		}
+// SumThroughput is Problem 2's objective term: T_WiFi_j = n_j/s_j, zero
+// for an empty cell. n may be fractional (the relaxation's cell masses).
+func SumThroughput(n, s float64) float64 {
+	if s > 0 {
+		return n / s
 	}
-	return total
+	return 0
 }
 
-// ProportionalFair is the proportional-fairness extension: under
+// ProportionalFair is the proportional-fairness extension's term: under
 // throughput-fair sharing every user on extender j receives 1/s_j, so
 // Σ_i log(throughput_i) = -Σ_j n_j·ln(s_j). Maximizing it trades a
 // little aggregate throughput for a much flatter allocation.
-func ProportionalFair(n, s []float64) float64 {
+func ProportionalFair(n, s float64) float64 {
+	if n > 0 && s > 0 {
+		return -n * math.Log(s)
+	}
+	return 0
+}
+
+// Total evaluates a separable objective on per-extender loads, summing
+// the cell terms in ascending extender order. The fixed summation order
+// keeps totals bit-identical wherever they are computed (empty cells add
+// exactly 0.0, which is exact).
+func Total(objective CellObjective, n, s []float64) float64 {
 	var total float64
 	for j := range n {
-		if n[j] > 0 && s[j] > 0 {
-			total -= n[j] * math.Log(s[j])
-		}
+		total += objective(n[j], s[j])
 	}
 	return total
 }
@@ -419,10 +467,10 @@ func SolveCoordinate(p Problem) (*Solution, error) {
 // objective. The returned Solution's Objective is the given objective's
 // value (not Σ T_WiFi) unless the objectives coincide.
 func SolveCoordinateWith(p Problem, objective CellObjective) (*Solution, error) {
-	return solveCoordinate(p, objective, 1)
+	return solveCoordinate(p, objective)
 }
 
-func solveCoordinate(p Problem, objective CellObjective, workers int) (*Solution, error) {
+func solveCoordinate(p Problem, objective CellObjective) (*Solution, error) {
 	if objective == nil {
 		return nil, fmt.Errorf("nlp: nil objective")
 	}
@@ -433,22 +481,17 @@ func solveCoordinate(p Problem, objective CellObjective, workers int) (*Solution
 	assign := p.Fixed.Clone()
 
 	// Greedy seeding in user order, by marginal objective gain. The
-	// per-extender loads are maintained incrementally: probe moves
-	// mutate and exactly restore them (save/restore, not add-subtract,
-	// so restoration is bit-exact).
+	// objective is separable per cell, so joining extender j changes
+	// only j's term — the gain is one term delta, O(1) per candidate.
 	n, s := loadOf(p, assign, numExt)
 	for _, i := range free {
-		before := objective(n, s)
 		bestJ, bestGain := -1, math.Inf(-1)
 		for j := 0; j < numExt; j++ {
 			r := p.Rates[i][j]
 			if r <= 0 {
 				continue
 			}
-			nj, sj := n[j], s[j]
-			n[j], s[j] = nj+1, sj+1/r
-			gain := objective(n, s) - before
-			n[j], s[j] = nj, sj
+			gain := objective(n[j]+1, s[j]+1/r) - objective(n[j], s[j])
 			if gain > bestGain {
 				bestJ, bestGain = j, gain
 			}
@@ -457,7 +500,7 @@ func solveCoordinate(p Problem, objective CellObjective, workers int) (*Solution
 		n[bestJ], s[bestJ] = n[bestJ]+1, s[bestJ]+1/p.Rates[i][bestJ]
 	}
 
-	obj, sweeps := polish(p, assign, free, numExt, objective, workers)
+	obj, sweeps := polish(p, assign, free, numExt, objective)
 	return &Solution{Assign: assign, Objective: obj, PolishSweeps: sweeps, IntegralAtConvergence: true}, nil
 }
 
@@ -466,33 +509,29 @@ func solveCoordinate(p Problem, objective CellObjective, workers int) (*Solution
 // moves cannot), mutating assign, and returns the final objective and
 // the number of sweeps performed.
 //
-// Scoring is incremental: the per-extender loads (n, s) are maintained
-// across moves, a candidate is scored by writing the (at most two)
-// affected cells and restoring their saved values afterwards, and an
-// accepted move re-applies exactly the arithmetic that produced its
-// score. Swap candidates are enumerated in fixed pair order and scored
-// swapChunk at a time: every pair in a chunk is scored against the same
-// state (concurrently when workers > 1, each sub-range on a private copy
-// of s), then the lowest improving pair index is applied and the scan
-// resumes right after it — exactly the sequential first-improvement
-// schedule, for any worker count.
-func polish(p Problem, assign model.Assignment, free []int, numExt int, objective CellObjective, workers int) (float64, int) {
+// Scoring leans on the objective's separability: contrib[j] caches
+// extender j's term of the current placement, so a candidate move is
+// scored as obj plus the two affected terms' deltas — O(1) per
+// candidate instead of a full rescan of every cell. The per-extender
+// loads (n, s) are maintained across moves, and after each applied move
+// the two dirty contribs are refreshed and the objective re-summed over
+// all cells in ascending order (O(numExt), exact with respect to the
+// cached terms — no drift accumulates across moves).
+func polish(p Problem, assign model.Assignment, free []int, numExt int, objective CellObjective) (float64, int) {
 	const maxSweeps = 100
-	if workers < 1 {
-		workers = 1
-	}
 	n, s := loadOf(p, assign, numExt)
-	obj := objective(n, s)
-
-	var (
-		chunkA = make([]int, swapChunk)
-		chunkB = make([]int, swapChunk)
-		scores = make([]float64, swapChunk)
-		sBufs  = make([][]float64, swapSubTasks)
-	)
-	for t := range sBufs {
-		sBufs[t] = make([]float64, numExt)
+	contrib := make([]float64, numExt)
+	for j := 0; j < numExt; j++ {
+		contrib[j] = objective(n[j], s[j])
 	}
+	resum := func() float64 {
+		var total float64
+		for j := 0; j < numExt; j++ {
+			total += contrib[j]
+		}
+		return total
+	}
+	obj := resum()
 
 	sweeps := 0
 	for sweep := 0; sweep < maxSweeps; sweep++ {
@@ -501,96 +540,60 @@ func polish(p Problem, assign model.Assignment, free []int, numExt int, objectiv
 
 		// Single-user moves: per user, score every candidate extender
 		// against the current loads and take the best (lowest index wins
-		// ties through the strict epsilon comparison).
+		// ties through the strict epsilon comparison). Leaving the
+		// current cell contributes the same delta to every candidate, so
+		// it is computed once per user.
 		for _, i := range free {
 			current := assign[i]
 			invCur := 1 / p.Rates[i][current]
-			nCur, sCur := n[current], s[current]
+			fromDelta := objective(n[current]-1, s[current]-invCur) - contrib[current]
 			bestJ, bestObj := current, obj
 			for j := 0; j < numExt; j++ {
 				if j == current || p.Rates[i][j] <= 0 {
 					continue
 				}
-				nj, sj := n[j], s[j]
-				n[current], s[current] = nCur-1, sCur-invCur
-				n[j], s[j] = nj+1, sj+1/p.Rates[i][j]
-				cand := objective(n, s)
-				n[current], s[current] = nCur, sCur
-				n[j], s[j] = nj, sj
+				cand := obj + fromDelta + objective(n[j]+1, s[j]+1/p.Rates[i][j]) - contrib[j]
 				if cand > bestObj+1e-12 {
 					bestJ, bestObj = j, cand
 				}
 			}
 			if bestJ != current {
-				n[current], s[current] = nCur-1, sCur-invCur
+				n[current], s[current] = n[current]-1, s[current]-invCur
 				n[bestJ], s[bestJ] = n[bestJ]+1, s[bestJ]+1/p.Rates[i][bestJ]
+				contrib[current] = objective(n[current], s[current])
+				contrib[bestJ] = objective(n[bestJ], s[bestJ])
+				obj = resum()
 				assign[i] = bestJ
-				obj = bestObj
 				changed = true
 			}
 		}
 
 		// Pairwise swaps between free users on different extenders,
-		// first-improvement in fixed pair order via chunked scans.
+		// first-improvement in fixed pair order: an improving swap is
+		// applied immediately and the scan resumes at the next pair.
+		// Counts are unchanged by a swap; only the two cells' inverse-
+		// rate sums move.
 		cursor := pairCursor{a: 0, b: 1}
 		for {
-			cnt := 0
-			for cnt < swapChunk {
-				a, b, ok := cursor.next(len(free))
-				if !ok {
-					break
-				}
-				chunkA[cnt], chunkB[cnt] = a, b
-				cnt++
-			}
-			if cnt == 0 {
+			a, b, ok := cursor.next(len(free))
+			if !ok {
 				break
 			}
-
-			stride := (cnt + swapSubTasks - 1) / swapSubTasks
-			_ = parallel.ForEach(context.Background(), swapSubTasks, workers, func(t int) error {
-				lo := t * stride
-				hi := lo + stride
-				if hi > cnt {
-					hi = cnt
-				}
-				if lo >= hi {
-					return nil
-				}
-				buf := sBufs[t]
-				copy(buf, s)
-				for g := lo; g < hi; g++ {
-					ia, ib := free[chunkA[g]], free[chunkB[g]]
-					ja, jb := assign[ia], assign[ib]
-					if ja == jb || p.Rates[ia][jb] <= 0 || p.Rates[ib][ja] <= 0 {
-						scores[g] = math.Inf(-1)
-						continue
-					}
-					buf[ja] = s[ja] - 1/p.Rates[ia][ja] + 1/p.Rates[ib][ja]
-					buf[jb] = s[jb] - 1/p.Rates[ib][jb] + 1/p.Rates[ia][jb]
-					scores[g] = objective(n, buf)
-					buf[ja], buf[jb] = s[ja], s[jb]
-				}
-				return nil
-			})
-
-			applied := false
-			for g := 0; g < cnt; g++ {
-				if scores[g] > obj+1e-12 {
-					ia, ib := free[chunkA[g]], free[chunkB[g]]
-					ja, jb := assign[ia], assign[ib]
-					s[ja] = s[ja] - 1/p.Rates[ia][ja] + 1/p.Rates[ib][ja]
-					s[jb] = s[jb] - 1/p.Rates[ib][jb] + 1/p.Rates[ia][jb]
-					assign[ia], assign[ib] = jb, ja
-					obj = scores[g]
-					changed = true
-					applied = true
-					cursor = pairCursor{a: chunkA[g], b: chunkB[g] + 1}
-					break
-				}
+			ia, ib := free[a], free[b]
+			ja, jb := assign[ia], assign[ib]
+			if ja == jb || p.Rates[ia][jb] <= 0 || p.Rates[ib][ja] <= 0 {
+				continue
 			}
-			if !applied && cnt < swapChunk {
-				break // triangle exhausted with no improvement left
+			sa := s[ja] - 1/p.Rates[ia][ja] + 1/p.Rates[ib][ja]
+			sb := s[jb] - 1/p.Rates[ib][jb] + 1/p.Rates[ia][jb]
+			cand := obj - contrib[ja] - contrib[jb] + objective(n[ja], sa) + objective(n[jb], sb)
+			if cand > obj+1e-12 {
+				s[ja], s[jb] = sa, sb
+				assign[ia], assign[ib] = jb, ja
+				contrib[ja] = objective(n[ja], s[ja])
+				contrib[jb] = objective(n[jb], s[jb])
+				obj = resum()
+				changed = true
 			}
 		}
 
@@ -639,7 +642,7 @@ func discreteObjective(p Problem, assign model.Assignment, numExt int) float64 {
 // objectiveWith evaluates a cell objective on an integral assignment.
 func objectiveWith(p Problem, assign model.Assignment, numExt int, objective CellObjective) float64 {
 	n, s := loadOf(p, assign, numExt)
-	return objective(n, s)
+	return Total(objective, n, s)
 }
 
 func loadOf(p Problem, assign model.Assignment, numExt int) (n, s []float64) {
@@ -663,12 +666,12 @@ func fixedLoad(p Problem, numExt int) (n, s []float64) {
 type projScratch struct {
 	support []int
 	vals    []float64
-	sorted  []float64
+	work    []float64
 }
 
 // projectSimplex projects row onto the probability simplex restricted to
-// coordinates where rates > 0 (unreachable extenders stay at 0), using the
-// sort-based algorithm of Duchi et al.
+// coordinates where rates > 0 (unreachable extenders stay at 0), using
+// Michelot's deterministic fixed-point filter.
 func projectSimplex(row, rates []float64) {
 	var ps projScratch
 	projectSimplexWith(&ps, row, rates)
@@ -676,6 +679,15 @@ func projectSimplex(row, rates []float64) {
 
 // projectSimplexWith is projectSimplex with caller-owned scratch buffers,
 // for hot loops that project many rows.
+//
+// Michelot's algorithm: starting from the full support, repeatedly set
+// θ = (Σ active − 1)/|active| and drop the values ≤ θ; at the fixed point
+// θ is exactly the sort-based Duchi et al. threshold, found in O(n) per
+// pass (typically 2–4 passes) with no sort. The maximum always survives
+// a pass — θ = (Σ−1)/m ≤ max − 1/m < max — so the active set never
+// empties and shrinks strictly until the fixed point. Values are scanned
+// in ascending-coordinate order every pass, so θ's arithmetic is a fixed
+// function of the input (bit-deterministic across runs and workers).
 func projectSimplexWith(ps *projScratch, row, rates []float64) {
 	support := ps.support[:0]
 	for j, r := range rates {
@@ -686,36 +698,47 @@ func projectSimplexWith(ps *projScratch, row, rates []float64) {
 		}
 	}
 	ps.support = support
+	projectOnSupport(ps, row, support)
+}
+
+// projectOnSupport is the projection's hot inner form: the caller owns
+// the (precomputed) support list and guarantees every non-support
+// coordinate of row is already 0, so only the support coordinates are
+// read or written.
+func projectOnSupport(ps *projScratch, row []float64, support []int) {
 	if len(support) == 0 {
 		return
 	}
 	if cap(ps.vals) < len(support) {
 		ps.vals = make([]float64, len(support))
-		ps.sorted = make([]float64, len(support))
+		ps.work = make([]float64, len(support))
 	}
 	vals := ps.vals[:len(support)]
-	sorted := ps.sorted[:len(support)]
+	act := ps.work[:len(support)]
+	sum := 0.0
 	for k, j := range support {
-		vals[k] = row[j]
+		v := row[j]
+		vals[k] = v
+		act[k] = v
+		sum += v
 	}
-	copy(sorted, vals)
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
-	var cum, theta float64
-	rho := -1
-	for k, v := range sorted {
-		cum += v
-		t := (cum - 1) / float64(k+1)
-		if v-t > 0 {
-			rho = k
-			theta = t
+	var theta float64
+	for {
+		theta = (sum - 1) / float64(len(act))
+		kept := 0
+		newSum := 0.0
+		for _, v := range act {
+			if v > theta {
+				act[kept] = v
+				kept++
+				newSum += v
+			}
 		}
-	}
-	if rho < 0 {
-		// Degenerate (all mass far negative): uniform.
-		for _, j := range support {
-			row[j] = 1 / float64(len(support))
+		if kept == len(act) {
+			break
 		}
-		return
+		act = act[:kept]
+		sum = newSum
 	}
 	for k, j := range support {
 		v := vals[k] - theta

@@ -334,18 +334,22 @@ func bruteForceBest(p Problem, numExt int) float64 {
 func TestCellObjectives(t *testing.T) {
 	n := []float64{2, 1}
 	s := []float64{1.0 / 10, 1.0 / 40} // cell 0: two users at 20 Mbps each... (s=0.1 -> T=20)
-	if got, want := SumThroughput(n, s), 2/0.1+1/(1.0/40); math.Abs(got-want) > 1e-9 {
-		t.Errorf("SumThroughput = %v, want %v", got, want)
+	if got, want := Total(SumThroughput, n, s), 2/0.1+1/(1.0/40); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Total(SumThroughput) = %v, want %v", got, want)
 	}
 	want := -(2*math.Log(0.1) + 1*math.Log(1.0/40))
-	if got := ProportionalFair(n, s); math.Abs(got-want) > 1e-9 {
-		t.Errorf("ProportionalFair = %v, want %v", got, want)
+	if got := Total(ProportionalFair, n, s); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Total(ProportionalFair) = %v, want %v", got, want)
 	}
-	// Empty cells contribute nothing to either objective.
-	if got := SumThroughput([]float64{0}, []float64{0}); got != 0 {
+	// Per-cell terms: a single-user cell's throughput term is its rate.
+	if got := SumThroughput(1, 1.0/40); math.Abs(got-40) > 1e-9 {
+		t.Errorf("SumThroughput term = %v, want 40", got)
+	}
+	// Empty cells contribute exactly nothing to either objective.
+	if got := SumThroughput(0, 0); got != 0 {
 		t.Errorf("SumThroughput empty = %v", got)
 	}
-	if got := ProportionalFair([]float64{0}, []float64{0}); got != 0 {
+	if got := ProportionalFair(0, 0); got != 0 {
 		t.Errorf("ProportionalFair empty = %v", got)
 	}
 }

@@ -81,6 +81,12 @@ const (
 	ShardEngine
 	// ShardTrial seeds the per-unit topologies of the shard experiment.
 	ShardTrial
+	// DeltaFuzz seeds the random instances and move sequences of the
+	// delta-vs-full differential fuzz harness (internal/model).
+	DeltaFuzz
+	// DeltaBench seeds the networks and probe schedules of the
+	// delta-evaluation benchmarks behind BENCH_delta.json.
+	DeltaBench
 )
 
 // golden is the SplitMix64 increment, the odd integer closest to

@@ -20,13 +20,14 @@ func init() {
 }
 
 // baselineStats is the Stats record of a single-phase strategy.
-func baselineStats(name string, n *model.Network, total time.Duration, evals int) Stats {
+func baselineStats(name string, n *model.Network, total time.Duration, evals, probes int) Stats {
 	return Stats{
 		Strategy:    name,
 		Users:       n.NumUsers(),
 		Extenders:   n.NumExtenders(),
 		Total:       total,
 		Evaluations: evals,
+		DeltaProbes: probes,
 	}
 }
 
@@ -47,7 +48,7 @@ func (r *rssiStrategy) Solve(n *model.Network) (model.Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.cfg.emit(baselineStats("rssi", n, time.Since(start), 0))
+	r.cfg.emit(baselineStats("rssi", n, time.Since(start), 0, 0))
 	return assign, nil
 }
 
@@ -78,13 +79,15 @@ func (r *rssiStrategy) Reassign(n *model.Network, _ model.Assignment) (model.Ass
 
 // addStrategy covers the two arrival-order baselines (greedy and
 // selfish): Solve replays an index-order arrival sequence through the
-// online step, and Add is that step directly. The shared evaluation
-// scratch makes the per-candidate probes allocation-free.
+// online step, and Add is that step directly. The shared Adder keeps a
+// delta evaluator attached across the arrival sequence, so candidates
+// are scored by allocation-free O(Δ) probes instead of full
+// evaluations.
 type addStrategy struct {
-	cfg  Config
-	name string
-	add  func(s *model.EvalScratch, n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error)
-	eval model.EvalScratch
+	cfg   Config
+	name  string
+	add   func(ad *baseline.Adder, n *model.Network, assign model.Assignment, user int, opts model.Options) (int, error)
+	adder baseline.Adder
 }
 
 // Name implements Strategy.
@@ -96,31 +99,32 @@ func (a *addStrategy) Solve(n *model.Network) (model.Assignment, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	a.eval.Evals = 0
+	a.adder.ResetStats()
 	assign := make(model.Assignment, n.NumUsers())
 	for i := range assign {
 		assign[i] = model.Unassigned
 	}
 	for i := range assign {
-		if _, err := a.add(&a.eval, n, assign, i, a.cfg.ModelOpts); err != nil {
+		if _, err := a.add(&a.adder, n, assign, i, a.cfg.ModelOpts); err != nil {
 			return nil, err
 		}
 	}
-	a.cfg.emit(baselineStats(a.name, n, time.Since(start), a.eval.Evals))
+	evals, probes := a.adder.Stats()
+	a.cfg.emit(baselineStats(a.name, n, time.Since(start), evals, probes))
 	return assign, nil
 }
 
 // Add implements Online.
 func (a *addStrategy) Add(n *model.Network, assign model.Assignment, user int) (int, error) {
-	return a.add(&a.eval, n, assign, user, a.cfg.ModelOpts)
+	return a.add(&a.adder, n, assign, user, a.cfg.ModelOpts)
 }
 
 // optimalStrategy is the exhaustive search — offline-only (neither
 // Online nor Reassigner): placing one arrival optimally would mean
 // re-solving the whole instance, which is not an online policy.
 type optimalStrategy struct {
-	cfg  Config
-	eval model.EvalScratch
+	cfg    Config
+	search baseline.Searcher
 }
 
 // Name implements Strategy.
@@ -129,12 +133,13 @@ func (o *optimalStrategy) Name() string { return "optimal" }
 // Solve implements Strategy.
 func (o *optimalStrategy) Solve(n *model.Network) (model.Assignment, error) {
 	start := time.Now()
-	o.eval.Evals = 0
-	assign, _, err := baseline.OptimalBoundedWith(&o.eval, n, o.cfg.ModelOpts, o.cfg.Optimal)
+	o.search.ResetStats()
+	assign, _, err := baseline.OptimalBoundedWith(&o.search, n, o.cfg.ModelOpts, o.cfg.Optimal)
 	if err != nil {
 		return nil, err
 	}
-	o.cfg.emit(baselineStats("optimal", n, time.Since(start), o.eval.Evals))
+	evals, probes := o.search.Stats()
+	o.cfg.emit(baselineStats("optimal", n, time.Since(start), evals, probes))
 	return assign, nil
 }
 
@@ -154,7 +159,7 @@ func (r *randomStrategy) Solve(n *model.Network) (model.Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.cfg.emit(baselineStats("random", n, time.Since(start), 0))
+	r.cfg.emit(baselineStats("random", n, time.Since(start), 0, 0))
 	return assign, nil
 }
 

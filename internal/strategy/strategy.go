@@ -81,9 +81,15 @@ type Stats struct {
 	Phase2Iterations int
 	PolishSweeps     int
 	// Evaluations counts full model evaluations performed through the
-	// strategy's evaluation scratch (greedy/selfish probes, exhaustive
-	// search states, incremental candidate moves).
+	// strategy's evaluation state — since the delta-evaluation rewire,
+	// that is the number of DeltaEval attaches (full accumulator
+	// builds), typically one per solve.
 	Evaluations int
+	// DeltaProbes counts O(Δ) single-move probes through the strategy's
+	// delta evaluator (greedy/selfish candidate probes, exhaustive
+	// search leaves, incremental candidate moves). Probes replace the
+	// full evaluations the probe loops performed before the rewire.
+	DeltaProbes int
 }
 
 // Observer receives a Stats record after each solve. Observers run

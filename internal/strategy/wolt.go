@@ -126,7 +126,6 @@ type incrementalStrategy struct {
 	opts    core.Options
 	budget  int
 	scratch core.Scratch
-	eval    model.EvalScratch
 }
 
 // Name implements Strategy.
@@ -146,11 +145,12 @@ func (s *incrementalStrategy) Solve(n *model.Network) (model.Assignment, error) 
 // Reassign implements Reassigner.
 func (s *incrementalStrategy) Reassign(n *model.Network, prev model.Assignment) (model.Assignment, error) {
 	start := time.Now()
-	s.eval.Evals = 0
-	res, err := core.AssignIncrementalWith(&s.scratch, &s.eval, n, prev, s.budget, s.opts, s.cfg.ModelOpts)
+	res, err := core.AssignIncrementalWith(&s.scratch, n, prev, s.budget, s.opts, s.cfg.ModelOpts)
 	if err != nil {
 		return nil, err
 	}
-	s.cfg.emit(woltStats("wolt-incremental", n, res.Target, time.Since(start), s.eval.Evals))
+	st := woltStats("wolt-incremental", n, res.Target, time.Since(start), res.Evals)
+	st.DeltaProbes = res.DeltaProbes
+	s.cfg.emit(st)
 	return res.Assign, nil
 }

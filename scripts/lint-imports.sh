@@ -33,4 +33,26 @@ if [ -n "$bad" ]; then
 	echo "shard members drive policies only through control.Engine" >&2
 	exit 1
 fi
+
+# model.DeltaEval is the stateful O(Δ) evaluator behind the algorithm
+# layers' probe loops. Its re-attach discipline (generation counter,
+# Matches) is easy to hold inside a solver and easy to violate from ad
+# hoc call sites, so only the algorithm packages — internal/baseline,
+# internal/core, internal/nlp, internal/netsim — may construct one
+# (internal/model owns it). Everyone else consumes delta-evaluated
+# results through the strategy registry's instrumentation. Test files
+# are exempt.
+bad=$(grep -rn 'model\.DeltaEval' --include='*.go' . \
+	| grep -v '^\./internal/model/' \
+	| grep -v '^\./internal/baseline/' \
+	| grep -v '^\./internal/core/' \
+	| grep -v '^\./internal/nlp/' \
+	| grep -v '^\./internal/netsim/' \
+	| grep -v '_test\.go:' || true)
+if [ -n "$bad" ]; then
+	echo "import lint: model.DeltaEval constructed outside the algorithm layers:" >&2
+	echo "$bad" >&2
+	echo "only internal/{baseline,core,nlp,netsim} may hold a delta evaluator; use the strategy registry" >&2
+	exit 1
+fi
 echo "import lint: clean"
