@@ -201,6 +201,7 @@ func registry() map[string]runnerFunc {
 		"nphard":   wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.NPHard(o) }),
 		"gap":      wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Gap(o) }),
 		"solve":    wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Solve(o) }),
+		"anytime":  wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Anytime(o) }),
 		"sweep":    wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Sweep(o) }),
 		"mobility": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Mobility(o) }),
 		"channels": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Channels(o) }),
@@ -215,7 +216,7 @@ func registry() map[string]runnerFunc {
 func experimentIDs() []string {
 	return []string{
 		"fig2a", "fig2b", "fig2c", "fig3", "fig4a", "fig5",
-		"fig6a", "fig6b", "fairness", "nphard", "gap", "solve", "sweep", "mobility", "channels", "qos", "shard",
+		"fig6a", "fig6b", "fairness", "nphard", "gap", "solve", "anytime", "sweep", "mobility", "channels", "qos", "shard",
 	}
 }
 

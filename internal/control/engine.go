@@ -52,6 +52,17 @@ type EngineConfig struct {
 	// Seed derives the policy instance's private randomness (e.g. the
 	// random baseline's draws).
 	Seed int64
+	// Budget bounds budget-aware policies per operation (the anytime
+	// local-search family and wolt-incremental): a probe budget makes
+	// every per-join/leave re-solve an O(budget) warm repair instead of
+	// a full two-phase solve. Zero is unlimited (DESIGN.md §11).
+	Budget strategy.Budget
+	// ReassignOnLeave lets reassigning policies re-solve when a user
+	// departs, returning rebalancing directives from Leave. The paper's
+	// CC only recomputes on joins — departures free capacity silently —
+	// so this is off by default; it exists for the anytime policies,
+	// whose leave-time repair costs microseconds, not a full solve.
+	ReassignOnLeave bool
 }
 
 // Engine is the transport-free policy/state core of a central
@@ -123,6 +134,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		ModelOpts: cfg.ModelOpts,
 		Workers:   cfg.Workers,
 		Seed:      cfg.Seed,
+		Budget:    cfg.Budget,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("control: %w", err)
@@ -263,17 +275,32 @@ func (e *Engine) Update(userID int, rates, rssi []float64) ([]Directive, error) 
 
 // Leave removes a user (explicit leave or dropped connection) and
 // reports whether it was present. The paper's CC recomputes on joins
-// (directives accompany new associations); departures simply free
-// capacity.
-func (e *Engine) Leave(userID int) bool {
+// (directives accompany new associations) and departures simply free
+// capacity — unless EngineConfig.ReassignOnLeave is set and the policy
+// can reassign, in which case the departure triggers a re-solve (an
+// anytime warm repair under EngineConfig.Budget) and the rebalancing
+// directives are returned.
+func (e *Engine) Leave(userID int) ([]Directive, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.users[userID]; !ok {
-		return false
+		return nil, false
 	}
 	delete(e.users, userID)
 	e.leaves++
-	return true
+	if e.cfg.ReassignOnLeave && len(e.users) > 0 {
+		if _, ok := e.strategy.(strategy.Reassigner); ok {
+			// recomputeLocked tolerates the no-new-user form (-1) only
+			// on the Reassigner path, which never dereferences newRow.
+			dirs, err := e.recomputeLocked(-1)
+			if err == nil {
+				return dirs, true
+			}
+			// A failed re-solve must not resurrect the user: the
+			// departure stands, capacity frees without rebalancing.
+		}
+	}
+	return nil, true
 }
 
 // Extender returns the user's current global extender assignment.
@@ -308,6 +335,8 @@ func (e *Engine) Stats() Stats {
 
 // recomputeLocked runs the policy after newUser joined or reported fresh
 // rates, updates the user table and returns the resulting directives.
+// newUser may be -1 (a departure under ReassignOnLeave) only when the
+// policy is a Reassigner, which never dereferences the new row.
 // Callers hold e.mu.
 func (e *Engine) recomputeLocked(newUser int) ([]Directive, error) {
 	ids := make([]int, 0, len(e.users))

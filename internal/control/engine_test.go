@@ -132,13 +132,13 @@ func TestEngineJoinRejections(t *testing.T) {
 
 func TestEngineLeave(t *testing.T) {
 	e := fig3Engine(t, PolicyWOLT)
-	if e.Leave(1) {
+	if _, ok := e.Leave(1); ok {
 		t.Error("leave of unknown user: want false")
 	}
 	if _, err := e.Join(1, []float64{15, 10}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if !e.Leave(1) {
+	if _, ok := e.Leave(1); !ok {
 		t.Error("leave of joined user: want true")
 	}
 	if st := e.Stats(); st.Users != 0 || st.Leaves != 1 {
@@ -147,6 +147,63 @@ func TestEngineLeave(t *testing.T) {
 	// The departed user's ID is free for a fresh join.
 	if _, err := e.Join(1, []float64{15, 10}, nil); err != nil {
 		t.Errorf("rejoin after leave: %v", err)
+	}
+}
+
+// TestEngineReassignOnLeave: with the anytime policy and
+// ReassignOnLeave, a departure triggers a warm re-solve that may
+// rebalance the remaining users, and the resulting directives come
+// back from Leave. Without the flag, departures stay silent.
+func TestEngineReassignOnLeave(t *testing.T) {
+	build := func(reassign bool) *Engine {
+		e, err := NewEngine(EngineConfig{
+			PLCCaps:         []float64{60, 20},
+			Policy:          "wolt-hillclimb",
+			ModelOpts:       model.Options{Redistribute: true},
+			Budget:          strategy.Budget{Probes: 1000},
+			ReassignOnLeave: reassign,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	// Three users crowd extender 0; when user 1 (its strongest) leaves,
+	// the repair may shuffle the survivors — and must at minimum run
+	// without error and leave a consistent table.
+	seed := func(e *Engine) {
+		for id, rates := range map[int][]float64{
+			1: {50, 1}, 2: {40, 12}, 3: {35, 14},
+		} {
+			if _, err := e.Join(id, rates, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	e := build(true)
+	seed(e)
+	dirs, ok := e.Leave(1)
+	if !ok {
+		t.Fatal("leave of joined user: want true")
+	}
+	for _, d := range dirs {
+		if d.UserID == 1 {
+			t.Errorf("departed user received a directive: %+v", d)
+		}
+		if got, _ := e.Extender(d.UserID); got != d.Extender {
+			t.Errorf("user %d: directive says %d, table says %d", d.UserID, d.Extender, got)
+		}
+	}
+	if st := e.Stats(); st.Users != 2 || st.Leaves != 1 {
+		t.Errorf("stats = %+v, want 2 users / 1 leave", st)
+	}
+
+	// Default behavior unchanged: no directives on leave.
+	e2 := build(false)
+	seed(e2)
+	if dirs, _ := e2.Leave(1); len(dirs) != 0 {
+		t.Errorf("ReassignOnLeave off: got directives %+v", dirs)
 	}
 }
 

@@ -280,7 +280,11 @@ func (s *Server) removeUser(id int, jc *jsonConn) {
 		return
 	}
 	s.mu.Unlock()
-	s.engine.Leave(id)
+	// With ReassignOnLeave policies the departure may rebalance the
+	// remaining users; forward those directives like any other.
+	if dirs, ok := s.engine.Leave(id); ok && len(dirs) > 0 {
+		s.pushDirectives(dirs)
+	}
 }
 
 // pushDirectives forwards engine directives to the affected agents'

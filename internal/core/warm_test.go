@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/localsearch"
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+// TestWarmIncrementalNeverLosesGround: the warm path seeds from prev
+// and only keeps improvements, so re-solving from the full WOLT
+// solution can never end below it — and the result matches a fresh
+// full evaluation bit for bit.
+func TestWarmIncrementalNeverLosesGround(t *testing.T) {
+	n := fig3Network()
+	evalOpts := model.Options{Redistribute: true}
+	full, err := Assign(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullAgg := model.Aggregate(n, full.Assign, evalOpts)
+
+	opts := Options{Warm: &WarmOptions{Search: localsearch.Options{Budget: localsearch.Budget{Probes: 2000}}}}
+	res, err := AssignIncremental(n, full.Assign, -1, opts, evalOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != nil {
+		t.Error("warm path must not run a target solve")
+	}
+	if res.Search == nil {
+		t.Fatal("warm path must carry search diagnostics")
+	}
+	if res.AchievedAggregate < fullAgg {
+		t.Errorf("warm re-solve lost ground: %v < %v", res.AchievedAggregate, fullAgg)
+	}
+	if got := model.Aggregate(n, res.Assign, evalOpts); got != res.AchievedAggregate {
+		t.Errorf("achieved %v != fresh evaluation %v (bit-identity)", res.AchievedAggregate, got)
+	}
+}
+
+// TestWarmIncrementalBudgetSemantics: the budget argument keeps its
+// cold-path meaning on the warm path — 0 places arrivals only, k caps
+// existing-user moves at k.
+func TestWarmIncrementalBudgetSemantics(t *testing.T) {
+	n := fig3Network()
+	evalOpts := model.Options{Redistribute: true}
+	// A deliberately bad previous state with one arrival.
+	prev := make(model.Assignment, n.NumUsers())
+	for i := range prev {
+		prev[i] = model.Unassigned
+		for j, r := range n.WiFiRates[i] {
+			if r > 0 {
+				prev[i] = j // first reachable, typically not the best
+				break
+			}
+		}
+	}
+	prev[0] = model.Unassigned
+	warm := Options{Warm: &WarmOptions{Search: localsearch.Options{Budget: localsearch.Budget{Probes: 5000}}}}
+
+	zero, err := AssignIncremental(n, prev, 0, warm, evalOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zero.Moves) != 0 {
+		t.Errorf("budget 0 moved %d existing users", len(zero.Moves))
+	}
+	if len(zero.Placed) != 1 || zero.Assign[0] == model.Unassigned {
+		t.Errorf("budget 0 must still place the arrival: placed=%v", zero.Placed)
+	}
+
+	for _, budget := range []int{1, 2, 3} {
+		res, err := AssignIncremental(n, prev, budget, warm, evalOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Moves) > budget {
+			t.Errorf("budget %d moved %d users", budget, len(res.Moves))
+		}
+		if res.AchievedAggregate < zero.AchievedAggregate {
+			t.Errorf("budget %d ended below the zero-budget state", budget)
+		}
+	}
+}

@@ -399,3 +399,58 @@ func TestQoSShape(t *testing.T) {
 	}
 	assertRenders(t, res)
 }
+
+// TestAnytimeCurve runs the quality-vs-probe-budget experiment on an
+// instance small enough to enumerate, so the optimal column is live:
+// no budgeted run may beat the exhaustive optimum, and the
+// deterministic climbers (hillclimb, kopt) must be monotone in budget.
+func TestAnytimeCurve(t *testing.T) {
+	res, err := Anytime(Options{Seed: 7, Users: 8, Extenders: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(anytimeStrategies) * len(anytimeBudgets); len(res.Runs) != want {
+		t.Fatalf("got %d runs, want %d", len(res.Runs), want)
+	}
+	if res.WOLT <= 0 {
+		t.Fatal("non-positive WOLT reference")
+	}
+	if res.Optimal <= 0 {
+		t.Fatal("8 users x 4 extenders should be enumerable")
+	}
+	prev := map[string]float64{}
+	for _, run := range res.Runs {
+		if run.Aggregate <= 0 {
+			t.Errorf("%s @ %d: non-positive aggregate", run.Strategy, run.Budget)
+		}
+		if run.Aggregate > res.Optimal+1e-9 {
+			t.Errorf("%s @ %d: aggregate %v beats optimal %v",
+				run.Strategy, run.Budget, run.Aggregate, res.Optimal)
+		}
+		if run.Probes > run.Budget {
+			t.Errorf("%s @ %d: %d probes exceed the budget",
+				run.Strategy, run.Budget, run.Probes)
+		}
+		if run.Stop == "" {
+			t.Errorf("%s @ %d: empty stop reason", run.Strategy, run.Budget)
+		}
+		// Hill climbing and k-opt follow one deterministic trajectory;
+		// a larger budget only ever extends it.
+		if run.Strategy != "wolt-anneal" {
+			if p, ok := prev[run.Strategy]; ok && run.Aggregate < p-1e-9 {
+				t.Errorf("%s @ %d: aggregate %v below smaller budget's %v",
+					run.Strategy, run.Budget, run.Aggregate, p)
+			}
+			prev[run.Strategy] = run.Aggregate
+		}
+	}
+	// At the top budget every strategy should have converged close to
+	// the WOLT reference on an instance this small.
+	for _, run := range res.Runs {
+		if run.Budget == anytimeBudgets[len(anytimeBudgets)-1] && run.Aggregate < 0.9*res.WOLT {
+			t.Errorf("%s @ %d: aggregate %v below 0.9x WOLT %v",
+				run.Strategy, run.Budget, run.Aggregate, res.WOLT)
+		}
+	}
+	assertRenders(t, res)
+}

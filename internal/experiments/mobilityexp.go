@@ -17,17 +17,19 @@ import (
 // strategies.
 type MobilityTick struct {
 	Tick int
-	// Aggregate throughput per strategy, Mbps.
-	Static, Roaming, FullWOLT, Budgeted float64
+	// Aggregate throughput per strategy, Mbps. Anytime is the warm
+	// local-search world (wolt-hillclimb under a probe budget): every
+	// tick repairs the previous association instead of re-solving.
+	Static, Roaming, FullWOLT, Budgeted, Anytime float64
 	// Moves this tick per re-associating strategy.
-	RoamingMoves, FullMoves, BudgetedMoves int
+	RoamingMoves, FullMoves, BudgetedMoves, AnytimeMoves int
 }
 
 // MobilityResult is the mobility experiment (beyond the paper): users
-// walk (random waypoint), rates drift, and four re-association
+// walk (random waypoint), rates drift, and five re-association
 // strategies are compared — assign-once, per-tick strongest-signal
-// roaming, per-tick full WOLT recomputation, and the budgeted
-// incremental WOLT extension.
+// roaming, per-tick full WOLT recomputation, the budgeted incremental
+// WOLT extension, and the anytime warm local search.
 type MobilityResult struct {
 	Ticks []MobilityTick
 	// Budget is the per-tick move budget of the incremental strategy.
@@ -37,7 +39,7 @@ type MobilityResult struct {
 // Mobility runs the mobility experiment: Options.Users walkers on the
 // enterprise floor for Options.Trials ticks of 10 simulated seconds
 // (default 20 ticks). Ticks are inherently sequential (each continues
-// the walkers' motion), but the four strategies own identical,
+// the walkers' motion), but the five strategies own identical,
 // independent worlds, so within a tick the worlds advance concurrently
 // on Options.Workers goroutines with bit-identical results for any
 // worker count.
@@ -73,11 +75,18 @@ func Mobility(opts Options) (*MobilityResult, error) {
 		}
 		w := &world{topo: topo, fleet: fleet}
 		if name != "" {
-			st, err := strategy.New(name, strategy.Config{
-				ModelOpts:  Redistribute,
-				MoveBudget: moveBudget,
-				Seed:       opts.Seed,
-			})
+			cfg := strategy.Config{
+				ModelOpts: Redistribute,
+				Budget:    strategy.Budget{Moves: moveBudget},
+				Seed:      opts.Seed,
+			}
+			if name == "wolt-hillclimb" {
+				// The anytime world is probe-budgeted, not move-capped:
+				// the comparison it prices is "full solve every tick"
+				// vs "O(probes) warm repair every tick".
+				cfg.Budget = strategy.Budget{Probes: anytimeEpochProbes}
+			}
+			st, err := strategy.New(name, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -90,8 +99,9 @@ func Mobility(opts Options) (*MobilityResult, error) {
 		}
 		return w, nil
 	}
-	worldStrategies := []string{"", "rssi", "wolt", "wolt-incremental"}
-	worlds := make([]*world, len(worldStrategies)) // static, roaming, full, budgeted
+	// static, roaming, full, budgeted, anytime
+	worldStrategies := []string{"", "rssi", "wolt", "wolt-incremental", "wolt-hillclimb"}
+	worlds := make([]*world, len(worldStrategies))
 	for k, name := range worldStrategies {
 		w, err := newWorld(name)
 		if err != nil {
@@ -152,9 +162,11 @@ func Mobility(opts Options) (*MobilityResult, error) {
 			Roaming:       steps[1].aggregate,
 			FullWOLT:      steps[2].aggregate,
 			Budgeted:      steps[3].aggregate,
+			Anytime:       steps[4].aggregate,
 			RoamingMoves:  steps[1].moves,
 			FullMoves:     steps[2].moves,
 			BudgetedMoves: steps[3].moves,
+			AnytimeMoves:  steps[4].moves,
 		})
 	}
 	return result, nil
@@ -182,29 +194,43 @@ func (r *MobilityResult) TotalMoves() (roaming, full, budgeted int) {
 	return roaming, full, budgeted
 }
 
+// AnytimeSummary returns the anytime world's mean aggregate and total
+// re-associations. (Means/TotalMoves keep their original four- and
+// three-value signatures for existing callers.)
+func (r *MobilityResult) AnytimeSummary() (mean float64, moves int) {
+	var a []float64
+	for _, t := range r.Ticks {
+		a = append(a, t.Anytime)
+		moves += t.AnytimeMoves
+	}
+	return stats.Mean(a), moves
+}
+
 // Tables implements Tabler.
 func (r *MobilityResult) Tables() []Table {
 	perTick := Table{
 		Caption: "Mobility — aggregate throughput under random-waypoint motion (10 s ticks)",
 		Header: []string{"tick", "static Mbps", "roaming Mbps", "WOLT full Mbps",
-			"WOLT budget Mbps", "full moves", "budget moves"},
+			"WOLT budget Mbps", "anytime Mbps", "full moves", "budget moves", "anytime moves"},
 	}
 	for _, t := range r.Ticks {
 		perTick.Rows = append(perTick.Rows, []string{
-			strconv.Itoa(t.Tick), f1(t.Static), f1(t.Roaming), f1(t.FullWOLT), f1(t.Budgeted),
-			strconv.Itoa(t.FullMoves), strconv.Itoa(t.BudgetedMoves),
+			strconv.Itoa(t.Tick), f1(t.Static), f1(t.Roaming), f1(t.FullWOLT), f1(t.Budgeted), f1(t.Anytime),
+			strconv.Itoa(t.FullMoves), strconv.Itoa(t.BudgetedMoves), strconv.Itoa(t.AnytimeMoves),
 		})
 	}
 	sMean, roMean, fuMean, buMean := r.Means()
 	roMoves, fuMoves, buMoves := r.TotalMoves()
+	anyMean, anyMoves := r.AnytimeSummary()
 	summary := Table{
-		Caption: "Mobility — summary (budgeted = at most " + strconv.Itoa(r.Budget) + " moves/tick)",
+		Caption: "Mobility — summary (budgeted = at most " + strconv.Itoa(r.Budget) + " moves/tick; anytime = warm local search, probe-budgeted)",
 		Header:  []string{"strategy", "mean Mbps", "total moves"},
 		Rows: [][]string{
 			{"static (assign once)", f1(sMean), "0"},
 			{"roaming RSSI", f1(roMean), strconv.Itoa(roMoves)},
 			{"WOLT full recompute", f1(fuMean), strconv.Itoa(fuMoves)},
 			{"WOLT incremental", f1(buMean), strconv.Itoa(buMoves)},
+			{"WOLT anytime (hillclimb)", f1(anyMean), strconv.Itoa(anyMoves)},
 		},
 	}
 	return []Table{summary, perTick}

@@ -37,6 +37,7 @@ func TestDriversDeterministicAcrossWorkers(t *testing.T) {
 		{"NPHard", func(o Options) (any, error) { return NPHard(o) }},
 		{"Gap", func(o Options) (any, error) { return Gap(o) }},
 		{"Mobility", func(o Options) (any, error) { return Mobility(o) }},
+		{"Anytime", func(o Options) (any, error) { return Anytime(o) }},
 		{"fig5ModelDeltas", func(o Options) (any, error) {
 			worst, best, err := fig5ModelDeltas(o)
 			return [2]float64{worst, best}, err

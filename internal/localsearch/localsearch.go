@@ -1,0 +1,829 @@
+// Package localsearch implements the delta-native anytime local-search
+// family: best-swap hill climbing, k-opt eject/reinsert chains, and
+// simulated annealing over user→extender associations, all built on
+// model.DeltaEval's O(Δ) ProbeMove/Commit primitives (DESIGN.md §10).
+//
+// The package exists for the warm path. A full WOLT solve (Hungarian
+// Phase I + NLP Phase II) costs ~1.25s at enterprise scale; a single
+// delta probe costs ~570ns and zero allocations. When the network
+// changes by one join, leave, or rate update, the previous assignment
+// is already near-optimal, so a few thousand probes of local search
+// recover almost all of the objective in well under a millisecond —
+// the regime BENCH_anytime.json measures.
+//
+// # Anytime contract
+//
+// Every search honors the same contract (DESIGN.md §11):
+//
+//   - It is interruptible at probe granularity: a context cancellation,
+//     an expired time budget, or an exhausted probe/move budget stops
+//     the search at the next checkpoint.
+//   - It always returns the best valid assignment found so far — never
+//     an error for running out of budget, never a half-applied chain
+//     (tentative k-opt commits are rolled back before returning).
+//   - The returned aggregate is the committed evaluator state, which is
+//     bit-identical to a fresh model.EvaluateWith of the returned
+//     assignment (the differential tests assert ==, not ≈).
+//
+// Determinism: with a probe/move budget the result is a pure function
+// of (network, start, Options) for any context; only Budget.Time trades
+// that away, since wall-clock checkpoints depend on machine speed.
+// Deterministic pipelines (experiments, tests) must budget in probes.
+package localsearch
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/seed"
+)
+
+// improveEps matches the strict-improvement threshold of
+// core.AssignIncrementalWith: a move must beat the incumbent aggregate
+// by more than this to count, so floating-point noise can never drive
+// an endless improve/undo cycle.
+const improveEps = 1e-12
+
+// checkEvery is how many probes pass between context/deadline
+// checkpoints: at ~570ns per probe that is one check every ~70µs,
+// cheap enough to keep cancellation latency invisible while keeping
+// the select off the hot loop.
+const checkEvery = 128
+
+// DefaultNeighborhood is the candidate-cache size M when Options leaves
+// it zero: each user may move only among its 8 best-rate extenders.
+const DefaultNeighborhood = 8
+
+// DefaultDepth is the k-opt chain depth when Options leaves it zero.
+const DefaultDepth = 3
+
+// Method selects one member of the search family.
+type Method int
+
+const (
+	// HillClimbing commits the single best improving move per pass
+	// until no candidate move improves: the cheapest and most
+	// predictable member, and the one the warm solve paths use.
+	HillClimbing Method = iota
+	// KOpt first climbs to a single-move optimum, then escapes it with
+	// eject/reinsert chains up to Options.Depth moves deep, keeping the
+	// best improving prefix of each chain and rolling back the rest.
+	KOpt
+	// Annealing walks random candidate moves under a Metropolis
+	// acceptance rule with a geometrically cooled temperature, seeded
+	// from the seed.StrategyRand stream.
+	Annealing
+)
+
+// String returns the registry-style name of the method.
+func (m Method) String() string {
+	switch m {
+	case HillClimbing:
+		return "hillclimb"
+	case KOpt:
+		return "kopt"
+	case Annealing:
+		return "anneal"
+	}
+	return "unknown"
+}
+
+// StopReason records why a search returned.
+type StopReason int
+
+const (
+	// StopOptimum: no candidate move improves (hill climb / k-opt
+	// exhausted their neighborhoods; the natural end state).
+	StopOptimum StopReason = iota
+	// StopProbes: the probe budget ran out.
+	StopProbes
+	// StopMoves: the move budget ran out.
+	StopMoves
+	// StopTime: the wall-clock budget expired.
+	StopTime
+	// StopCtx: the context was cancelled.
+	StopCtx
+	// StopFrozen: annealing cooled below its temperature floor.
+	StopFrozen
+)
+
+// String names the stop reason for stats and logs.
+func (r StopReason) String() string {
+	switch r {
+	case StopOptimum:
+		return "optimum"
+	case StopProbes:
+		return "probes"
+	case StopMoves:
+		return "moves"
+	case StopTime:
+		return "time"
+	case StopCtx:
+		return "ctx"
+	case StopFrozen:
+		return "frozen"
+	}
+	return "unknown"
+}
+
+// Budget bounds a search. Zero or negative fields mean unlimited; an
+// all-zero Budget runs to the method's natural end (local optimum or
+// temperature floor). This is the one budget vocabulary shared with
+// strategy.Config.
+type Budget struct {
+	// Probes caps ProbeMove evaluations, the search's unit of work and
+	// the deterministic way to bound it.
+	Probes int
+	// Moves caps committed re-associations of already-placed users.
+	// Placing a previously unassigned user is free, mirroring the
+	// arrivals-are-free rule of core.AssignIncrementalWith. A negative
+	// value forbids re-associations entirely (placement only), the
+	// warm-path encoding of that rule's "budget 0".
+	Moves int
+	// Time caps wall clock. Results under a time budget depend on
+	// machine speed; use Probes where determinism matters.
+	Time time.Duration
+}
+
+// Unlimited reports whether no dimension of the budget binds.
+func (b Budget) Unlimited() bool {
+	return b.Probes <= 0 && b.Moves == 0 && b.Time <= 0
+}
+
+// AnnealOptions tunes the Annealing method. Zero values pick defaults
+// scaled to the instance, so the common configuration is empty.
+type AnnealOptions struct {
+	// InitTemp is the starting temperature in aggregate-throughput
+	// units (Mbps). Zero means 2% of the seed assignment's aggregate:
+	// early steps accept moves that cost up to a couple percent of the
+	// objective, late steps only improvements.
+	InitTemp float64
+	// Cooling is the per-step geometric factor in (0,1). Zero picks a
+	// schedule that reaches the temperature floor exactly when the
+	// probe budget runs out (or 0.9995 when the budget is unlimited),
+	// so the walk always gets a greedy final phase.
+	Cooling float64
+	// FloorFrac stops the walk when temperature falls below
+	// FloorFrac×InitTemp (StopFrozen). Zero means 1e-3.
+	FloorFrac float64
+}
+
+// Options configures a search.
+type Options struct {
+	// Model selects the throughput model the committed states are
+	// evaluated under (must match what the caller compares against).
+	Model model.Options
+	// Neighborhood is the candidate-cache size M: each user considers
+	// only its M best-rate extenders as move targets. Zero means
+	// DefaultNeighborhood; negative or ≥ NumExtenders means all
+	// reachable extenders.
+	Neighborhood int
+	// Depth is the k-opt chain length (KOpt only). Zero means
+	// DefaultDepth.
+	Depth int
+	// Seed roots the annealer's randomness via
+	// seed.Rand(Seed, seed.StrategyRand, 0) when Rng is nil.
+	Seed int64
+	// Rng, when non-nil, supplies the annealer's randomness directly
+	// (the strategy layer passes its per-instance generator here).
+	Rng *rand.Rand
+	// Anneal tunes the Annealing method.
+	Anneal AnnealOptions
+	// Budget bounds the search; see the anytime contract above.
+	Budget Budget
+}
+
+func (o Options) neighborhood() int {
+	if o.Neighborhood == 0 {
+		return DefaultNeighborhood
+	}
+	return o.Neighborhood
+}
+
+func (o Options) depth() int {
+	if o.Depth <= 0 {
+		return DefaultDepth
+	}
+	return o.Depth
+}
+
+func (o Options) rng() *rand.Rand {
+	if o.Rng != nil {
+		return o.Rng
+	}
+	return seed.Rand(o.Seed, seed.StrategyRand, 0)
+}
+
+// Result reports a finished search. All slices are caller-owned copies.
+type Result struct {
+	// Assign is the best assignment found (a copy; always valid).
+	Assign model.Assignment
+	// Aggregate is Assign's total throughput, bit-identical to a fresh
+	// model.EvaluateWith under the same model options.
+	Aggregate float64
+	// Start is the aggregate of the seed assignment after free
+	// placement of unassigned users, the baseline the search improved.
+	Start float64
+	// Placed counts previously unassigned users the seeding pass
+	// placed (they do not consume the move budget).
+	Placed int
+	// Probes counts delta probes actually evaluated, including the
+	// seeding pass and tentative k-opt chains.
+	Probes int
+	// Attaches counts full evaluator rebuilds: 1 when the search had to
+	// attach to (network, start), 0 when the Matches fast path reused
+	// the committed state of the previous search.
+	Attaches int
+	// Commits counts Commit operations applied, including k-opt
+	// rollbacks (it measures evaluator work, not net moves).
+	Commits int
+	// Improving counts strict improvements of the best-so-far
+	// aggregate; Improving/Commits is the improving-move ratio
+	// surfaced in strategy.Stats.
+	Improving int
+	// Trajectory is the best-so-far aggregate after seeding and after
+	// each improvement: the anytime quality curve.
+	Trajectory []float64
+	// Stop records why the search returned.
+	Stop StopReason
+}
+
+// run carries one search's interruption state: remaining budgets, the
+// context, the deadline, and the first reason anything tripped.
+type run struct {
+	ctx        context.Context
+	deadline   time.Time
+	timed      bool
+	probesLeft int // -1 = unlimited
+	movesLeft  int // -1 = unlimited
+	sinceCheck int
+	stop       StopReason
+	halted     bool
+}
+
+func newRun(ctx context.Context, b Budget) *run {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &run{ctx: ctx, probesLeft: -1, movesLeft: -1}
+	if b.Probes > 0 {
+		r.probesLeft = b.Probes
+	}
+	if b.Moves > 0 {
+		r.movesLeft = b.Moves
+	} else if b.Moves < 0 {
+		r.movesLeft = 0 // placement only
+	}
+	if b.Time > 0 {
+		r.deadline = time.Now().Add(b.Time)
+		r.timed = true
+	}
+	r.interrupted() // an already-cancelled ctx halts before any work
+	return r
+}
+
+// takeProbe reserves one probe evaluation; false means the search must
+// stop (budget exhausted or interrupted at a checkpoint).
+func (r *run) takeProbe() bool {
+	if r.halted {
+		return false
+	}
+	if r.probesLeft == 0 {
+		r.haltWith(StopProbes)
+		return false
+	}
+	if r.probesLeft > 0 {
+		r.probesLeft--
+	}
+	r.sinceCheck++
+	if r.sinceCheck >= checkEvery {
+		r.sinceCheck = 0
+		if r.interrupted() {
+			return false
+		}
+	}
+	return true
+}
+
+// takeMove reserves one budgeted re-association.
+func (r *run) takeMove() bool {
+	if r.halted {
+		return false
+	}
+	if r.movesLeft == 0 {
+		r.haltWith(StopMoves)
+		return false
+	}
+	if r.movesLeft > 0 {
+		r.movesLeft--
+	}
+	return true
+}
+
+func (r *run) interrupted() bool {
+	select {
+	case <-r.ctx.Done():
+		r.haltWith(StopCtx)
+		return true
+	default:
+	}
+	if r.timed && !time.Now().Before(r.deadline) {
+		r.haltWith(StopTime)
+		return true
+	}
+	return false
+}
+
+func (r *run) haltWith(reason StopReason) {
+	if !r.halted {
+		r.halted = true
+		r.stop = reason
+	}
+}
+
+// Searcher owns the reusable state of the family: the delta evaluator,
+// the neighborhood cache, and the best-so-far buffers. Like
+// core.Scratch, a Searcher is not safe for concurrent use but amortizes
+// every allocation across repeated searches — the warm re-solve loop
+// runs allocation-free after the first call on a given network size.
+type Searcher struct {
+	delta model.DeltaEval
+	cands Candidates
+
+	best    model.Assignment
+	bestAgg float64
+	traj    []float64
+
+	placed, commits, improving int
+
+	// k-opt chain scratch: the tentative move sequence and the set of
+	// users already ejected in the current chain.
+	chainUser []int
+	chainFrom []int
+	chainTo   []int
+	moved     []bool
+	movedList []int
+
+	// anneal scratch: users that have at least one candidate, so the
+	// random draw can never spin on an unreachable user.
+	movable []int
+
+	// hill-climb scratch: the deficit-ordered sweep permutation.
+	sweep deficitOrder
+}
+
+// deficitOrder sorts a user permutation by descending rate deficit
+// (ties by ascending index, keeping sweeps deterministic). It lives in
+// the Searcher and is sorted through a pointer, so repeated passes stay
+// allocation-free.
+type deficitOrder struct {
+	order   []int
+	deficit []float64
+}
+
+func (d *deficitOrder) Len() int { return len(d.order) }
+func (d *deficitOrder) Less(a, b int) bool {
+	ia, ib := d.order[a], d.order[b]
+	if d.deficit[ia] != d.deficit[ib] {
+		return d.deficit[ia] > d.deficit[ib]
+	}
+	return ia < ib
+}
+func (d *deficitOrder) Swap(a, b int) { d.order[a], d.order[b] = d.order[b], d.order[a] }
+
+// Search runs one method of the family from the start assignment and
+// returns the best state found. The start may contain Unassigned
+// entries (arrivals); they are placed greedily first, free of the move
+// budget. The error is non-nil only for an invalid input (start fails
+// validation against n) — budget exhaustion and cancellation are
+// normal returns per the anytime contract.
+func (s *Searcher) Search(ctx context.Context, n *model.Network, start model.Assignment, method Method, opts Options) (*Result, error) {
+	r := newRun(ctx, opts.Budget)
+	probesBefore, evalsBefore := s.delta.Probes, s.delta.Evals
+	if err := s.begin(n, start, opts, r); err != nil {
+		return nil, err
+	}
+	if !r.halted {
+		switch method {
+		case KOpt:
+			s.kopt(n, opts, r)
+		case Annealing:
+			s.anneal(n, opts, r)
+		default:
+			s.hillClimb(r)
+			if !r.halted {
+				r.stop = StopOptimum
+			}
+		}
+	}
+	res := s.finish(r)
+	res.Probes = s.delta.Probes - probesBefore
+	res.Attaches = s.delta.Evals - evalsBefore
+	return res, nil
+}
+
+// Place assigns a single unassigned user to the candidate extender
+// that maximizes the aggregate, committing the choice into the
+// searcher's evaluator — the online-arrival form behind the strategy
+// layer's Add. It returns the chosen extender, or model.Unassigned
+// when the user has no reachable candidate. Repeated Places against
+// the same evolving assignment hit the Matches fast path, so a stream
+// of arrivals costs O(M) probes each, not O(users) rebuilds.
+func (s *Searcher) Place(n *model.Network, assign model.Assignment, user int, opts Options) (int, error) {
+	if !s.delta.Matches(n, assign, opts.Model) {
+		if err := s.delta.Attach(n, assign, opts.Model); err != nil {
+			return model.Unassigned, err
+		}
+	}
+	s.cands.Ensure(n, opts.neighborhood())
+	if got := s.delta.Assigned(user); got != model.Unassigned {
+		return model.Unassigned, fmt.Errorf("localsearch: Place(user %d): already assigned to %d", user, got)
+	}
+	bestTo, bestAgg := -1, math.Inf(-1)
+	for _, to := range s.cands.For(user) {
+		if agg := s.delta.ProbeMove(user, model.Unassigned, to); agg > bestAgg {
+			bestTo, bestAgg = to, agg
+		}
+	}
+	if bestTo < 0 {
+		return model.Unassigned, nil
+	}
+	s.delta.Commit(user, model.Unassigned, bestTo)
+	return bestTo, nil
+}
+
+// HillClimb is Search(ctx, n, start, HillClimbing, opts).
+func (s *Searcher) HillClimb(ctx context.Context, n *model.Network, start model.Assignment, opts Options) (*Result, error) {
+	return s.Search(ctx, n, start, HillClimbing, opts)
+}
+
+// KOpt is Search(ctx, n, start, KOpt, opts).
+func (s *Searcher) KOpt(ctx context.Context, n *model.Network, start model.Assignment, opts Options) (*Result, error) {
+	return s.Search(ctx, n, start, KOpt, opts)
+}
+
+// Anneal is Search(ctx, n, start, Annealing, opts).
+func (s *Searcher) Anneal(ctx context.Context, n *model.Network, start model.Assignment, opts Options) (*Result, error) {
+	return s.Search(ctx, n, start, Annealing, opts)
+}
+
+// begin attaches the evaluator to (n, start), refreshes the candidate
+// cache, places unassigned users, and snapshots the post-placement
+// state as the initial best.
+func (s *Searcher) begin(n *model.Network, start model.Assignment, opts Options, r *run) error {
+	if !s.delta.Matches(n, start, opts.Model) {
+		if err := s.delta.Attach(n, start, opts.Model); err != nil {
+			return err
+		}
+	}
+	s.cands.Ensure(n, opts.neighborhood())
+	s.placed, s.commits, s.improving = 0, 0, 0
+	s.place(n, r)
+	s.bestAgg = s.delta.Aggregate()
+	s.best = s.delta.AppendAssignment(s.best)
+	s.traj = append(s.traj[:0], s.bestAgg)
+	return nil
+}
+
+// place greedily assigns every Unassigned user to the candidate that
+// maximizes the aggregate — the same arrivals-are-free rule as
+// core.AssignIncrementalWith, so the move budget is untouched. Probes
+// still count (they are real work), and an exhausted budget leaves the
+// remaining users unassigned, which is still a valid state.
+func (s *Searcher) place(n *model.Network, r *run) {
+	for i := 0; i < n.NumUsers(); i++ {
+		if s.delta.Assigned(i) != model.Unassigned {
+			continue
+		}
+		bestTo, bestAgg := -1, math.Inf(-1)
+		for _, to := range s.cands.For(i) {
+			if !r.takeProbe() {
+				break
+			}
+			if agg := s.delta.ProbeMove(i, model.Unassigned, to); agg > bestAgg {
+				bestTo, bestAgg = to, agg
+			}
+		}
+		if bestTo >= 0 {
+			s.delta.Commit(i, model.Unassigned, bestTo)
+			s.commits++
+			s.placed++
+		}
+		if r.halted {
+			return
+		}
+	}
+}
+
+// noteBest snapshots the committed state as the new best.
+func (s *Searcher) noteBest() {
+	s.bestAgg = s.delta.Aggregate()
+	s.best = s.delta.AppendAssignment(s.best)
+	s.traj = append(s.traj, s.bestAgg)
+	s.improving++
+}
+
+// hillClimb runs deficit-ordered greedy sweeps: each pass visits users
+// in descending rate deficit (the user's best candidate rate minus its
+// current rate — plain arithmetic over the candidate cache, no probes)
+// and commits each user's best improving move the moment it is found.
+// The ordering is what makes warm re-solves sub-millisecond: users
+// parked far below their best link — churned arrivals, roamed users —
+// are examined within the first few hundred probes, so a tight budget
+// repairs the damage long before a full pass would finish. The
+// local-optimum certificate is unchanged: only a complete pass that
+// commits nothing (and therefore probed every candidate of every user)
+// ends the climb. Each commit strictly increases the aggregate by more
+// than improveEps, so the loop terminates; the visit order is a pure
+// function of the committed state, so trajectories are deterministic
+// and a larger probe budget only ever extends a smaller one's.
+func (s *Searcher) hillClimb(r *run) {
+	for {
+		s.sweepOrder()
+		committed := false
+		for _, i := range s.sweep.order {
+			from := s.delta.Assigned(i)
+			if from == model.Unassigned {
+				continue // unplaced only when placement ran out of budget
+			}
+			bestTo, bestAgg := -1, s.bestAgg
+			for _, to := range s.cands.For(i) {
+				if to == from {
+					continue
+				}
+				if !r.takeProbe() {
+					break
+				}
+				if agg := s.delta.ProbeMove(i, from, to); agg > bestAgg+improveEps {
+					bestTo, bestAgg = to, agg
+				}
+			}
+			if bestTo >= 0 && r.takeMove() {
+				s.delta.Commit(i, from, bestTo)
+				s.commits++
+				s.noteBest()
+				committed = true
+			}
+			if r.halted {
+				return
+			}
+		}
+		if !committed {
+			return // a full clean pass: single-move local optimum
+		}
+	}
+}
+
+// sweepOrder rebuilds the pass permutation: every user, sorted by
+// descending (best candidate rate − current rate). Unassigned users
+// keep their full best rate as the deficit, so any user the placement
+// pass could not afford sorts first.
+func (s *Searcher) sweepOrder() {
+	users := len(s.best)
+	if cap(s.sweep.order) < users {
+		s.sweep.order = make([]int, users)
+		s.sweep.deficit = make([]float64, users)
+	}
+	s.sweep.order = s.sweep.order[:users]
+	s.sweep.deficit = s.sweep.deficit[:users]
+	for i := 0; i < users; i++ {
+		s.sweep.order[i] = i
+		cand := s.cands.For(i)
+		if len(cand) == 0 {
+			s.sweep.deficit[i] = math.Inf(-1)
+			continue
+		}
+		best := s.cands.net.WiFiRates[i][cand[0]]
+		cur := 0.0
+		if from := s.delta.Assigned(i); from != model.Unassigned {
+			cur = s.cands.net.WiFiRates[i][from]
+		}
+		s.sweep.deficit[i] = best - cur
+	}
+	sort.Sort(&s.sweep)
+}
+
+// kopt escapes single-move local optima with eject/reinsert chains:
+// climb to an optimum, then from each seed user build a chain of up to
+// depth moves — move the user to its best candidate even if that
+// worsens the objective, then eject the weakest member of the
+// destination cell and continue. The best improving prefix of the
+// chain is kept; the rest is rolled back by committing the moves in
+// reverse, which restores the evaluator bit-identically (DESIGN.md
+// §10: a cell's sum depends only on its member set). When any chain
+// improves, the climb restarts, Lin-Kernighan style.
+func (s *Searcher) kopt(n *model.Network, opts Options, r *run) {
+	depth := opts.depth()
+	if cap(s.moved) < len(s.best) {
+		s.moved = make([]bool, len(s.best))
+	}
+	s.moved = s.moved[:len(s.best)]
+	for {
+		s.hillClimb(r)
+		if r.halted {
+			return
+		}
+		improved := false
+		for u := 0; u < len(s.best); u++ {
+			if s.tryChain(n, u, depth, r) {
+				improved = true
+			}
+			if r.halted {
+				return
+			}
+		}
+		if !improved {
+			r.stop = StopOptimum
+			return
+		}
+	}
+}
+
+// tryChain builds one eject/reinsert chain seeded at user u and keeps
+// its best improving prefix. Returns whether the best aggregate
+// improved. On any exit — including budget exhaustion mid-chain — every
+// tentative commit beyond the kept prefix has been rolled back.
+func (s *Searcher) tryChain(n *model.Network, u0 int, depth int, r *run) bool {
+	s.chainUser = s.chainUser[:0]
+	s.chainFrom = s.chainFrom[:0]
+	s.chainTo = s.chainTo[:0]
+	for _, u := range s.movedList {
+		s.moved[u] = false
+	}
+	s.movedList = s.movedList[:0]
+
+	bestDepth := 0
+	bestChainAgg := s.bestAgg
+	u := u0
+	for len(s.chainUser) < depth {
+		from := s.delta.Assigned(u)
+		if from == model.Unassigned {
+			break
+		}
+		bestTo, bestAgg := -1, math.Inf(-1)
+		for _, to := range s.cands.For(u) {
+			if to == from {
+				continue
+			}
+			if !r.takeProbe() {
+				break
+			}
+			if agg := s.delta.ProbeMove(u, from, to); agg > bestAgg {
+				bestTo, bestAgg = to, agg
+			}
+		}
+		if bestTo < 0 {
+			break
+		}
+		s.delta.Commit(u, from, bestTo)
+		s.commits++
+		s.chainUser = append(s.chainUser, u)
+		s.chainFrom = append(s.chainFrom, from)
+		s.chainTo = append(s.chainTo, bestTo)
+		s.moved[u] = true
+		s.movedList = append(s.movedList, u)
+		if bestAgg > bestChainAgg+improveEps {
+			bestChainAgg = bestAgg
+			bestDepth = len(s.chainUser)
+		}
+		if r.halted {
+			break
+		}
+		// Eject the destination cell's weakest link (lowest rate to
+		// bestTo, lowest index on ties) that the chain hasn't moved
+		// yet: the member whose departure would help that cell most.
+		u = -1
+		worst := math.Inf(1)
+		for _, m := range s.delta.Members(bestTo) {
+			if s.moved[m] {
+				continue
+			}
+			if rate := n.WiFiRates[m][bestTo]; rate < worst {
+				u, worst = m, rate
+			}
+		}
+		if u < 0 {
+			break
+		}
+	}
+
+	// The move budget caps net re-associations: truncate the kept
+	// prefix to what remains.
+	if r.movesLeft >= 0 && bestDepth > r.movesLeft {
+		bestDepth = r.movesLeft
+		bestChainAgg = s.bestAgg // prefix aggregate unknown; recheck below
+	}
+	for k := len(s.chainUser) - 1; k >= bestDepth; k-- {
+		s.delta.Commit(s.chainUser[k], s.chainTo[k], s.chainFrom[k])
+		s.commits++
+	}
+	if bestDepth == 0 {
+		return false
+	}
+	if agg := s.delta.Aggregate(); agg > s.bestAgg+improveEps {
+		for k := 0; k < bestDepth; k++ {
+			r.takeMove()
+		}
+		s.noteBest()
+		return true
+	}
+	// Truncation left a non-improving prefix: unwind it too.
+	for k := bestDepth - 1; k >= 0; k-- {
+		s.delta.Commit(s.chainUser[k], s.chainTo[k], s.chainFrom[k])
+		s.commits++
+	}
+	return false
+}
+
+// anneal performs a Metropolis walk over random candidate moves with a
+// geometrically cooled temperature: accept any improvement, accept a
+// degradation Δ<0 with probability exp(Δ/T). The best-so-far state is
+// tracked separately, so a wandering walk still returns its peak.
+func (s *Searcher) anneal(n *model.Network, opts Options, r *run) {
+	s.movable = s.movable[:0]
+	for i := 0; i < len(s.best); i++ {
+		if s.delta.Assigned(i) != model.Unassigned && len(s.cands.For(i)) > 0 {
+			s.movable = append(s.movable, i)
+		}
+	}
+	if len(s.movable) == 0 {
+		r.stop = StopOptimum
+		return
+	}
+
+	rng := opts.rng()
+	t0 := opts.Anneal.InitTemp
+	if t0 <= 0 {
+		t0 = 0.02 * math.Max(s.bestAgg, 1)
+	}
+	floorFrac := opts.Anneal.FloorFrac
+	if floorFrac <= 0 {
+		floorFrac = 1e-3
+	}
+	cool := opts.Anneal.Cooling
+	if cool <= 0 || cool >= 1 {
+		if opts.Budget.Probes > 0 {
+			// Reach the floor exactly when the probe budget runs out,
+			// so every budget gets a full hot-to-greedy schedule.
+			cool = math.Pow(floorFrac, 1/float64(opts.Budget.Probes))
+		} else {
+			cool = 0.9995
+		}
+	}
+	floor := t0 * floorFrac
+
+	curAgg := s.delta.Aggregate()
+	temp := t0
+	for {
+		if temp < floor {
+			r.haltWith(StopFrozen)
+			return
+		}
+		i := s.movable[rng.Intn(len(s.movable))]
+		cl := s.cands.For(i)
+		to := cl[rng.Intn(len(cl))]
+		from := s.delta.Assigned(i)
+		if !r.takeProbe() {
+			return
+		}
+		agg := s.delta.ProbeMove(i, from, to)
+		if to != from {
+			delta := agg - curAgg
+			if delta > 0 || rng.Float64() < math.Exp(delta/temp) {
+				if !r.takeMove() {
+					return
+				}
+				s.delta.Commit(i, from, to)
+				s.commits++
+				curAgg = s.delta.Aggregate()
+				if curAgg > s.bestAgg+improveEps {
+					s.noteBest()
+				}
+			}
+		}
+		temp *= cool
+	}
+}
+
+// finish assembles the caller-owned Result from the search state. The
+// Start entry is trajectory[0] (the post-placement baseline).
+func (s *Searcher) finish(r *run) *Result {
+	res := &Result{
+		Assign:     append(model.Assignment(nil), s.best...),
+		Aggregate:  s.bestAgg,
+		Placed:     s.placed,
+		Commits:    s.commits,
+		Improving:  s.improving,
+		Trajectory: append([]float64(nil), s.traj...),
+		Stop:       r.stop,
+	}
+	if len(s.traj) > 0 {
+		res.Start = s.traj[0]
+	}
+	return res
+}

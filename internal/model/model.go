@@ -50,6 +50,12 @@ type Network struct {
 // owner must Attach again.
 func (n *Network) Invalidate() { n.gen++ }
 
+// Generation returns the network's mutation counter: the value recorded
+// by stateful evaluators (DeltaEval) and derived caches (the local-search
+// neighborhood cache) at build time, compared on every use so state built
+// against an older network revision is rebuilt instead of trusted.
+func (n *Network) Generation() uint64 { return n.gen }
+
 // NumUsers returns |U|.
 func (n *Network) NumUsers() int { return len(n.WiFiRates) }
 

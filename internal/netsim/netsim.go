@@ -220,6 +220,62 @@ func (RandomPolicy) OnEpoch(_ *Instance, assign model.Assignment) (model.Assignm
 // policy set includes it.
 func (RandomPolicy) sequentialOnly() {}
 
+// StrategyPolicy adapts any strategy-registry name to the simulator —
+// the generic bridge that lets new strategies (notably the anytime
+// local-search family) be priced against the built-in policies in the
+// dynamic and mobility harnesses without a bespoke Policy type each.
+// Epoch boundaries go through the strategy's Reassigner form when it
+// has one (warm for the anytime family: the previous association seeds
+// the search); arrivals go through Online.Add when available and fall
+// back to strongest-RSSI initial contact otherwise.
+type StrategyPolicy struct {
+	// Strategy is the registry name (strategy.Names()).
+	Strategy string
+	// Config parameterizes the instance; Config.Budget is how the
+	// anytime family gets its per-epoch probe budget here.
+	Config strategy.Config
+	// Display overrides Name() in result rows; empty means Strategy.
+	Display string
+}
+
+// Name implements Policy.
+func (p StrategyPolicy) Name() string {
+	if p.Display != "" {
+		return p.Display
+	}
+	return p.Strategy
+}
+
+// newStrategy implements strategyBacked, so trial workspaces cache one
+// instance per trial and its scratch warms across epochs.
+func (p StrategyPolicy) newStrategy() (strategy.Strategy, error) {
+	return strategy.New(p.Strategy, p.Config)
+}
+
+// OnArrival implements Policy: Online.Add when the strategy has the
+// form, strongest-RSSI contact otherwise. (The workspace path in
+// policyArrival routes Online strategies through the cached instance;
+// this method is the uncached fallback.)
+func (p StrategyPolicy) OnArrival(inst *Instance, assign model.Assignment, user int) error {
+	st, err := p.newStrategy()
+	if err != nil {
+		return err
+	}
+	if _, ok := st.(strategy.Online); ok {
+		return strategyArrival(st, inst, assign, user)
+	}
+	return assignBestRSSI(inst, assign, user)
+}
+
+// OnEpoch implements Policy.
+func (p StrategyPolicy) OnEpoch(inst *Instance, assign model.Assignment) (model.Assignment, error) {
+	st, err := p.newStrategy()
+	if err != nil {
+		return nil, err
+	}
+	return strategyEpoch(st, inst, assign)
+}
+
 func assignBestRSSI(inst *Instance, assign model.Assignment, user int) error {
 	if user < 0 || user >= len(inst.RSSI) {
 		return fmt.Errorf("netsim: user %d out of range", user)

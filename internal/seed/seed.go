@@ -87,6 +87,13 @@ const (
 	// DeltaBench seeds the networks and probe schedules of the
 	// delta-evaluation benchmarks behind BENCH_delta.json.
 	DeltaBench
+	// LocalSearchFuzz seeds the random instances, start assignments and
+	// perturbations of the local-search differential harness
+	// (internal/localsearch).
+	LocalSearchFuzz
+	// AnytimeBench seeds the churn perturbations of the warm re-solve
+	// benchmarks behind BENCH_anytime.json.
+	AnytimeBench
 )
 
 // golden is the SplitMix64 increment, the odd integer closest to

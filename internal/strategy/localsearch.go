@@ -1,0 +1,112 @@
+package strategy
+
+import (
+	"time"
+
+	"github.com/plcwifi/wolt/internal/localsearch"
+	"github.com/plcwifi/wolt/internal/model"
+)
+
+func init() {
+	Register("wolt-hillclimb", newLocalSearch("wolt-hillclimb", localsearch.HillClimbing))
+	Register("wolt-kopt", newLocalSearch("wolt-kopt", localsearch.KOpt))
+	Register("wolt-anneal", newLocalSearch("wolt-anneal", localsearch.Annealing))
+}
+
+// lsStrategy adapts the internal/localsearch family to the registry:
+// Solve searches from an empty association (placement seeds it),
+// Reassign searches from the previous one — the warm path that makes
+// per-epoch re-solves sub-millisecond — and Add places one arrival
+// through the evaluator's Matches fast path. All three forms honor
+// Config.Budget and Config.Ctx under the anytime contract (DESIGN.md
+// §11): they always return the best-so-far valid association.
+type lsStrategy struct {
+	name   string
+	method localsearch.Method
+	cfg    Config
+	opts   localsearch.Options
+	search localsearch.Searcher
+	empty  model.Assignment
+}
+
+func newLocalSearch(name string, method localsearch.Method) Factory {
+	return func(cfg Config) Strategy {
+		opts := localsearch.Options{
+			Model:  cfg.ModelOpts,
+			Seed:   cfg.Seed,
+			Budget: cfg.Budget,
+		}
+		if method == localsearch.Annealing {
+			// Only the annealer draws randomness; hand it the
+			// instance rng so Config.Rng keeps working.
+			opts.Rng = cfg.Rng
+		}
+		return &lsStrategy{name: name, method: method, cfg: cfg, opts: opts}
+	}
+}
+
+// Name implements Strategy.
+func (s *lsStrategy) Name() string { return s.name }
+
+// lsStats builds the Stats record of one search.
+func lsStats(name string, n *model.Network, res *localsearch.Result, total time.Duration) Stats {
+	return Stats{
+		Strategy:    name,
+		Users:       n.NumUsers(),
+		Extenders:   n.NumExtenders(),
+		Total:       total,
+		Evaluations: res.Attaches,
+		DeltaProbes: res.Probes,
+		Commits:     res.Commits,
+		Improving:   res.Improving,
+		Aggregate:   res.Aggregate,
+		Trajectory:  res.Trajectory,
+		Stop:        res.Stop.String(),
+	}
+}
+
+// Solve implements Strategy: the cold form seeds from an all-unassigned
+// association (the free placement pass greedily builds one) and then
+// searches. It is not meant to rival the two-phase solve on quality —
+// register it for completeness and for the budget-vs-quality curve of
+// the anytime experiment.
+func (s *lsStrategy) Solve(n *model.Network) (model.Assignment, error) {
+	if cap(s.empty) < n.NumUsers() {
+		s.empty = make(model.Assignment, n.NumUsers())
+	}
+	s.empty = s.empty[:n.NumUsers()]
+	for i := range s.empty {
+		s.empty[i] = model.Unassigned
+	}
+	return s.run(n, s.empty)
+}
+
+// Reassign implements Reassigner: the warm path. The previous
+// association seeds the search, arrivals (Unassigned entries) are
+// placed for free, and the budgeted climb repairs the rest.
+func (s *lsStrategy) Reassign(n *model.Network, prev model.Assignment) (model.Assignment, error) {
+	return s.run(n, prev)
+}
+
+func (s *lsStrategy) run(n *model.Network, start model.Assignment) (model.Assignment, error) {
+	t0 := time.Now()
+	res, err := s.search.Search(s.cfg.Ctx, n, start, s.method, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.cfg.emit(lsStats(s.name, n, res, time.Since(t0)))
+	return res.Assign, nil
+}
+
+// Add implements Online: one arrival, placed on the candidate extender
+// that maximizes the aggregate. Returns the chosen extender (or
+// model.Unassigned when the user has no reachable candidate, matching
+// the greedy baseline's convention).
+func (s *lsStrategy) Add(n *model.Network, assign model.Assignment, user int) (int, error) {
+	j, err := s.search.Place(n, assign, user, s.opts)
+	if err != nil {
+		return model.Unassigned, err
+	}
+	assign[user] = j
+	return j, nil
+}

@@ -20,6 +20,7 @@
 package strategy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -28,9 +29,20 @@ import (
 
 	"github.com/plcwifi/wolt/internal/baseline"
 	"github.com/plcwifi/wolt/internal/core"
+	"github.com/plcwifi/wolt/internal/localsearch"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/seed"
 )
+
+// Budget is the one budget vocabulary shared by every budget-aware
+// strategy (an alias of localsearch.Budget): Probes caps O(Δ) delta
+// probes, Moves caps committed re-associations of already-placed users
+// (arrivals are always free; negative Moves means placement only), Time
+// caps wall clock. Zero fields are unlimited, so the zero Budget
+// preserves every strategy's full-effort behavior. Only Probes and
+// Moves are deterministic; Budget.Time depends on machine speed
+// (DESIGN.md §7, §11).
+type Budget = localsearch.Budget
 
 // Strategy computes a complete association for a network. Instances are
 // stateful (scratch buffers, rng) and not safe for concurrent use; give
@@ -87,9 +99,26 @@ type Stats struct {
 	Evaluations int
 	// DeltaProbes counts O(Δ) single-move probes through the strategy's
 	// delta evaluator (greedy/selfish candidate probes, exhaustive
-	// search leaves, incremental candidate moves). Probes replace the
-	// full evaluations the probe loops performed before the rewire.
+	// search leaves, incremental candidate moves, local-search scans).
+	// Probes replace the full evaluations the probe loops performed
+	// before the rewire.
 	DeltaProbes int
+	// Commits counts committed delta moves of the local-search family,
+	// including k-opt chain rollbacks (evaluator work, not net moves);
+	// Improving counts strict improvements of the best-so-far
+	// aggregate. Improving/Commits is the improving-move ratio.
+	Commits   int
+	Improving int
+	// Aggregate is the solve's final objective (total throughput,
+	// Mbps); Trajectory is the local-search family's best-so-far curve
+	// — entry 0 after seeding, then one entry per improvement. Nil for
+	// strategies that do not track it.
+	Aggregate  float64
+	Trajectory []float64
+	// Stop records why an anytime solve returned ("optimum", "probes",
+	// "moves", "time", "ctx", "frozen"); empty for non-anytime
+	// strategies.
+	Stop string
 }
 
 // Observer receives a Stats record after each solve. Observers run
@@ -115,9 +144,18 @@ type Config struct {
 	// Sharing one rng across instances serializes them (draw order then
 	// depends on call order); prefer Seed for parallel use.
 	Rng *rand.Rand
-	// MoveBudget caps per-Reassign moves of wolt-incremental
-	// (0 = unlimited).
-	MoveBudget int
+	// Budget bounds the work of budget-aware strategies: the
+	// local-search family (wolt-hillclimb, wolt-kopt, wolt-anneal)
+	// honors all three dimensions per Solve/Reassign, and
+	// wolt-incremental honors Budget.Moves as its per-Reassign move
+	// cap. The zero Budget is unlimited. (This replaces the former
+	// wolt-incremental-only MoveBudget knob.)
+	Budget Budget
+	// Ctx, when non-nil, makes the local-search family interruptible:
+	// cancellation stops a solve at the next probe checkpoint and the
+	// best-so-far valid assignment is returned (the anytime contract,
+	// DESIGN.md §11). Other strategies ignore it.
+	Ctx context.Context
 	// Optimal bounds the exhaustive strategy's instance sizes; zero
 	// fields use baseline.DefaultOptimalLimits.
 	Optimal baseline.OptimalLimits

@@ -42,7 +42,8 @@ func testNetwork(t *testing.T, users, extenders int) *model.Network {
 func TestRegistryCoversAllStrategies(t *testing.T) {
 	want := []string{
 		"greedy", "optimal", "random", "rssi", "selfish",
-		"wolt", "wolt-coordinate", "wolt-fair", "wolt-incremental",
+		"wolt", "wolt-anneal", "wolt-coordinate", "wolt-fair",
+		"wolt-hillclimb", "wolt-incremental", "wolt-kopt",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -238,10 +239,14 @@ func TestRepeatedSolvesDeterministic(t *testing.T) {
 }
 
 func TestOnlineAndReassignerForms(t *testing.T) {
-	online := map[string]bool{"greedy": true, "selfish": true, "rssi": true, "random": true}
+	online := map[string]bool{
+		"greedy": true, "selfish": true, "rssi": true, "random": true,
+		"wolt-hillclimb": true, "wolt-kopt": true, "wolt-anneal": true,
+	}
 	reassigner := map[string]bool{
 		"wolt": true, "wolt-coordinate": true, "wolt-fair": true,
 		"wolt-incremental": true, "rssi": true,
+		"wolt-hillclimb": true, "wolt-kopt": true, "wolt-anneal": true,
 	}
 	for _, name := range Names() {
 		st, err := New(name, Config{})
@@ -306,9 +311,9 @@ func TestIncrementalRespectsBudget(t *testing.T) {
 	const budget = 2
 	var got []Stats
 	st, err := New("wolt-incremental", Config{
-		ModelOpts:  opts,
-		MoveBudget: budget,
-		Observer:   func(s Stats) { got = append(got, s) },
+		ModelOpts: opts,
+		Budget:    Budget{Moves: budget},
+		Observer:  func(s Stats) { got = append(got, s) },
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/plcwifi/wolt/internal/core"
+	"github.com/plcwifi/wolt/internal/localsearch"
 	"github.com/plcwifi/wolt/internal/model"
 )
 
@@ -14,11 +15,24 @@ func init() {
 		return &fairStrategy{cfg: cfg}
 	})
 	Register("wolt-incremental", func(cfg Config) Strategy {
-		budget := cfg.MoveBudget
-		if budget <= 0 {
+		budget := cfg.Budget.Moves
+		switch {
+		case budget == 0:
 			budget = -1 // core's "unlimited"
+		case budget < 0:
+			budget = 0 // placement only
 		}
-		return &incrementalStrategy{cfg: cfg, opts: coreOptions(cfg, 0), budget: budget}
+		s := &incrementalStrategy{cfg: cfg, opts: coreOptions(cfg, 0), budget: budget}
+		// A probe or time budget opts Reassign into the warm path: the
+		// previous assignment seeds an anytime hill climb instead of a
+		// fresh two-phase target solve (core.WarmOptions).
+		if cfg.Budget.Probes > 0 || cfg.Budget.Time > 0 {
+			s.opts.Warm = &core.WarmOptions{
+				Search: localsearch.Options{Seed: cfg.Seed, Budget: cfg.Budget},
+				Ctx:    cfg.Ctx,
+			}
+		}
+		return s
 	})
 }
 
@@ -119,7 +133,7 @@ func (f *fairStrategy) Reassign(n *model.Network, _ model.Assignment) (model.Ass
 
 // incrementalStrategy is the budgeted re-association extension: Reassign
 // steers the previous association toward the full WOLT target while
-// moving at most Config.MoveBudget existing users; Solve (no previous
+// moving at most Config.Budget.Moves existing users; Solve (no previous
 // state) is a plain two-phase solve.
 type incrementalStrategy struct {
 	cfg     Config
@@ -149,7 +163,27 @@ func (s *incrementalStrategy) Reassign(n *model.Network, prev model.Assignment) 
 	if err != nil {
 		return nil, err
 	}
-	st := woltStats("wolt-incremental", n, res.Target, time.Since(start), res.Evals)
+	var st Stats
+	if res.Target != nil {
+		st = woltStats("wolt-incremental", n, res.Target, time.Since(start), res.Evals)
+	} else {
+		// Warm path: no target solve ran, so there are no phase
+		// diagnostics — only the local search's anytime record.
+		st = Stats{
+			Strategy:    "wolt-incremental",
+			Users:       n.NumUsers(),
+			Extenders:   n.NumExtenders(),
+			Total:       time.Since(start),
+			Evaluations: res.Evals,
+		}
+	}
+	if res.Search != nil {
+		st.Commits = res.Search.Commits
+		st.Improving = res.Search.Improving
+		st.Aggregate = res.Search.Aggregate
+		st.Trajectory = res.Search.Trajectory
+		st.Stop = res.Search.Stop.String()
+	}
 	st.DeltaProbes = res.DeltaProbes
 	s.cfg.emit(st)
 	return res.Assign, nil

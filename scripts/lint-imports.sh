@@ -38,21 +38,38 @@ fi
 # layers' probe loops. Its re-attach discipline (generation counter,
 # Matches) is easy to hold inside a solver and easy to violate from ad
 # hoc call sites, so only the algorithm packages — internal/baseline,
-# internal/core, internal/nlp, internal/netsim — may construct one
-# (internal/model owns it). Everyone else consumes delta-evaluated
-# results through the strategy registry's instrumentation. Test files
-# are exempt.
+# internal/core, internal/localsearch, internal/nlp, internal/netsim —
+# may construct one (internal/model owns it). Everyone else consumes
+# delta-evaluated results through the strategy registry's
+# instrumentation. Test files are exempt.
 bad=$(grep -rn 'model\.DeltaEval' --include='*.go' . \
 	| grep -v '^\./internal/model/' \
 	| grep -v '^\./internal/baseline/' \
 	| grep -v '^\./internal/core/' \
+	| grep -v '^\./internal/localsearch/' \
 	| grep -v '^\./internal/nlp/' \
 	| grep -v '^\./internal/netsim/' \
 	| grep -v '_test\.go:' || true)
 if [ -n "$bad" ]; then
 	echo "import lint: model.DeltaEval constructed outside the algorithm layers:" >&2
 	echo "$bad" >&2
-	echo "only internal/{baseline,core,nlp,netsim} may hold a delta evaluator; use the strategy registry" >&2
+	echo "only internal/{baseline,core,localsearch,nlp,netsim} may hold a delta evaluator; use the strategy registry" >&2
+	exit 1
+fi
+
+# internal/localsearch is pure algorithm layer: it sits below core and
+# strategy (both import it for the warm paths), so it may depend only
+# on internal/model and internal/seed. An import of the registry, the
+# solver pipeline, or any plane above them would be a layering cycle
+# waiting to happen. Test files are exempt (bench_test.go prices the
+# warm re-solve against the full solve in internal/core).
+bad=$(grep -rnE '"github.com/plcwifi/wolt/internal/(strategy|core|control|shard|netsim|experiments|baseline|nlp)"' \
+	--include='*.go' ./internal/localsearch/ \
+	| grep -v '_test\.go:' || true)
+if [ -n "$bad" ]; then
+	echo "import lint: internal/localsearch must stay in the algorithm layer (model+seed only):" >&2
+	echo "$bad" >&2
+	echo "hand results up through internal/core or the strategy registry instead" >&2
 	exit 1
 fi
 echo "import lint: clean"
