@@ -5,8 +5,8 @@
 //	woltsim [flags] <experiment>
 //
 // Experiments: fig2a fig2b fig2c fig3 fig4a fig4b fig4c fig5 fig6a
-// fig6b fig6c fairness nphard gap solve sweep mobility channels qos
-// shard verify all
+// fig6b fig6c fairness nphard gap solve anytime sweep mobility channels
+// qos shard city verify all
 //
 // Each experiment prints one or more paper-style tables. See DESIGN.md
 // for the experiment ↔ paper mapping and EXPERIMENTS.md for recorded
@@ -208,6 +208,7 @@ func registry() map[string]runnerFunc {
 		"verify":   wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Verify(o) }),
 		"qos":      wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.QoS(o) }),
 		"shard":    wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Shard(o) }),
+		"city":     wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.City(o) }),
 	}
 }
 
@@ -216,7 +217,7 @@ func registry() map[string]runnerFunc {
 func experimentIDs() []string {
 	return []string{
 		"fig2a", "fig2b", "fig2c", "fig3", "fig4a", "fig5",
-		"fig6a", "fig6b", "fairness", "nphard", "gap", "solve", "anytime", "sweep", "mobility", "channels", "qos", "shard",
+		"fig6a", "fig6b", "fairness", "nphard", "gap", "solve", "anytime", "sweep", "mobility", "channels", "qos", "shard", "city",
 	}
 }
 

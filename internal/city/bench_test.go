@@ -1,0 +1,63 @@
+package city
+
+import (
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/strategy"
+)
+
+// benchRun drives one city run and reports the harness metrics the
+// BENCH_city.json trajectory records: sustained join throughput,
+// directive latency percentiles, cross-shard handoff rate and the peak
+// population actually sustained.
+func benchRun(b *testing.B, cfg Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.JoinsPerSec, "joins/sec")
+		b.ReportMetric(float64(res.P50Latency.Microseconds()), "p50_us")
+		b.ReportMetric(float64(res.P99Latency.Microseconds()), "p99_us")
+		b.ReportMetric(res.HandoffRate, "handoff_rate")
+		b.ReportMetric(float64(res.PeakUsers), "users_peak")
+		b.ReportMetric(float64(res.Events), "events")
+	}
+}
+
+// BenchmarkCitySmoke is the CI-sized run: 8 shards, ~4k users, mobility
+// on — enough to exercise every code path in seconds.
+func BenchmarkCitySmoke(b *testing.B) {
+	benchRun(b, Config{
+		Shards:          8,
+		TargetUsers:     4000,
+		DwellMean:       60,
+		Horizon:         60,
+		UpdateMean:      120,
+		Policy:          "wolt-hillclimb",
+		Budget:          strategy.Budget{Probes: 200},
+		ReassignOnLeave: true,
+		Seed:            2026,
+	})
+}
+
+// BenchmarkCitySustained is the acceptance-scale run: 32 shards,
+// 10^5 users sustained, diurnal arrivals, roaming on. One iteration
+// drives several hundred thousand plane operations.
+func BenchmarkCitySustained(b *testing.B) {
+	benchRun(b, Config{
+		Shards:          32,
+		TargetUsers:     100_000,
+		InitialFill:     1.0,
+		DwellMean:       600,
+		Horizon:         120,
+		UpdateMean:      600,
+		DiurnalFloor:    0.3,
+		DiurnalPeriod:   240,
+		Policy:          "wolt-hillclimb",
+		Budget:          strategy.Budget{Probes: 200},
+		ReassignOnLeave: true,
+		Seed:            2026,
+	})
+}

@@ -72,6 +72,15 @@ type EngineConfig struct {
 // internal/shard members all drive the same Engine; none of them carry
 // policy logic of their own.
 //
+// The user table is a flat, ID-sorted row slice with pooled per-row
+// buffers rather than a map of heap nodes: a departed user's rate
+// vectors park at the slice tail and the next arrival reuses them, and
+// the recompute path replays the table into a persistent model.Network
+// scratch instead of rebuilding slices. The steady-state per-event path
+// (join, update, leave under an anytime policy) performs O(1)
+// allocations regardless of table size — the discipline the million-user
+// city harness depends on (DESIGN.md §12).
+//
 // All methods are safe for concurrent use; each operation runs under the
 // engine's lock (strategy instances are not safe for concurrent solves).
 type Engine struct {
@@ -80,7 +89,8 @@ type Engine struct {
 	// owned lists the global extender IDs this engine may assign, in
 	// increasing order; localOf inverts it. identity is true when the
 	// engine owns every extender in order (the common single-CC case),
-	// which lets recompute reuse per-user rate slices without projection.
+	// which lets recompute point the network rows at per-user rate
+	// slices without projection.
 	owned     []int
 	localOf   map[int]int
 	ownedCaps []float64
@@ -89,19 +99,40 @@ type Engine struct {
 	// users by their reported signal instead). Only used under mu.
 	strategy strategy.Strategy
 
-	mu             sync.Mutex
-	users          map[int]*userState
+	mu sync.Mutex
+	// rows is the user table, sorted by ascending user ID. Rows beyond
+	// len(rows) (up to cap) hold pooled buffers from departed users.
+	rows           []userRow
 	joins          int
 	leaves         int
 	reassociations int
+	// droppedReassigns counts departures under ReassignOnLeave whose
+	// re-solve failed: the departure stands, but the rebalancing the
+	// operator asked for was silently impossible. Surfaced via Stats so
+	// a misconfigured policy cannot hide behind successful leaves.
+	droppedReassigns int
+
+	// recompute scratch, reused across operations: the network the
+	// strategy sees (rows aliased, generation bumped per recompute) and
+	// the working assignment in local extender indices.
+	net    model.Network
+	assign model.Assignment
+	// prevRates/prevRSSI snapshot a row's report across Update so a
+	// failed re-solve can restore it atomically.
+	prevRates, prevRSSI []float64
 }
 
-type userState struct {
-	rates []float64 // global width
-	rssi  []float64 // global width or empty
+// userRow is one user's slot in the flat table. The slices keep their
+// capacity across occupants: global-width rates/rssi plus, for shard
+// members, the owned-subset projection the network rows alias.
+type userRow struct {
+	id int
 	// extender is the user's current association as a GLOBAL extender ID
 	// (model.Unassigned before the first directive).
 	extender int
+	rates    []float64 // global width
+	rssi     []float64 // global width or empty
+	local    []float64 // owned-width projection (nil in identity mode)
 }
 
 // Directive is one association order produced by an engine operation:
@@ -150,7 +181,6 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		cfg:      cfg,
 		policy:   cfg.Policy,
 		strategy: st,
-		users:    make(map[int]*userState),
 	}
 	if err := e.resolveOwned(cfg.Owned); err != nil {
 		return nil, err
@@ -218,6 +248,63 @@ func (e *Engine) validateScan(userID int, rates, rssi []float64) error {
 	return fmt.Errorf("user %d reaches no extender owned by this shard", userID)
 }
 
+// rowIndex locates userID in the sorted table: (insertion position,
+// whether the user is present).
+func (e *Engine) rowIndex(userID int) (int, bool) {
+	pos := sort.Search(len(e.rows), func(i int) bool { return e.rows[i].id >= userID })
+	return pos, pos < len(e.rows) && e.rows[pos].id == userID
+}
+
+// setReport copies a scan report into a row's pooled buffers and
+// refreshes the owned-subset projection.
+func (e *Engine) setReport(r *userRow, rates, rssi []float64) {
+	r.rates = append(r.rates[:0], rates...)
+	r.rssi = append(r.rssi[:0], rssi...)
+	e.project(r)
+}
+
+// project refreshes a row's owned-width rate projection (no-op for
+// identity engines, whose network rows alias the global vector).
+func (e *Engine) project(r *userRow) {
+	if e.identity {
+		return
+	}
+	if cap(r.local) < len(e.owned) {
+		r.local = make([]float64, len(e.owned))
+	}
+	r.local = r.local[:len(e.owned)]
+	for l, g := range e.owned {
+		r.local[l] = r.rates[g]
+	}
+}
+
+// insertRow opens the sorted slot pos for a new user, reusing the pooled
+// buffers parked at the slice tail by earlier departures.
+func (e *Engine) insertRow(pos, userID int) *userRow {
+	n := len(e.rows)
+	if cap(e.rows) > n {
+		e.rows = e.rows[:n+1]
+	} else {
+		e.rows = append(e.rows, userRow{})
+	}
+	spare := e.rows[n] // pooled buffers (or zero row) past the old end
+	copy(e.rows[pos+1:n+1], e.rows[pos:n])
+	spare.id = userID
+	spare.extender = model.Unassigned
+	e.rows[pos] = spare
+	return &e.rows[pos]
+}
+
+// removeRow closes the slot pos, parking its buffers at the tail for the
+// next arrival to reuse.
+func (e *Engine) removeRow(pos int) {
+	n := len(e.rows)
+	spare := e.rows[pos]
+	copy(e.rows[pos:n-1], e.rows[pos+1:n])
+	e.rows[n-1] = spare
+	e.rows = e.rows[:n-1]
+}
+
 // Join admits a user with its scan report, runs the policy and returns
 // the directives it produced (always including one for the new user on
 // success). A failed join leaves the engine unchanged.
@@ -227,18 +314,16 @@ func (e *Engine) Join(userID int, rates, rssi []float64) ([]Directive, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.users[userID]; ok {
+	pos, present := e.rowIndex(userID)
+	if present {
 		return nil, fmt.Errorf("user %d already joined", userID)
 	}
-	e.users[userID] = &userState{
-		rates:    append([]float64(nil), rates...),
-		rssi:     append([]float64(nil), rssi...),
-		extender: model.Unassigned,
-	}
+	r := e.insertRow(pos, userID)
+	e.setReport(r, rates, rssi)
 	e.joins++
-	dirs, err := e.recomputeLocked(userID)
+	dirs, err := e.recomputeLocked(pos)
 	if err != nil {
-		delete(e.users, userID)
+		e.removeRow(pos)
 		e.joins--
 		return nil, err
 	}
@@ -250,27 +335,42 @@ func (e *Engine) Join(userID int, rates, rssi []float64) ([]Directive, error) {
 // re-places just the reporting user (client roaming), and arrival-only
 // strategies (greedy, selfish, random) never reassign — the refreshed
 // report only affects placements of future arrivals.
+//
+// Update is atomic: when the policy's re-solve fails, the prior scan
+// report is restored, so the engine never holds fresh rates with a stale
+// assignment (the failure mode Join already rolled back cleanly).
 func (e *Engine) Update(userID int, rates, rssi []float64) ([]Directive, error) {
 	if err := e.validateScan(userID, rates, rssi); err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	u, ok := e.users[userID]
-	if !ok {
+	pos, present := e.rowIndex(userID)
+	if !present {
 		return nil, fmt.Errorf("user %d not joined", userID)
 	}
-	u.rates = append([]float64(nil), rates...)
-	u.rssi = append([]float64(nil), rssi...)
+	r := &e.rows[pos]
+	recompute := false
 	if e.policy == PolicyRSSI {
 		// Client roaming: re-place just the reporting user.
-		return e.recomputeLocked(userID)
-	}
-	if _, ok := e.strategy.(strategy.Reassigner); ok {
+		recompute = true
+	} else if _, ok := e.strategy.(strategy.Reassigner); ok {
 		// Recomputing strategies (the WOLT variants) may move anyone.
-		return e.recomputeLocked(userID)
+		recompute = true
 	}
-	return nil, nil
+	if !recompute {
+		e.setReport(r, rates, rssi)
+		return nil, nil
+	}
+	e.prevRates = append(e.prevRates[:0], r.rates...)
+	e.prevRSSI = append(e.prevRSSI[:0], r.rssi...)
+	e.setReport(r, rates, rssi)
+	dirs, err := e.recomputeLocked(pos)
+	if err != nil {
+		e.setReport(r, e.prevRates, e.prevRSSI)
+		return nil, err
+	}
+	return dirs, nil
 }
 
 // Leave removes a user (explicit leave or dropped connection) and
@@ -279,25 +379,28 @@ func (e *Engine) Update(userID int, rates, rssi []float64) ([]Directive, error) 
 // capacity — unless EngineConfig.ReassignOnLeave is set and the policy
 // can reassign, in which case the departure triggers a re-solve (an
 // anytime warm repair under EngineConfig.Budget) and the rebalancing
-// directives are returned.
+// directives are returned. A failed re-solve must not resurrect the
+// user: the departure stands, and the dropped rebalance is counted in
+// Stats.DroppedReassigns.
 func (e *Engine) Leave(userID int) ([]Directive, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.users[userID]; !ok {
+	pos, present := e.rowIndex(userID)
+	if !present {
 		return nil, false
 	}
-	delete(e.users, userID)
+	e.removeRow(pos)
 	e.leaves++
-	if e.cfg.ReassignOnLeave && len(e.users) > 0 {
+	if e.cfg.ReassignOnLeave && len(e.rows) > 0 {
 		if _, ok := e.strategy.(strategy.Reassigner); ok {
 			// recomputeLocked tolerates the no-new-user form (-1) only
-			// on the Reassigner path, which never dereferences newRow.
+			// on the Reassigner path, which never dereferences the new
+			// row.
 			dirs, err := e.recomputeLocked(-1)
 			if err == nil {
 				return dirs, true
 			}
-			// A failed re-solve must not resurrect the user: the
-			// departure stands, capacity frees without rebalancing.
+			e.droppedReassigns++
 		}
 	}
 	return nil, true
@@ -307,11 +410,11 @@ func (e *Engine) Leave(userID int) ([]Directive, bool) {
 func (e *Engine) Extender(userID int) (int, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	u, ok := e.users[userID]
-	if !ok {
+	pos, present := e.rowIndex(userID)
+	if !present {
 		return model.Unassigned, false
 	}
-	return u.extender, true
+	return e.rows[pos].extender, true
 }
 
 // Stats returns the engine's counters and current assignment (global
@@ -319,57 +422,43 @@ func (e *Engine) Extender(userID int) (int, bool) {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	assignment := make(map[int]int, len(e.users))
-	for id, u := range e.users {
-		assignment[id] = u.extender
+	assignment := make(map[int]int, len(e.rows))
+	for i := range e.rows {
+		assignment[e.rows[i].id] = e.rows[i].extender
 	}
 	return Stats{
-		Policy:         e.policy,
-		Users:          len(e.users),
-		Joins:          e.joins,
-		Leaves:         e.leaves,
-		Reassociations: e.reassociations,
-		Assignment:     assignment,
+		Policy:           e.policy,
+		Users:            len(e.rows),
+		Joins:            e.joins,
+		Leaves:           e.leaves,
+		Reassociations:   e.reassociations,
+		DroppedReassigns: e.droppedReassigns,
+		Assignment:       assignment,
 	}
 }
 
-// recomputeLocked runs the policy after newUser joined or reported fresh
-// rates, updates the user table and returns the resulting directives.
-// newUser may be -1 (a departure under ReassignOnLeave) only when the
-// policy is a Reassigner, which never dereferences the new row.
+// recomputeLocked runs the policy after the user at row newRow joined or
+// reported fresh rates, updates the user table and returns the resulting
+// directives. newRow may be -1 (a departure under ReassignOnLeave) only
+// when the policy is a Reassigner, which never dereferences the new row.
 // Callers hold e.mu.
-func (e *Engine) recomputeLocked(newUser int) ([]Directive, error) {
-	ids := make([]int, 0, len(e.users))
-	for id := range e.users {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-
-	n := &model.Network{
-		WiFiRates: make([][]float64, len(ids)),
-		PLCCaps:   e.ownedCaps,
-	}
-	assign := make(model.Assignment, len(ids))
-	newRow := -1
-	for row, id := range ids {
-		u := e.users[id]
-		if e.identity {
-			n.WiFiRates[row] = u.rates
-		} else {
-			local := make([]float64, len(e.owned))
-			for l, g := range e.owned {
-				local[l] = u.rates[g]
-			}
-			n.WiFiRates[row] = local
-		}
-		assign[row] = e.localIndex(u.extender)
-		if id == newUser {
-			newRow = row
-		}
-	}
+//
+// The network the strategy sees is persistent scratch: its rows alias
+// the user table's pooled rate vectors and its generation is bumped per
+// recompute, so delta evaluators and candidate caches re-attach instead
+// of trusting stale state (DESIGN.md §10). Steady state this path
+// allocates only the returned directive slice.
+func (e *Engine) recomputeLocked(newRow int) ([]Directive, error) {
+	n := len(e.rows)
+	e.assign = growAssign(e.assign, n)
 
 	if e.policy == PolicyRSSI {
-		u := e.users[newUser]
+		// Signal-strength placement touches only the reporting user; no
+		// network build, no strategy call.
+		for i := range e.rows {
+			e.assign[i] = e.localIndex(e.rows[i].extender)
+		}
+		u := &e.rows[newRow]
 		best, bestSig := model.Unassigned, -1e18
 		for l, g := range e.owned {
 			r := u.rates[g]
@@ -384,33 +473,70 @@ func (e *Engine) recomputeLocked(newUser int) ([]Directive, error) {
 				best, bestSig = l, sig
 			}
 		}
-		assign[newRow] = best
-	} else {
-		var err error
-		if assign, err = e.applyStrategy(n, assign, newRow); err != nil {
-			return nil, err
-		}
+		e.assign[newRow] = best
+		return e.emitLocked(e.assign), nil
 	}
 
-	// Record every changed user and emit its directive.
-	var dirs []Directive
-	for row, id := range ids {
-		u := e.users[id]
-		globalExt := model.Unassigned
-		if assign[row] != model.Unassigned {
-			globalExt = e.owned[assign[row]]
+	if cap(e.net.WiFiRates) < n {
+		e.net.WiFiRates = make([][]float64, n, 2*n)
+	}
+	e.net.WiFiRates = e.net.WiFiRates[:n]
+	e.net.PLCCaps = e.ownedCaps
+	for i := range e.rows {
+		r := &e.rows[i]
+		if e.identity {
+			e.net.WiFiRates[i] = r.rates
+		} else {
+			e.net.WiFiRates[i] = r.local
 		}
-		if globalExt == u.extender {
+		e.assign[i] = e.localIndex(r.extender)
+	}
+	e.net.Invalidate()
+
+	assign, err := e.applyStrategy(&e.net, e.assign, newRow)
+	if err != nil {
+		return nil, err
+	}
+	return e.emitLocked(assign), nil
+}
+
+// emitLocked folds a solved assignment (local extender indices, row
+// order) back into the user table and returns the changed users'
+// directives — exactly one allocation, sized to the change set.
+func (e *Engine) emitLocked(assign model.Assignment) []Directive {
+	changed := 0
+	for i := range e.rows {
+		if e.globalOf(assign[i]) != e.rows[i].extender {
+			changed++
+		}
+	}
+	if changed == 0 {
+		return nil
+	}
+	dirs := make([]Directive, 0, changed)
+	for i := range e.rows {
+		r := &e.rows[i]
+		globalExt := e.globalOf(assign[i])
+		if globalExt == r.extender {
 			continue
 		}
-		reassoc := u.extender != model.Unassigned
-		u.extender = globalExt
+		reassoc := r.extender != model.Unassigned
+		r.extender = globalExt
 		if reassoc {
 			e.reassociations++
 		}
-		dirs = append(dirs, Directive{UserID: id, Extender: globalExt, Reassociation: reassoc})
+		dirs = append(dirs, Directive{UserID: r.id, Extender: globalExt, Reassociation: reassoc})
 	}
-	return dirs, nil
+	return dirs
+}
+
+// globalOf maps a local extender index to its global ID
+// (model.Unassigned passes through).
+func (e *Engine) globalOf(local int) int {
+	if local == model.Unassigned {
+		return model.Unassigned
+	}
+	return e.owned[local]
 }
 
 // localIndex maps a global extender ID to this engine's local index
@@ -424,6 +550,14 @@ func (e *Engine) localIndex(globalExt int) int {
 		return model.Unassigned
 	}
 	return l
+}
+
+// growAssign resizes an assignment scratch slice, preserving capacity.
+func growAssign(a model.Assignment, n int) model.Assignment {
+	if cap(a) < n {
+		return make(model.Assignment, n, 2*n)
+	}
+	return a[:n]
 }
 
 // applyStrategy runs the configured strategy after newRow joined (or

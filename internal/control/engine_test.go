@@ -305,3 +305,213 @@ func TestEngineOwnedSubset(t *testing.T) {
 		t.Errorf("got %v, want shard-ownership rejection", err)
 	}
 }
+
+// failingReassigner is a stub strategy whose re-solve always errors.
+// Engine tests live in package control, so they can swap it into
+// e.strategy to exercise the failure paths no registry strategy hits
+// deterministically.
+type failingReassigner struct{ err error }
+
+func (f *failingReassigner) Name() string { return "failing" }
+func (f *failingReassigner) Solve(*model.Network) (model.Assignment, error) {
+	return nil, f.err
+}
+func (f *failingReassigner) Reassign(*model.Network, model.Assignment) (model.Assignment, error) {
+	return nil, f.err
+}
+
+// TestEngineUpdateAtomic pins the Update bugfix: a failed re-solve must
+// restore the prior scan report, not leave fresh rates with a stale
+// assignment. Verified by breaking the strategy, pushing a poisoned
+// update, then healing the strategy and checking the next recompute
+// still sees the ORIGINAL rates (user stays on extender 0; with the
+// poisoned rates committed it would move to extender 1).
+func TestEngineUpdateAtomic(t *testing.T) {
+	e := fig3Engine(t, PolicyWOLT)
+	if _, err := e.Join(1, []float64{50, 10}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ext, _ := e.Extender(1); ext != 0 {
+		t.Fatalf("user 1 on extender %d, want 0", ext)
+	}
+
+	healthy := e.strategy
+	boom := errors.New("solver exploded")
+	e.strategy = &failingReassigner{err: boom}
+	if _, err := e.Update(1, []float64{1, 55}, nil); !errors.Is(err, boom) {
+		t.Fatalf("poisoned update: got err %v, want %v", err, boom)
+	}
+	if ext, _ := e.Extender(1); ext != 0 {
+		t.Fatalf("failed update moved user to extender %d", ext)
+	}
+
+	// Heal the strategy and trigger a recompute via a second user's
+	// arrival: if the failed update had committed rates {1, 55}, WOLT
+	// would now move user 1 to extender 1. With the rollback it stays.
+	e.strategy = healthy
+	if _, err := e.Join(2, []float64{40, 20}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ext, _ := e.Extender(1); ext != 0 {
+		t.Errorf("user 1 on extender %d after rollback; poisoned rates leaked into the table", ext)
+	}
+}
+
+// TestEngineLeaveDroppedReassigns pins the Leave bugfix: a failed
+// re-solve under ReassignOnLeave must keep the departure, return no
+// directives, and surface the dropped rebalance in Stats.
+func TestEngineLeaveDroppedReassigns(t *testing.T) {
+	e, err := NewEngine(EngineConfig{
+		PLCCaps:         []float64{60, 20},
+		Policy:          PolicyWOLT,
+		ModelOpts:       model.Options{Redistribute: true},
+		ReassignOnLeave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 3; u++ {
+		if _, err := e.Join(u, []float64{30, 25}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.strategy = &failingReassigner{err: errors.New("solver exploded")}
+
+	dirs, ok := e.Leave(2)
+	if !ok {
+		t.Fatal("leave of joined user reported not present")
+	}
+	if len(dirs) != 0 {
+		t.Fatalf("failed re-solve returned directives %v", dirs)
+	}
+	st := e.Stats()
+	if st.Users != 2 {
+		t.Errorf("users = %d after leave, want 2 (departure must stand)", st.Users)
+	}
+	if st.DroppedReassigns != 1 {
+		t.Errorf("DroppedReassigns = %d, want 1", st.DroppedReassigns)
+	}
+	if _, present := e.Extender(2); present {
+		t.Error("departed user still in table")
+	}
+
+	// A healthy leave must not bump the counter.
+	e.strategy = nil
+	e.cfg.ReassignOnLeave = false
+	if _, ok := e.Leave(1); !ok {
+		t.Fatal("second leave failed")
+	}
+	if st := e.Stats(); st.DroppedReassigns != 1 {
+		t.Errorf("DroppedReassigns = %d after healthy leave, want 1", st.DroppedReassigns)
+	}
+}
+
+// TestEngineSteadyStateAllocs pins the memory discipline the city
+// harness depends on (DESIGN.md §12): once the user table has seen its
+// peak population, a leave + rejoin + update cycle under the anytime
+// policy performs O(1) allocations — independent of table size. The
+// bound is a small constant (directive slices + solver Result); the
+// point of asserting at two population sizes is that it does not grow
+// with n.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting under -short")
+	}
+	for _, n := range []int{100, 400} {
+		e, err := NewEngine(EngineConfig{
+			PLCCaps:         []float64{60, 20, 40, 30},
+			Policy:          "wolt-hillclimb",
+			ModelOpts:       model.Options{Redistribute: true},
+			Budget:          strategy.Budget{Probes: 200},
+			ReassignOnLeave: true,
+			Seed:            7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates := make([][]float64, n)
+		for u := 0; u < n; u++ {
+			rates[u] = []float64{
+				20 + float64(u%17),
+				15 + float64(u%11),
+				25 + float64(u%13),
+				10 + float64(u%7),
+			}
+			if _, err := e.Join(u, rates[u], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		victim := n / 2
+		fresh := []float64{30, 20, 10, 25}
+		avg := testing.AllocsPerRun(50, func() {
+			if _, ok := e.Leave(victim); !ok {
+				t.Fatal("leave failed")
+			}
+			if _, err := e.Join(victim, rates[victim], nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Update(victim, fresh, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Update(victim, rates[victim], nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// 4 operations, each allowed a handful of allocations (directive
+		// slice, solver Result + assignment/trajectory copies). What
+		// matters is the bound holds at n=100 AND n=400.
+		if avg > 32 {
+			t.Errorf("n=%d: %v allocs per churn cycle, want O(1) (<=32)", n, avg)
+		}
+	}
+}
+
+// BenchmarkEngineChurnEvent prices the steady-state per-event path the
+// city harness hammers: leave + rejoin + scan update against a warm
+// 400-user engine under the anytime policy. AllocsPerOp here is the
+// benchmark-asserted face of the O(1)-allocation discipline
+// (TestEngineSteadyStateAllocs enforces the bound).
+func BenchmarkEngineChurnEvent(b *testing.B) {
+	const n = 400
+	e, err := NewEngine(EngineConfig{
+		PLCCaps:         []float64{60, 20, 40, 30},
+		Policy:          "wolt-hillclimb",
+		ModelOpts:       model.Options{Redistribute: true},
+		Budget:          strategy.Budget{Probes: 200},
+		ReassignOnLeave: true,
+		Seed:            7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		rates[u] = []float64{
+			20 + float64(u%17),
+			15 + float64(u%11),
+			25 + float64(u%13),
+			10 + float64(u%7),
+		}
+		if _, err := e.Join(u, rates[u], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	victim := n / 2
+	fresh := []float64{30, 20, 10, 25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Leave(victim); !ok {
+			b.Fatal("leave failed")
+		}
+		if _, err := e.Join(victim, rates[victim], nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Update(victim, fresh, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Update(victim, rates[victim], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

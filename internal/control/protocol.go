@@ -91,7 +91,10 @@ type Stats struct {
 	Joins          int         `json:"joins"`
 	Leaves         int         `json:"leaves"`
 	Reassociations int         `json:"reassociations"`
-	Assignment     map[int]int `json:"assignment"`
+	// DroppedReassigns counts departures under ReassignOnLeave whose
+	// re-solve failed: the leave stood, the rebalance was dropped.
+	DroppedReassigns int         `json:"droppedReassigns"`
+	Assignment       map[int]int `json:"assignment"`
 }
 
 // jsonConn wraps a TCP connection with newline-delimited JSON framing.
@@ -103,6 +106,7 @@ type jsonConn struct {
 	c      net.Conn
 	r      *bufio.Reader
 	sendMu sync.Mutex
+	w      *bufio.Writer
 	enc    *json.Encoder
 	// readTimeout/writeTimeout bound a single recv/send; zero disables
 	// the deadline. The server arms these from ServerConfig so a stalled
@@ -112,18 +116,50 @@ type jsonConn struct {
 }
 
 func newJSONConn(c net.Conn) *jsonConn {
-	return &jsonConn{c: c, r: bufio.NewReader(c), enc: json.NewEncoder(c)}
+	w := bufio.NewWriter(c)
+	return &jsonConn{c: c, r: bufio.NewReader(c), w: w, enc: json.NewEncoder(w)}
 }
 
 func (jc *jsonConn) send(m Message) error {
 	jc.sendMu.Lock()
 	defer jc.sendMu.Unlock()
-	if jc.writeTimeout > 0 {
-		if err := jc.c.SetWriteDeadline(time.Now().Add(jc.writeTimeout)); err != nil {
+	if err := jc.armWrite(); err != nil {
+		return err
+	}
+	if err := jc.enc.Encode(m); err != nil {
+		return err
+	}
+	return jc.w.Flush()
+}
+
+// sendBatch writes a burst of messages under ONE lock acquisition, one
+// write deadline and one flush — the coalescing contract the churn-burst
+// push path relies on (a recompute that moves k users costs one syscall
+// per connection, not k lock/flush round-trips).
+func (jc *jsonConn) sendBatch(msgs []Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	jc.sendMu.Lock()
+	defer jc.sendMu.Unlock()
+	if err := jc.armWrite(); err != nil {
+		return err
+	}
+	for i := range msgs {
+		if err := jc.enc.Encode(msgs[i]); err != nil {
 			return err
 		}
 	}
-	return jc.enc.Encode(m)
+	return jc.w.Flush()
+}
+
+// armWrite applies the connection's write deadline to the burst that
+// follows. Callers hold sendMu.
+func (jc *jsonConn) armWrite() error {
+	if jc.writeTimeout > 0 {
+		return jc.c.SetWriteDeadline(time.Now().Add(jc.writeTimeout))
+	}
+	return nil
 }
 
 func (jc *jsonConn) recv() (Message, error) {

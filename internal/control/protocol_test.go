@@ -1,8 +1,11 @@
 package control
 
 import (
+	"bufio"
 	"encoding/json"
+	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -44,5 +47,66 @@ func TestRedirectRoundTrip(t *testing.T) {
 	}
 	if out.Type != MsgRedirect || out.UserID != 9 || out.Addr != "127.0.0.1:4242" {
 		t.Errorf("round trip mangled the message: %+v", out)
+	}
+}
+
+// countingConn wraps a net.Conn and counts Write calls — each Write from
+// the buffered jsonConn corresponds to one flush (one syscall on a real
+// socket).
+type countingConn struct {
+	net.Conn
+	writes atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.writes.Add(1)
+	return c.Conn.Write(p)
+}
+
+// TestSendBatchCoalesces pins the batching contract behind
+// Server.pushDirectives: a burst of k messages reaches the wire as ONE
+// buffered write (one flush), not k, and every message survives intact
+// and in order.
+func TestSendBatchCoalesces(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	cc := &countingConn{Conn: client}
+	jc := newJSONConn(cc)
+
+	const k = 25
+	msgs := make([]Message, k)
+	for i := range msgs {
+		msgs[i] = Message{Type: MsgAssociate, UserID: i, Extender: i % 4}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- jc.sendBatch(msgs) }()
+
+	r := bufio.NewReader(server)
+	for i := 0; i < k; i++ {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Message
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.UserID != i || m.Extender != i%4 {
+			t.Fatalf("message %d out of order or mangled: %+v", i, m)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// net.Pipe has no kernel buffer, so a single bufio flush of 25 small
+	// messages is exactly one Write; per-message sends would be 25.
+	if n := cc.writes.Load(); n != 1 {
+		t.Errorf("batch of %d messages took %d writes, want 1 coalesced flush", k, n)
+	}
+	if err := jc.sendBatch(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
 	}
 }

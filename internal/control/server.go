@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/plcwifi/wolt/internal/model"
+	"github.com/plcwifi/wolt/internal/strategy"
 )
 
 // DefaultIOTimeout bounds a single read or write on a server-side
@@ -33,6 +34,12 @@ type ServerConfig struct {
 	Workers int
 	// Seed derives the policy instance's private randomness.
 	Seed int64
+	// Budget bounds budget-aware policies per operation (see
+	// EngineConfig.Budget).
+	Budget strategy.Budget
+	// ReassignOnLeave lets reassigning policies re-solve on departures
+	// (see EngineConfig.ReassignOnLeave).
+	ReassignOnLeave bool
 	// ReadTimeout bounds one message read per connection: a stalled
 	// agent is disconnected (and treated as departed if it had joined)
 	// instead of pinning a server goroutine forever. Zero selects
@@ -75,12 +82,14 @@ type Server struct {
 // NewServer starts a controller listening on addr (e.g. "127.0.0.1:0").
 func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	engine, err := NewEngine(EngineConfig{
-		PLCCaps:   cfg.PLCCaps,
-		Owned:     cfg.Owned,
-		Policy:    cfg.Policy,
-		ModelOpts: cfg.ModelOpts,
-		Workers:   cfg.Workers,
-		Seed:      cfg.Seed,
+		PLCCaps:         cfg.PLCCaps,
+		Owned:           cfg.Owned,
+		Policy:          cfg.Policy,
+		ModelOpts:       cfg.ModelOpts,
+		Workers:         cfg.Workers,
+		Seed:            cfg.Seed,
+		Budget:          cfg.Budget,
+		ReassignOnLeave: cfg.ReassignOnLeave,
 	})
 	if err != nil {
 		return nil, err
@@ -289,21 +298,52 @@ func (s *Server) removeUser(id int, jc *jsonConn) {
 
 // pushDirectives forwards engine directives to the affected agents'
 // connections. Callers hold opMu, which keeps pushes in engine order.
+//
+// A churn burst is coalesced: one pass under s.mu resolves every
+// directive's connection, directives sharing a connection are grouped
+// (preserving engine order within each), and each connection gets a
+// single batched write — one lock round-trip and one flush per
+// connection instead of one per directive.
 func (s *Server) pushDirectives(dirs []Directive) {
+	if len(dirs) == 0 {
+		return
+	}
+	type batch struct {
+		jc   *jsonConn
+		msgs []Message
+	}
+	// Directive bursts rarely span many distinct connections relative to
+	// their size; a small slice keyed by identity beats a map until the
+	// fan-out is genuinely wide.
+	batches := make([]batch, 0, 8)
+	s.mu.Lock()
 	for _, d := range dirs {
-		s.mu.Lock()
 		jc := s.userConns[d.UserID]
-		s.mu.Unlock()
 		if jc == nil {
 			continue
 		}
-		if err := jc.send(Message{
+		msg := Message{
 			Type:          MsgAssociate,
 			UserID:        d.UserID,
 			Extender:      d.Extender,
 			Reassociation: d.Reassociation,
-		}); err != nil {
-			s.logf("push directive to user %d: %v", d.UserID, err)
+		}
+		found := false
+		for i := range batches {
+			if batches[i].jc == jc {
+				batches[i].msgs = append(batches[i].msgs, msg)
+				found = true
+				break
+			}
+		}
+		if !found {
+			batches = append(batches, batch{jc: jc, msgs: []Message{msg}})
+		}
+	}
+	s.mu.Unlock()
+	for i := range batches {
+		if err := batches[i].jc.sendBatch(batches[i].msgs); err != nil {
+			s.logf("push %d directives: %v", len(batches[i].msgs), err)
 		}
 	}
 }

@@ -51,6 +51,11 @@ type Sim struct {
 	seq   uint64
 	// processed counts executed events.
 	processed uint64
+	// free recycles executed events: a long open-loop run (the city
+	// harness schedules one event per arrival/departure/roam across
+	// millions of users) stays at a steady handful of live event structs
+	// instead of allocating one per occurrence.
+	free []*event
 }
 
 // New returns a fresh simulator with the clock at 0.
@@ -76,8 +81,21 @@ func (s *Sim) ScheduleAt(t float64, handler Handler) error {
 		return errors.New("eventsim: nil handler")
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, handler: handler})
+	ev := s.alloc()
+	ev.at, ev.seq, ev.handler = t, s.seq, handler
+	heap.Push(&s.queue, ev)
 	return nil
+}
+
+// alloc pops a recycled event or makes a fresh one.
+func (s *Sim) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
 }
 
 // Schedule queues handler to run delay time units from now.
@@ -88,6 +106,16 @@ func (s *Sim) Schedule(delay float64, handler Handler) error {
 	return s.ScheduleAt(s.now+delay, handler)
 }
 
+// NextAt peeks at the next event's time without executing it, reporting
+// false on an empty queue. Open-loop drivers interleave their own work
+// with the simulation by stepping while NextAt stays below a boundary.
+func (s *Sim) NextAt() (float64, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
 // Step executes the next event, advancing the clock to it. It reports
 // whether an event was executed.
 func (s *Sim) Step() bool {
@@ -95,9 +123,15 @@ func (s *Sim) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&s.queue).(*event)
+	// Recycle the struct BEFORE running the handler: the handler may
+	// schedule (and its schedulees reuse the slot), but ev's fields have
+	// already been copied out.
+	h := ev.handler
 	s.now = ev.at
+	ev.handler = nil
+	s.free = append(s.free, ev)
 	s.processed++
-	ev.handler(s)
+	h(s)
 	return true
 }
 

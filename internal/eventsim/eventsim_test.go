@@ -162,3 +162,50 @@ func TestManyRandomEventsStaySorted(t *testing.T) {
 		t.Error("execution times not sorted")
 	}
 }
+
+// TestNextAtPeeks covers the open-loop driver's peek API.
+func TestNextAtPeeks(t *testing.T) {
+	s := New()
+	if _, ok := s.NextAt(); ok {
+		t.Error("empty queue: NextAt reported an event")
+	}
+	for _, at := range []float64{5, 2, 9} {
+		if err := s.ScheduleAt(at, func(*Sim) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if at, ok := s.NextAt(); !ok || at != 2 {
+		t.Fatalf("NextAt = %v,%v, want 2,true", at, ok)
+	}
+	if s.Now() != 0 || s.Processed() != 0 {
+		t.Error("NextAt advanced the simulation")
+	}
+	s.Step()
+	if at, ok := s.NextAt(); !ok || at != 5 {
+		t.Fatalf("after one step NextAt = %v,%v, want 5,true", at, ok)
+	}
+}
+
+// TestSteadyStateAllocFree pins the event free-list: a self-rescheduling
+// chain (the shape of every open-loop generator) recycles one event
+// struct instead of allocating per occurrence.
+func TestSteadyStateAllocFree(t *testing.T) {
+	s := New()
+	var tick Handler
+	tick = func(s2 *Sim) {
+		if s2.Now() < 1000 {
+			if err := s2.Schedule(1, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := s.Schedule(1, tick); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: the first step seeds the free list.
+	s.Step()
+	avg := testing.AllocsPerRun(100, func() { s.Step() })
+	if avg > 0 {
+		t.Errorf("steady-state Step allocates %v per event, want 0", avg)
+	}
+}

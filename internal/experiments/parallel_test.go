@@ -38,6 +38,20 @@ func TestDriversDeterministicAcrossWorkers(t *testing.T) {
 		{"Gap", func(o Options) (any, error) { return Gap(o) }},
 		{"Mobility", func(o Options) (any, error) { return Mobility(o) }},
 		{"Anytime", func(o Options) (any, error) { return Anytime(o) }},
+		{"City", func(o Options) (any, error) {
+			res, err := City(o)
+			if err != nil {
+				return nil, err
+			}
+			// Strip the wall-clock columns; everything else is covered by
+			// the §7 contract.
+			for i := range res.Runs {
+				res.Runs[i].JoinsPerSec = 0
+				res.Runs[i].P50Micros = 0
+				res.Runs[i].P99Micros = 0
+			}
+			return res, nil
+		}},
 		{"fig5ModelDeltas", func(o Options) (any, error) {
 			worst, best, err := fig5ModelDeltas(o)
 			return [2]float64{worst, best}, err
@@ -135,6 +149,7 @@ func TestDriversHonorCancelledContext(t *testing.T) {
 		{"NPHard", func(o Options) error { _, err := NPHard(o); return err }},
 		{"Gap", func(o Options) error { _, err := Gap(o); return err }},
 		{"Mobility", func(o Options) error { _, err := Mobility(o); return err }},
+		{"City", func(o Options) error { _, err := City(o); return err }},
 		{"Fig6a", func(o Options) error { _, err := Fig6a(o); return err }},
 		{"Fairness", func(o Options) error { _, err := Fairness(o); return err }},
 		{"Sweep", func(o Options) error { _, err := Sweep(o); return err }},

@@ -94,6 +94,22 @@ const (
 	// AnytimeBench seeds the churn perturbations of the warm re-solve
 	// benchmarks behind BENCH_anytime.json.
 	AnytimeBench
+	// CityTrace seeds a city run's churn trace (internal/city via
+	// internal/workload).
+	CityTrace
+	// CityUser roots a city user's private sub-hierarchy: the user's base
+	// is Derive(citySeed, CityUser, userID) and its scalar draws come
+	// from the CityDraw stream under that base.
+	CityUser
+	// CityDraw indexes a city user's successive scalar draws (position,
+	// roam steps) under its CityUser base — a counter-mode stream, so a
+	// million users don't need a million live *rand.Rand states.
+	CityDraw
+	// CityExtender seeds per-extender deployment draws (PLC capacities),
+	// indexed by extender ID.
+	CityExtender
+	// CityTrial seeds the per-trial city runs of the woltsim experiment.
+	CityTrial
 )
 
 // golden is the SplitMix64 increment, the odd integer closest to

@@ -9,6 +9,7 @@ import (
 	"github.com/plcwifi/wolt/internal/control"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/seed"
+	"github.com/plcwifi/wolt/internal/strategy"
 )
 
 // Config parameterizes a sharded control plane.
@@ -33,6 +34,13 @@ type Config struct {
 	// VirtualNodes is the per-member virtual node count on the ring
 	// (<= 0 selects DefaultVirtualNodes).
 	VirtualNodes int
+	// Budget bounds budget-aware member policies per operation (see
+	// control.EngineConfig.Budget); at city scale it is what turns each
+	// event into an O(budget) warm repair.
+	Budget strategy.Budget
+	// ReassignOnLeave lets reassigning member policies re-solve when a
+	// user departs (see control.EngineConfig.ReassignOnLeave).
+	ReassignOnLeave bool
 }
 
 // Stats is the coordinator's merged snapshot: the global view a single
@@ -57,6 +65,9 @@ type Stats struct {
 	// own the user (TCP plane only; the in-process coordinator routes
 	// directly).
 	Redirects int
+	// DroppedReassigns sums the members' dropped leave-time rebalances
+	// (control.Stats.DroppedReassigns across PerShard).
+	DroppedReassigns int
 	// Assignment is the merged user→extender map (global extender IDs).
 	Assignment map[int]int
 	// PerShard holds each member engine's own snapshot, in member-ID
@@ -89,6 +100,31 @@ type Coordinator struct {
 
 	joins, leaves, reassociations int
 	handoffs, redirects           int
+
+	// scanPool parks departed users' scan buffers for reuse, keeping the
+	// steady-state churn path free of per-event vector allocations.
+	scanPool []scan
+}
+
+// takeScan pops pooled scan buffers (or a zero scan) and fills them with
+// copies of the reported vectors.
+func (c *Coordinator) takeScan(rates, rssi []float64) scan {
+	var sc scan
+	if n := len(c.scanPool); n > 0 {
+		sc = c.scanPool[n-1]
+		c.scanPool = c.scanPool[:n-1]
+	}
+	sc.rates = append(sc.rates[:0], rates...)
+	sc.rssi = append(sc.rssi[:0], rssi...)
+	return sc
+}
+
+// releaseScan returns a departed user's scan buffers to the pool.
+func (c *Coordinator) releaseScan(userID int) {
+	if sc, ok := c.scans[userID]; ok {
+		c.scanPool = append(c.scanPool, sc)
+		delete(c.scans, userID)
+	}
 }
 
 // NewCoordinator builds a sharded control plane with cfg.Shards members
@@ -148,12 +184,14 @@ func (c *Coordinator) buildEngine(m int, owned []int) (*control.Engine, error) {
 		return nil, nil
 	}
 	return control.NewEngine(control.EngineConfig{
-		PLCCaps:   c.cfg.PLCCaps,
-		Owned:     owned,
-		Policy:    c.cfg.Policy,
-		ModelOpts: c.cfg.ModelOpts,
-		Workers:   c.cfg.Workers,
-		Seed:      seed.Derive(c.cfg.Seed, seed.ShardEngine, int64(m)),
+		PLCCaps:         c.cfg.PLCCaps,
+		Owned:           owned,
+		Policy:          c.cfg.Policy,
+		ModelOpts:       c.cfg.ModelOpts,
+		Workers:         c.cfg.Workers,
+		Seed:            seed.Derive(c.cfg.Seed, seed.ShardEngine, int64(m)),
+		Budget:          c.cfg.Budget,
+		ReassignOnLeave: c.cfg.ReassignOnLeave,
 	})
 }
 
@@ -223,10 +261,7 @@ func (c *Coordinator) Join(userID int, rates, rssi []float64) ([]control.Directi
 		return nil, err
 	}
 	c.home[userID] = owner
-	c.scans[userID] = scan{
-		rates: append([]float64(nil), rates...),
-		rssi:  append([]float64(nil), rssi...),
-	}
+	c.scans[userID] = c.takeScan(rates, rssi)
 	c.joins++
 	return c.applyLocked(dirs), nil
 }
@@ -247,55 +282,67 @@ func (c *Coordinator) Update(userID int, rates, rssi []float64) ([]control.Direc
 	if owner < 0 {
 		return nil, fmt.Errorf("shard: user %d reaches no extender", userID)
 	}
-	stored := scan{
-		rates: append([]float64(nil), rates...),
-		rssi:  append([]float64(nil), rssi...),
-	}
 	if owner == home {
 		dirs, err := c.members[home].Update(userID, rates, rssi)
 		if err != nil {
 			return nil, err
 		}
-		c.scans[userID] = stored
+		// Refresh the stored scan in place: the old copy's buffers
+		// already have the right capacity.
+		old := c.scans[userID]
+		old.rates = append(old.rates[:0], rates...)
+		old.rssi = append(old.rssi[:0], rssi...)
+		c.scans[userID] = old
 		return c.applyLocked(dirs), nil
 	}
-	// Cross-shard handoff.
+	// Cross-shard handoff. The old member's leave may itself rebalance
+	// (ReassignOnLeave); those directives ride along with the join's.
 	eng := c.members[owner]
 	if eng == nil {
 		return nil, fmt.Errorf("shard: member %d owns no extenders", owner)
 	}
-	c.members[home].Leave(userID)
+	leaveDirs, _ := c.members[home].Leave(userID)
+	leaveDirs = c.applyLocked(leaveDirs)
 	dirs, err := eng.Join(userID, rates, rssi)
 	if err != nil {
 		// The user is gone from its old shard and rejected by the new
 		// one (offline-only policy): it has effectively departed.
 		delete(c.home, userID)
-		delete(c.scans, userID)
+		c.releaseScan(userID)
 		delete(c.assign, userID)
 		c.leaves++
 		return nil, fmt.Errorf("shard: handoff of user %d to member %d: %w", userID, owner, err)
 	}
 	c.home[userID] = owner
-	c.scans[userID] = stored
+	old := c.scans[userID]
+	old.rates = append(old.rates[:0], rates...)
+	old.rssi = append(old.rssi[:0], rssi...)
+	c.scans[userID] = old
 	c.handoffs++
-	return c.applyLocked(dirs), nil
+	dirs = c.applyLocked(dirs)
+	if len(leaveDirs) == 0 {
+		return dirs, nil
+	}
+	return append(leaveDirs, dirs...), nil
 }
 
 // Leave removes a user from its home member and reports whether it was
-// present.
-func (c *Coordinator) Leave(userID int) bool {
+// present. Under Config.ReassignOnLeave the member's leave-time
+// rebalancing directives (globally-correct reassociation flags) are
+// returned, mirroring control.Engine.Leave.
+func (c *Coordinator) Leave(userID int) ([]control.Directive, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	home, ok := c.home[userID]
 	if !ok {
-		return false
+		return nil, false
 	}
-	c.members[home].Leave(userID)
+	dirs, _ := c.members[home].Leave(userID)
 	delete(c.home, userID)
-	delete(c.scans, userID)
+	c.releaseScan(userID)
 	delete(c.assign, userID)
 	c.leaves++
-	return true
+	return c.applyLocked(dirs), true
 }
 
 // AddShard adds a new member to the ring and rebalances: extenders whose
@@ -379,7 +426,7 @@ func (c *Coordinator) rebalanceLocked() (int, error) {
 			// No surviving member owns anything this user reaches; it
 			// has effectively departed.
 			delete(c.home, id)
-			delete(c.scans, id)
+			c.releaseScan(id)
 			delete(c.assign, id)
 			c.leaves++
 			continue
@@ -387,7 +434,7 @@ func (c *Coordinator) rebalanceLocked() (int, error) {
 		dirs, err := c.members[newHome].Join(id, sc.rates, sc.rssi)
 		if err != nil {
 			delete(c.home, id)
-			delete(c.scans, id)
+			c.releaseScan(id)
 			delete(c.assign, id)
 			c.leaves++
 			continue
@@ -427,7 +474,9 @@ func (c *Coordinator) Stats() Stats {
 	sort.Ints(members)
 	for _, m := range members {
 		if eng := c.members[m]; eng != nil {
-			st.PerShard = append(st.PerShard, eng.Stats())
+			es := eng.Stats()
+			st.DroppedReassigns += es.DroppedReassigns
+			st.PerShard = append(st.PerShard, es)
 		} else {
 			st.PerShard = append(st.PerShard, control.Stats{Policy: c.cfg.Policy})
 		}

@@ -7,6 +7,7 @@ import (
 	"github.com/plcwifi/wolt/internal/control"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/seed"
+	"github.com/plcwifi/wolt/internal/strategy"
 )
 
 // testCaps builds a uniform-capacity deployment of n extenders.
@@ -237,10 +238,10 @@ func TestCoordinatorJoinLeave(t *testing.T) {
 	if _, err := coord.Update(99, rates, nil); err == nil {
 		t.Error("update of unknown user: want error")
 	}
-	if coord.Leave(99) {
+	if _, ok := coord.Leave(99); ok {
 		t.Error("leave of unknown user: want false")
 	}
-	if !coord.Leave(1) {
+	if _, ok := coord.Leave(1); !ok {
 		t.Error("leave of joined user: want true")
 	}
 	st := coord.Stats()
@@ -342,5 +343,72 @@ func TestCoordinatorDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if a1, a8 := run(1), run(8); !reflect.DeepEqual(a1, a8) {
 		t.Errorf("assignment differs across worker counts:\n1: %v\n8: %v", a1, a8)
+	}
+}
+
+// TestCoordinatorReassignOnLeave pins the PR-7 plumbing: Config.Budget
+// and Config.ReassignOnLeave reach the member engines, a departure's
+// rebalancing directives come back through Coordinator.Leave with
+// globally-correct reassociation flags, and the merged Stats sum the
+// members' DroppedReassigns.
+func TestCoordinatorReassignOnLeave(t *testing.T) {
+	coord, err := NewCoordinator(Config{
+		Shards:          2,
+		PLCCaps:         testCaps(8),
+		Policy:          "wolt-hillclimb",
+		ModelOpts:       model.Options{Redistribute: true},
+		Seed:            11,
+		Budget:          strategy.Budget{Probes: 500},
+		ReassignOnLeave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := coord.Join(i, testRates(17, i, 8), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := coord.Stats()
+	if before.DroppedReassigns != 0 {
+		t.Fatalf("DroppedReassigns = %d before any leave", before.DroppedReassigns)
+	}
+
+	// Drain half the population; any rebalancing directives must only
+	// move users that are still present, and every move must be flagged
+	// as a reassociation (the moved users were already associated).
+	for i := 0; i < 20; i++ {
+		dirs, ok := coord.Leave(i)
+		if !ok {
+			t.Fatalf("leave of user %d reported not present", i)
+		}
+		for _, d := range dirs {
+			if d.UserID <= i {
+				t.Fatalf("leave of %d produced directive for departed user %d", i, d.UserID)
+			}
+			if !d.Reassociation {
+				t.Errorf("leave rebalance moved user %d without reassociation flag", d.UserID)
+			}
+		}
+	}
+	st := coord.Stats()
+	if st.Users != 20 || st.Leaves != 20 {
+		t.Fatalf("stats = %d users / %d leaves, want 20 / 20", st.Users, st.Leaves)
+	}
+	if st.DroppedReassigns != 0 {
+		t.Errorf("healthy leave path dropped %d reassigns", st.DroppedReassigns)
+	}
+	// The merged assignment must agree with the members' own tables.
+	perShardUsers := 0
+	for _, es := range st.PerShard {
+		perShardUsers += es.Users
+		for id, ext := range es.Assignment {
+			if st.Assignment[id] != ext {
+				t.Errorf("user %d: merged assignment %d, member reports %d", id, st.Assignment[id], ext)
+			}
+		}
+	}
+	if perShardUsers != st.Users {
+		t.Errorf("per-shard users sum to %d, coordinator reports %d", perShardUsers, st.Users)
 	}
 }

@@ -44,16 +44,41 @@ type Event struct {
 // Config parameterizes trace generation.
 type Config struct {
 	// ArrivalRate is the Poisson arrival rate (users per unit time).
-	// The paper uses 3.
+	// The paper uses 3. With RateShape set it is the PEAK rate; the
+	// instantaneous rate is ArrivalRate*RateShape(t).
 	ArrivalRate float64
 	// DepartureRate is the Poisson departure rate (departures per unit
-	// time while at least one user is present). The paper uses 1.
+	// time while at least one user is present, removing a uniformly
+	// random present user). The paper uses 1. Mutually exclusive with
+	// DwellRate.
 	DepartureRate float64
+	// DwellRate gives each user an independent Exp(DwellRate) dwell time
+	// from its arrival (initial users dwell from time 0) — the M/M/∞
+	// model whose steady-state population is ArrivalRate/DwellRate. The
+	// city harness uses this form: per-user dwell makes departures
+	// open-loop (no global coupling through the present-set), which is
+	// how real clients behave. Mutually exclusive with DepartureRate.
+	DwellRate float64
+	// RateShape modulates the arrival rate over time (diurnal load
+	// curves): the instantaneous rate is ArrivalRate*RateShape(t).
+	// The shape must be deterministic and stay within [0, 1] (arrivals
+	// are generated at the peak rate and thinned — values above 1 are
+	// clamped, silently flattening the curve). Nil means constant rate.
+	RateShape func(t float64) float64
 	// Horizon is the simulated duration.
 	Horizon float64
 	// InitialUsers are present at time 0 (IDs 0..InitialUsers-1).
 	InitialUsers int
 	Seed         int64
+}
+
+// Diurnal returns a sinusoidal day/night RateShape with the given period:
+// 1 at mid-period (afternoon peak), floor at the period boundaries
+// (night), shaped as floor + (1-floor)·(1-cos(2πt/period))/2.
+func Diurnal(period, floor float64) func(float64) float64 {
+	return func(t float64) float64 {
+		return floor + (1-floor)*(1-math.Cos(2*math.Pi*t/period))/2
+	}
 }
 
 // DefaultConfig mirrors the paper's setting: arrival rate 3, departure
@@ -69,11 +94,17 @@ func DefaultConfig() Config {
 }
 
 func (c Config) validate() error {
-	if c.ArrivalRate < 0 || c.DepartureRate < 0 {
+	if c.ArrivalRate < 0 || c.DepartureRate < 0 || c.DwellRate < 0 {
 		return fmt.Errorf("workload: negative rate in %+v", c)
 	}
-	if c.ArrivalRate == 0 && c.DepartureRate == 0 {
-		return fmt.Errorf("workload: both rates zero")
+	if c.ArrivalRate == 0 && c.DepartureRate == 0 && c.DwellRate == 0 {
+		return fmt.Errorf("workload: all rates zero")
+	}
+	if c.DepartureRate > 0 && c.DwellRate > 0 {
+		return fmt.Errorf("workload: DepartureRate and DwellRate are mutually exclusive")
+	}
+	if c.RateShape != nil && c.ArrivalRate <= 0 {
+		return fmt.Errorf("workload: RateShape set with no arrival rate")
 	}
 	if c.Horizon <= 0 {
 		return fmt.Errorf("workload: non-positive horizon %v", c.Horizon)
@@ -85,8 +116,14 @@ func (c Config) validate() error {
 }
 
 // Generate builds a churn trace. Arrivals carry fresh sequential user IDs
-// (continuing after the initial users); each departure removes a
-// uniformly random present user. Deterministic for a given seed.
+// (continuing after the initial users). Departures follow one of two
+// models: DepartureRate removes a uniformly random present user at a
+// network-level Poisson rate (the paper's §V-A setting), while DwellRate
+// expires each user independently after an exponential dwell (M/M/∞).
+// With RateShape set, arrivals are generated at the peak rate and thinned
+// to the instantaneous one (Lewis-Shedler). Deterministic for a given
+// seed: every draw comes from one root stream consumed in event order,
+// and eventsim breaks time ties FIFO.
 func Generate(cfg Config) ([]Event, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -99,12 +136,26 @@ func Generate(cfg Config) ([]Event, error) {
 		present []int
 		nextID  = cfg.InitialUsers
 	)
-	for i := 0; i < cfg.InitialUsers; i++ {
-		present = append(present, i)
-	}
 
 	exp := func(rate float64) float64 {
 		return rng.ExpFloat64() / rate
+	}
+
+	var scheduleDwell func(s *eventsim.Sim, id int)
+	scheduleDwell = func(s *eventsim.Sim, id int) {
+		if err := s.Schedule(exp(cfg.DwellRate), func(s2 *eventsim.Sim) {
+			events = append(events, Event{Time: s2.Now(), Kind: Departure, UserID: id})
+		}); err != nil {
+			panic(err) // delays are non-negative by construction
+		}
+	}
+
+	for i := 0; i < cfg.InitialUsers; i++ {
+		if cfg.DwellRate > 0 {
+			scheduleDwell(sim, i)
+		} else {
+			present = append(present, i)
+		}
 	}
 
 	var scheduleArrival, scheduleDeparture func(sim *eventsim.Sim)
@@ -113,12 +164,32 @@ func Generate(cfg Config) ([]Event, error) {
 			return
 		}
 		if err := s.Schedule(exp(cfg.ArrivalRate), func(s2 *eventsim.Sim) {
-			events = append(events, Event{Time: s2.Now(), Kind: Arrival, UserID: nextID})
-			present = append(present, nextID)
-			nextID++
+			// Lewis-Shedler thinning: candidate arrivals run at the peak
+			// rate; each survives with probability shape(t). Only shaped
+			// runs consume the acceptance draw, so unshaped traces match
+			// the pre-shape generator byte for byte.
+			accept := true
+			if cfg.RateShape != nil {
+				p := cfg.RateShape(s2.Now())
+				if p < 1 {
+					if p < 0 {
+						p = 0
+					}
+					accept = rng.Float64() < p
+				}
+			}
+			if accept {
+				events = append(events, Event{Time: s2.Now(), Kind: Arrival, UserID: nextID})
+				if cfg.DwellRate > 0 {
+					scheduleDwell(s2, nextID)
+				} else {
+					present = append(present, nextID)
+				}
+				nextID++
+			}
 			scheduleArrival(s2)
 		}); err != nil {
-			panic(err) // delays are non-negative by construction
+			panic(err)
 		}
 	}
 	scheduleDeparture = func(s *eventsim.Sim) {

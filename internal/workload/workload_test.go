@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"reflect"
 	"sort"
 	"testing"
 )
@@ -237,5 +238,123 @@ func TestPureDeathProcess(t *testing.T) {
 	}
 	if departures != 10 {
 		t.Errorf("departures = %d, want 10 (population must not go negative)", departures)
+	}
+}
+
+// TestDwellModeValidation pins the dwell/departure exclusivity and shape
+// preconditions.
+func TestDwellModeValidation(t *testing.T) {
+	bad := []Config{
+		{ArrivalRate: 1, DepartureRate: 1, DwellRate: 1, Horizon: 10},
+		{ArrivalRate: 1, DwellRate: -1, Horizon: 10},
+		{DwellRate: 0, DepartureRate: 0, ArrivalRate: 0, Horizon: 10},
+		{RateShape: Diurnal(24, 0.2), DepartureRate: 1, Horizon: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+}
+
+// TestDwellDeparturesAreConsistent checks the M/M/∞ trace invariants:
+// every departure names a user that arrived (or was initial) and is still
+// present, each user departs at most once, and the mean population over
+// the second half of the horizon sits near ArrivalRate/DwellRate.
+func TestDwellDeparturesAreConsistent(t *testing.T) {
+	cfg := Config{
+		ArrivalRate:  50,
+		DwellRate:    5, // steady state ≈ 10 users
+		Horizon:      200,
+		InitialUsers: 10,
+		Seed:         99,
+	}
+	events, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := make(map[int]bool, cfg.InitialUsers)
+	for i := 0; i < cfg.InitialUsers; i++ {
+		present[i] = true
+	}
+	departed := make(map[int]bool)
+	for _, ev := range events {
+		switch ev.Kind {
+		case Arrival:
+			if present[ev.UserID] || departed[ev.UserID] {
+				t.Fatalf("user %d arrived twice", ev.UserID)
+			}
+			present[ev.UserID] = true
+		case Departure:
+			if !present[ev.UserID] {
+				t.Fatalf("user %d departed while absent", ev.UserID)
+			}
+			if departed[ev.UserID] {
+				t.Fatalf("user %d departed twice", ev.UserID)
+			}
+			delete(present, ev.UserID)
+			departed[ev.UserID] = true
+		}
+	}
+	// Time-averaged population over the settled second half.
+	sum, samples := 0.0, 0
+	for ts := cfg.Horizon / 2; ts <= cfg.Horizon; ts += 1 {
+		sum += float64(Population(cfg.InitialUsers, events, ts))
+		samples++
+	}
+	mean := sum / float64(samples)
+	want := cfg.ArrivalRate / cfg.DwellRate
+	if mean < want*0.7 || mean > want*1.3 {
+		t.Errorf("steady-state population %.1f, want ≈ %.1f (M/M/∞)", mean, want)
+	}
+}
+
+// TestDiurnalShapeThinsArrivals checks the inhomogeneous generator: with
+// a day/night shape the peak half-period must see substantially more
+// arrivals than the trough, and the total must land near the shape's
+// integral, not the peak rate.
+func TestDiurnalShapeThinsArrivals(t *testing.T) {
+	const period = 24.0
+	cfg := Config{
+		ArrivalRate: 40,
+		DwellRate:   2,
+		RateShape:   Diurnal(period, 0.1),
+		Horizon:     period,
+		Seed:        7,
+	}
+	events, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trough, peak := 0, 0 // quarters around t=0/24 vs t=12
+	total := 0
+	for _, ev := range events {
+		if ev.Kind != Arrival {
+			continue
+		}
+		total++
+		switch {
+		case ev.Time < period/4 || ev.Time > 3*period/4:
+			trough++
+		default:
+			peak++
+		}
+	}
+	if peak <= 2*trough {
+		t.Errorf("diurnal shape: %d peak-half arrivals vs %d trough-half, want a clear day/night ratio", peak, trough)
+	}
+	// Integral of the shape over one period = floor + (1-floor)/2 = 0.55.
+	want := 0.55 * cfg.ArrivalRate * period
+	if f := float64(total); f < want*0.7 || f > want*1.3 {
+		t.Errorf("total arrivals %d, want ≈ %.0f from the thinned rate", total, want)
+	}
+
+	// Same seed, same shape: byte-for-byte deterministic.
+	again, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, again) {
+		t.Error("shaped trace not deterministic for a fixed seed")
 	}
 }

@@ -72,4 +72,19 @@ if [ -n "$bad" ]; then
 	echo "hand results up through internal/core or the strategy registry instead" >&2
 	exit 1
 fi
+# internal/city is a pure harness: it composes the planes (shard,
+# control) with the workload generators (workload, eventsim, seed) and
+# carries a strategy.Budget through to the engines. It must never reach
+# into the model or algorithm layers directly — a city that builds its
+# own model.Network or calls a solver is no longer measuring the plane
+# it claims to. No test-file exemption: the differential tests compare
+# planes against each other, not against raw algorithms.
+bad=$(grep -rnE '"github.com/plcwifi/wolt/internal/(model|baseline|core|nlp|localsearch|netsim|hungarian|topology|radio|plc)"' \
+	--include='*.go' ./internal/city/ || true)
+if [ -n "$bad" ]; then
+	echo "import lint: internal/city must drive the plane only via shard/control/workload/eventsim/seed:" >&2
+	echo "$bad" >&2
+	echo "scan reports and budgets are the only interface; do not reach the model or algorithm layers" >&2
+	exit 1
+fi
 echo "import lint: clean"
