@@ -1,6 +1,7 @@
 package city
 
 import (
+	"os"
 	"testing"
 
 	"github.com/plcwifi/wolt/internal/strategy"
@@ -39,6 +40,36 @@ func BenchmarkCitySmoke(b *testing.B) {
 		Budget:          strategy.Budget{Probes: 200},
 		ReassignOnLeave: true,
 		Seed:            2026,
+	})
+}
+
+// BenchmarkCitySustained1M is the north-star run: 256 shards, 10^6
+// users sustained, placement-only warm joins on the concurrent
+// coordinator, fixed-memory latency sketches, no final-assignment copy.
+// One iteration drives over a million plane operations and takes
+// minutes, so it only runs when WOLT_CITY_1M is set (scripts/
+// bench-city.sh sets it); the CI bench-smoke regex still compiles it.
+func BenchmarkCitySustained1M(b *testing.B) {
+	if os.Getenv("WOLT_CITY_1M") == "" {
+		b.Skip("set WOLT_CITY_1M=1 to run the multi-minute 10^6-user benchmark")
+	}
+	benchRun(b, Config{
+		Shards:              256,
+		TargetUsers:         1_000_000,
+		InitialFill:         1.0,
+		DwellMean:           6000,
+		Horizon:             60,
+		UpdateMean:          6000,
+		DiurnalFloor:        0.3,
+		DiurnalPeriod:       120,
+		Policy:              "wolt-hillclimb",
+		Budget:              strategy.Budget{Probes: 200},
+		ReassignOnLeave:     true,
+		PlacementOnlyJoins:  true,
+		FullResolveEvery:    64,
+		Concurrency:         4,
+		SkipFinalAssignment: true,
+		Seed:                2026,
 	})
 }
 

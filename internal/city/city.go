@@ -21,14 +21,17 @@
 package city
 
 import (
+	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/plcwifi/wolt/internal/control"
 	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/shard"
+	"github.com/plcwifi/wolt/internal/stats"
 	"github.com/plcwifi/wolt/internal/strategy"
 	"github.com/plcwifi/wolt/internal/workload"
 )
@@ -100,6 +103,27 @@ type Config struct {
 	// Seed roots every stream of the run: trace, user draws, extender
 	// capacities, ring positions.
 	Seed int64
+	// Concurrency is the worker-lane count plane operations are
+	// dispatched on (<= 1 = sequential, bit-identical to previous
+	// releases). Operations of one user always land on the same lane
+	// (hash user→lane), preserving the per-user join→update→leave order;
+	// different users' operations interleave freely, which is exactly the
+	// concurrency the lock-striped coordinator admits. Deterministic
+	// Result fields stay deterministic (the event stream is generated
+	// before dispatch); Directives/Reassociations counts under
+	// re-solving policies become interleaving-dependent.
+	Concurrency int
+	// PlacementOnlyJoins routes member-engine joins through the policy's
+	// online placement form (control.EngineConfig.PlacementOnlyJoins) —
+	// the O(budget) warm path instead of a full per-join re-solve.
+	PlacementOnlyJoins bool
+	// FullResolveEvery, under PlacementOnlyJoins, forces a full re-solve
+	// on every Nth join per member engine.
+	FullResolveEvery int
+	// SkipFinalAssignment leaves Result.FinalAssignment nil: at 10^6
+	// users the merged map is an O(n) stop-the-world copy the sustained
+	// benchmarks don't want to price.
+	SkipFinalAssignment bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -187,6 +211,18 @@ type Result struct {
 	JoinsPerSec float64
 	P50Latency  time.Duration
 	P99Latency  time.Duration
+}
+
+// ScrubHostMetrics zeroes the fields that measure this host rather than
+// the simulated system — Elapsed, JoinsPerSec and the latency
+// percentiles. Determinism comparisons (tests, the replay harness) call
+// it instead of hand-maintaining the field list; everything left is
+// bit-identical for a given Config in sequential mode.
+func (r *Result) ScrubHostMetrics() {
+	r.Elapsed = 0
+	r.JoinsPerSec = 0
+	r.P50Latency = 0
+	r.P99Latency = 0
 }
 
 // City is a prepared run: deployment, churn trace and per-user streams,
@@ -287,13 +323,15 @@ func (c *City) TraceLen() int { return len(c.trace) }
 // NewCoordinator builds the sharded plane this city was sized for.
 func (c *City) NewCoordinator() (*shard.Coordinator, error) {
 	return shard.NewCoordinator(shard.Config{
-		Shards:          c.cfg.Shards,
-		PLCCaps:         c.caps,
-		Policy:          c.cfg.Policy,
-		Workers:         c.cfg.Workers,
-		Seed:            c.cfg.Seed,
-		Budget:          c.cfg.Budget,
-		ReassignOnLeave: c.cfg.ReassignOnLeave,
+		Shards:             c.cfg.Shards,
+		PLCCaps:            c.caps,
+		Policy:             c.cfg.Policy,
+		Workers:            c.cfg.Workers,
+		Seed:               c.cfg.Seed,
+		Budget:             c.cfg.Budget,
+		ReassignOnLeave:    c.cfg.ReassignOnLeave,
+		PlacementOnlyJoins: c.cfg.PlacementOnlyJoins,
+		FullResolveEvery:   c.cfg.FullResolveEvery,
 	})
 }
 
@@ -301,12 +339,14 @@ func (c *City) NewCoordinator() (*shard.Coordinator, error) {
 // and policy — the differential-test reference.
 func (c *City) NewEngine() (*control.Engine, error) {
 	return control.NewEngine(control.EngineConfig{
-		PLCCaps:         c.caps,
-		Policy:          c.cfg.Policy,
-		Workers:         c.cfg.Workers,
-		Seed:            c.cfg.Seed,
-		Budget:          c.cfg.Budget,
-		ReassignOnLeave: c.cfg.ReassignOnLeave,
+		PLCCaps:            c.caps,
+		Policy:             c.cfg.Policy,
+		Workers:            c.cfg.Workers,
+		Seed:               c.cfg.Seed,
+		Budget:             c.cfg.Budget,
+		ReassignOnLeave:    c.cfg.ReassignOnLeave,
+		PlacementOnlyJoins: c.cfg.PlacementOnlyJoins,
+		FullResolveEvery:   c.cfg.FullResolveEvery,
 	})
 }
 
@@ -377,47 +417,78 @@ func (c *City) expDraw(id int, mean float64) float64 {
 	return -mean * math.Log(1-c.draw(id))
 }
 
-// Run replays the city's streams against a plane and measures it. The
-// same City may be Run multiple times (against different planes or the
-// same one rebuilt); each run resets the per-user streams so the event
-// sequences are identical.
-func (c *City) Run(plane Plane) (Result, error) {
-	cfg := c.cfg
-	for i := range c.users {
-		c.users[i] = userState{}
+// opKind tags one plane operation in flight between the event generator
+// and the dispatch path.
+type opKind uint8
+
+const (
+	opJoin opKind = iota
+	opUpdate
+	opLeave
+)
+
+// planeOp is one generated operation. rates aliases the generator's
+// shared scan scratch; a dispatch path that outlives the emit call must
+// copy it (the concurrent lanes do).
+type planeOp struct {
+	kind  opKind
+	id    int
+	rates []float64
+}
+
+// applyOp drives one operation into the plane and returns its
+// directives.
+func applyOp(plane Plane, op planeOp) ([]control.Directive, error) {
+	switch op.kind {
+	case opJoin:
+		dirs, err := plane.Join(op.id, op.rates, nil)
+		if err != nil {
+			return nil, fmt.Errorf("city: join user %d: %w", op.id, err)
+		}
+		return dirs, nil
+	case opUpdate:
+		dirs, err := plane.Update(op.id, op.rates, nil)
+		if err != nil {
+			return nil, fmt.Errorf("city: update user %d: %w", op.id, err)
+		}
+		return dirs, nil
+	default:
+		dirs, ok := plane.Leave(op.id)
+		if !ok {
+			return nil, fmt.Errorf("city: leave of absent user %d", op.id)
+		}
+		return dirs, nil
 	}
+}
 
-	res := Result{Extenders: len(c.caps)}
-	// One latency sample per plane operation: trace events plus roughly
-	// Horizon/UpdateMean updates per present user. Preallocate from the
-	// trace; updates grow it at most a few times.
-	latencies := make([]float64, 0, 2*len(c.trace)+16)
-	present := 0
-
-	// mobility is a time-ordered queue of pending roam updates. Instead
-	// of a closure per event (allocation per roam), the eventsim kernel
-	// is bypassed for updates: users store their own nextUpd time and a
-	// binary heap of IDs orders them. A plain slice-heap keyed by
-	// (time, id) keeps scheduling allocation-free after warm-up.
+// generate replays the churn trace merged with the roam queue, doing
+// every per-user draw itself — placement, roam steps, scan rates,
+// update scheduling, presence — so the operation stream handed to emit
+// is bit-identical whether the operations execute inline (sequential
+// mode) or on worker lanes. All deterministic Result counters (Joins,
+// Leaves, Updates, Events, PeakUsers) are the generator's; only
+// Directives and the latency sketches belong to the dispatch path.
+//
+// Mobility is a time-ordered queue of pending roam updates. Instead of
+// a closure per event (allocation per roam), the eventsim kernel is
+// bypassed for updates: users store their own nextUpd time and a binary
+// heap of IDs orders them. A plain slice-heap keyed by (time, id) keeps
+// scheduling allocation-free after warm-up.
+func (c *City) generate(res *Result, emit func(planeOp) error) (present int, err error) {
+	cfg := c.cfg
 	heap := roamHeap{city: c}
-
-	start := time.Now()
 	apply := func(id int, kind workload.EventKind, now float64) error {
 		switch kind {
 		case workload.Arrival:
 			c.placeNew(id)
 			c.users[id].present = true
-			t0 := time.Now()
-			dirs, err := plane.Join(id, c.scanRates(id), nil)
-			latencies = append(latencies, float64(time.Since(t0).Nanoseconds())/1e3)
-			if err != nil {
-				return fmt.Errorf("city: join user %d: %w", id, err)
-			}
 			res.Joins++
-			res.Directives += len(dirs)
 			present++
 			if present > res.PeakUsers {
 				res.PeakUsers = present
+			}
+			if err := emit(planeOp{kind: opJoin, id: id, rates: c.scanRates(id)}); err != nil {
+				return err
 			}
 			if cfg.UpdateMean > 0 {
 				c.users[id].nextUpd = now + c.expDraw(id, cfg.UpdateMean)
@@ -425,15 +496,11 @@ func (c *City) Run(plane Plane) (Result, error) {
 			}
 		case workload.Departure:
 			c.users[id].present = false
-			t0 := time.Now()
-			dirs, ok := plane.Leave(id)
-			latencies = append(latencies, float64(time.Since(t0).Nanoseconds())/1e3)
-			if !ok {
-				return fmt.Errorf("city: leave of absent user %d", id)
-			}
 			res.Leaves++
-			res.Directives += len(dirs)
 			present--
+			if err := emit(planeOp{kind: opLeave, id: id}); err != nil {
+				return err
+			}
 		}
 		res.Events++
 		return nil
@@ -444,15 +511,11 @@ func (c *City) Run(plane Plane) (Result, error) {
 			return nil // departed between schedule and fire
 		}
 		c.roam(id)
-		t0 := time.Now()
-		dirs, err := plane.Update(id, c.scanRates(id), nil)
-		latencies = append(latencies, float64(time.Since(t0).Nanoseconds())/1e3)
-		if err != nil {
-			return fmt.Errorf("city: update user %d: %w", id, err)
-		}
 		res.Updates++
 		res.Events++
-		res.Directives += len(dirs)
+		if err := emit(planeOp{kind: opUpdate, id: id, rates: c.scanRates(id)}); err != nil {
+			return err
+		}
 		u.nextUpd = now + c.expDraw(id, cfg.UpdateMean)
 		heap.push(id)
 		return nil
@@ -462,7 +525,7 @@ func (c *City) Run(plane Plane) (Result, error) {
 	// time 0, in ID order.
 	for id := 0; id < c.InitialUsers(); id++ {
 		if err := apply(id, workload.Arrival, 0); err != nil {
-			return res, err
+			return present, err
 		}
 	}
 
@@ -477,11 +540,11 @@ func (c *City) Run(plane Plane) (Result, error) {
 			}
 			heap.pop()
 			if err := update(id, at); err != nil {
-				return res, err
+				return present, err
 			}
 		}
 		if err := apply(ev.UserID, ev.Kind, ev.Time); err != nil {
-			return res, err
+			return present, err
 		}
 	}
 	for {
@@ -491,24 +554,59 @@ func (c *City) Run(plane Plane) (Result, error) {
 		}
 		heap.pop()
 		if err := update(id, at); err != nil {
-			return res, err
+			return present, err
 		}
 	}
-	res.Elapsed = time.Since(start)
+	return present, nil
+}
 
+// Run replays the city's streams against a plane and measures it. The
+// same City may be Run multiple times (against different planes or the
+// same one rebuilt); each run resets the per-user streams so the event
+// sequences are identical.
+func (c *City) Run(plane Plane) (Result, error) {
+	cfg := c.cfg
+	for i := range c.users {
+		c.users[i] = userState{}
+	}
+
+	res := Result{Extenders: len(c.caps)}
+	// Fixed-memory latency accounting: one P² sketch per reported
+	// percentile — O(1) state however many events the run drives, where
+	// the old per-operation sample slice held millions of float64s at
+	// city scale.
+	p50, p99 := stats.MustQuantile(0.50), stats.MustQuantile(0.99)
+
+	start := time.Now()
+	var present int
+	var err error
+	if cfg.Concurrency > 1 {
+		present, err = c.runConcurrent(plane, &res, p50, p99)
+	} else {
+		present, err = c.runSequential(plane, &res, p50, p99)
+	}
+	res.Elapsed = time.Since(start)
 	res.FinalUsers = present
+	if err != nil {
+		return res, err
+	}
+
 	switch p := plane.(type) {
 	case *shard.Coordinator:
 		st := p.Stats()
 		res.Handoffs = st.Handoffs
 		res.Reassociations = st.Reassociations
 		res.DroppedReassigns = st.DroppedReassigns
-		res.FinalAssignment = st.Assignment
+		if !cfg.SkipFinalAssignment {
+			res.FinalAssignment = p.StatsWithAssignment().Assignment
+		}
 	case *control.Engine:
-		st := p.Stats()
+		st := p.StatsLite()
 		res.Reassociations = st.Reassociations
 		res.DroppedReassigns = st.DroppedReassigns
-		res.FinalAssignment = st.Assignment
+		if !cfg.SkipFinalAssignment {
+			res.FinalAssignment = p.Stats().Assignment
+		}
 	}
 	if res.Updates > 0 {
 		res.HandoffRate = float64(res.Handoffs) / float64(res.Updates)
@@ -516,9 +614,132 @@ func (c *City) Run(plane Plane) (Result, error) {
 	if sec := res.Elapsed.Seconds(); sec > 0 {
 		res.JoinsPerSec = float64(res.Joins) / sec
 	}
-	res.P50Latency = percentileUS(latencies, 50)
-	res.P99Latency = percentileUS(latencies, 99)
+	res.P50Latency = time.Duration(p50.Value() * 1e3)
+	res.P99Latency = time.Duration(p99.Value() * 1e3)
 	return res, nil
+}
+
+// runSequential executes every generated operation inline — today's
+// single-threaded path, bit-identical to previous releases.
+func (c *City) runSequential(plane Plane, res *Result, p50, p99 *stats.Quantile) (int, error) {
+	return c.generate(res, func(op planeOp) error {
+		t0 := time.Now()
+		dirs, err := applyOp(plane, op)
+		lat := float64(time.Since(t0).Nanoseconds()) / 1e3
+		p50.Add(lat)
+		p99.Add(lat)
+		if err != nil {
+			return err
+		}
+		res.Directives += len(dirs)
+		return nil
+	})
+}
+
+// errCityAborted is the generator's stop signal once a lane worker has
+// already captured the real failure.
+var errCityAborted = errors.New("city: run aborted by worker error")
+
+// runConcurrent fans generated operations out over cfg.Concurrency
+// bounded worker lanes, hashing each user to a fixed lane so its
+// join→update→leave order is preserved while different users'
+// operations interleave — the load shape the lock-striped coordinator
+// is built for. The first worker error aborts the generator; remaining
+// queued operations are drained without effect.
+func (c *City) runConcurrent(plane Plane, res *Result, p50, p99 *stats.Quantile) (int, error) {
+	lanes := c.cfg.Concurrency
+	const laneDepth = 64
+	chans := make([]chan planeOp, lanes)
+	for i := range chans {
+		chans[i] = make(chan planeOp, laneDepth)
+	}
+	// Pooled scan-vector copies: the generator's scratch is reused per
+	// event, so each dispatched op carries its own buffer, recycled
+	// through a free channel once the worker is done with it.
+	free := make(chan []float64, lanes*laneDepth+lanes)
+
+	var (
+		wg       sync.WaitGroup
+		aborted  atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		latMu    sync.Mutex
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		aborted.Store(true)
+	}
+	release := func(op planeOp) {
+		if op.rates == nil {
+			return
+		}
+		select {
+		case free <- op.rates:
+		default:
+		}
+	}
+	dirCounts := make([]int, lanes)
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for op := range chans[lane] {
+				if aborted.Load() {
+					release(op)
+					continue
+				}
+				t0 := time.Now()
+				dirs, err := applyOp(plane, op)
+				lat := float64(time.Since(t0).Nanoseconds()) / 1e3
+				latMu.Lock()
+				p50.Add(lat)
+				p99.Add(lat)
+				latMu.Unlock()
+				release(op)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				dirCounts[lane] += len(dirs)
+			}
+		}(i)
+	}
+
+	present, genErr := c.generate(res, func(op planeOp) error {
+		if aborted.Load() {
+			return errCityAborted
+		}
+		if op.rates != nil {
+			var buf []float64
+			select {
+			case buf = <-free:
+			default:
+				buf = make([]float64, len(c.caps))
+			}
+			copy(buf, op.rates)
+			op.rates = buf
+		}
+		chans[uint(op.id)%uint(lanes)] <- op
+		return nil
+	})
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	for _, n := range dirCounts {
+		res.Directives += n
+	}
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err == nil && genErr != nil && !errors.Is(genErr, errCityAborted) {
+		err = genErr
+	}
+	return present, err
 }
 
 // Run prepares and runs a city on its sharded plane in one call.
@@ -532,20 +753,6 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	return c.Run(coord)
-}
-
-// percentileUS computes the nearest-rank percentile of µs samples.
-func percentileUS(samples []float64, pct float64) time.Duration {
-	if len(samples) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), samples...)
-	sort.Float64s(sorted)
-	rank := int(math.Ceil(pct / 100 * float64(len(sorted))))
-	if rank < 1 {
-		rank = 1
-	}
-	return time.Duration(sorted[rank-1] * 1e3)
 }
 
 // roamHeap is a binary min-heap of user IDs ordered by their nextUpd

@@ -157,6 +157,107 @@ func TestCityDifferentialShardedVsSingleEngine(t *testing.T) {
 	}
 }
 
+// TestCityDifferentialConcurrentVsSequential pins the worker-lane
+// contract: under the rssi policy — where each user's final extender
+// depends only on its own last scan, so no operation interleaving can
+// change it — a concurrent run must end in the identical association as
+// the sequential one, with identical generator-side counters. Handoffs
+// are included: routing depends only on the feeder-deterministic scan
+// rates and the (static) ring, so the count survives reordering.
+func TestCityDifferentialConcurrentVsSequential(t *testing.T) {
+	run := func(lanes int) Result {
+		res, err := Run(Config{
+			Shards:      4,
+			TargetUsers: 400,
+			Horizon:     20,
+			DwellMean:   10,
+			UpdateMean:  15,
+			Policy:      "rssi",
+			Seed:        77,
+			Concurrency: lanes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, conc := run(1), run(4)
+	for _, pair := range [][2]int{
+		{seq.Joins, conc.Joins},
+		{seq.Leaves, conc.Leaves},
+		{seq.Updates, conc.Updates},
+		{seq.Events, conc.Events},
+		{seq.PeakUsers, conc.PeakUsers},
+		{seq.FinalUsers, conc.FinalUsers},
+		{seq.Handoffs, conc.Handoffs},
+	} {
+		if pair[0] != pair[1] {
+			t.Fatalf("concurrent run diverged from sequential:\n seq:  %+v\n conc: %+v", seq, conc)
+		}
+	}
+	if !reflect.DeepEqual(seq.FinalAssignment, conc.FinalAssignment) {
+		diff := 0
+		for id, ext := range seq.FinalAssignment {
+			if conc.FinalAssignment[id] != ext {
+				diff++
+			}
+		}
+		t.Errorf("final associations differ for %d/%d users", diff, len(seq.FinalAssignment))
+	}
+	if seq.Handoffs == 0 {
+		t.Error("no cross-shard handoffs; the stream did not exercise the boundary")
+	}
+}
+
+// TestCityConcurrentHillclimb drives the worker lanes with the full
+// re-solving policy under -race: directive counts are
+// interleaving-dependent there, but the generator-side counters and the
+// plane's own user accounting must still hold together.
+func TestCityConcurrentHillclimb(t *testing.T) {
+	cfg := Config{
+		Shards:             4,
+		TargetUsers:        150,
+		Horizon:            20,
+		DwellMean:          10,
+		UpdateMean:         15,
+		Policy:             "wolt-hillclimb",
+		Budget:             strategy.Budget{Probes: 100},
+		ReassignOnLeave:    true,
+		PlacementOnlyJoins: true,
+		Seed:               41,
+		Concurrency:        3,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := c.NewCoordinator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != res.Joins+res.Leaves+res.Updates {
+		t.Errorf("events %d != joins %d + leaves %d + updates %d",
+			res.Events, res.Joins, res.Leaves, res.Updates)
+	}
+	st := coord.Stats()
+	if st.Users != res.FinalUsers {
+		t.Errorf("plane reports %d users, harness counted %d", st.Users, res.FinalUsers)
+	}
+	if st.Joins != res.Joins || st.Leaves != res.Leaves {
+		t.Errorf("plane counters joins=%d leaves=%d, harness joins=%d leaves=%d",
+			st.Joins, st.Leaves, res.Joins, res.Leaves)
+	}
+	for id, ext := range res.FinalAssignment {
+		if ext < 0 || ext >= res.Extenders {
+			t.Errorf("user %d on out-of-range extender %d", id, ext)
+		}
+	}
+}
+
 // TestCityDeterministicAcrossWorkers pins the §7 contract for the
 // harness: identical Results (wall-clock fields excluded) for any
 // Workers value, with the full wolt-hillclimb policy in the loop.
@@ -178,7 +279,7 @@ func TestCityDeterministicAcrossWorkers(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Strip host measurements; everything else must be bit-identical.
-		res.Elapsed, res.JoinsPerSec, res.P50Latency, res.P99Latency = 0, 0, 0, 0
+		res.ScrubHostMetrics()
 		return res
 	}
 	w1, w8 := run(1), run(8)
@@ -212,7 +313,7 @@ func TestCityReusableAcrossRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res.Elapsed, res.JoinsPerSec, res.P50Latency, res.P99Latency = 0, 0, 0, 0
+		res.ScrubHostMetrics()
 		results[i] = res
 	}
 	if !reflect.DeepEqual(results[0], results[1]) {

@@ -63,6 +63,25 @@ type EngineConfig struct {
 	// so this is off by default; it exists for the anytime policies,
 	// whose leave-time repair costs microseconds, not a full solve.
 	ReassignOnLeave bool
+	// PlacementOnlyJoins routes joins through the policy's online form
+	// (strategy.Online.Add) when it has one: the arriving user is placed
+	// on its best candidate extender and nobody else moves — the
+	// engine-level encoding of the §11 anytime contract's
+	// Budget.Moves < 0 ("arrivals are free, re-associations forbidden").
+	// Setting Budget.Moves < 0 directly implies it. At city scale this
+	// turns each join from a budgeted hill-climb (which still pays a
+	// deficit-ordered sweep over the whole user table) into an O(M)
+	// candidate probe, and emits exactly one directive per join.
+	// Updates and leave-time repairs still use the configured budget's
+	// full re-solve path. Policies without an online form fall back to
+	// their re-solve form unchanged.
+	PlacementOnlyJoins bool
+	// FullResolveEvery, under PlacementOnlyJoins, runs the full
+	// recompute path on every Nth join anyway (counting from the first),
+	// so placement drift is periodically repaired by a real re-solve
+	// under the configured Budget. Zero never forces one — the periodic
+	// repair is an explicit knob, not a default.
+	FullResolveEvery int
 }
 
 // Engine is the transport-free policy/state core of a central
@@ -98,6 +117,9 @@ type Engine struct {
 	// strategy is the policy instance (nil for PolicyRSSI, which places
 	// users by their reported signal instead). Only used under mu.
 	strategy strategy.Strategy
+	// placementJoins routes joins through the online placement form
+	// (EngineConfig.PlacementOnlyJoins, or Budget.Moves < 0).
+	placementJoins bool
 
 	mu sync.Mutex
 	// rows is the user table, sorted by ascending user ID. Rows beyond
@@ -178,9 +200,10 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 
 	e := &Engine{
-		cfg:      cfg,
-		policy:   cfg.Policy,
-		strategy: st,
+		cfg:            cfg,
+		policy:         cfg.Policy,
+		strategy:       st,
+		placementJoins: cfg.PlacementOnlyJoins || cfg.Budget.Moves < 0,
 	}
 	if err := e.resolveOwned(cfg.Owned); err != nil {
 		return nil, err
@@ -321,7 +344,11 @@ func (e *Engine) Join(userID int, rates, rssi []float64) ([]Directive, error) {
 	r := e.insertRow(pos, userID)
 	e.setReport(r, rates, rssi)
 	e.joins++
-	dirs, err := e.recomputeLocked(pos)
+	// Placement-only joins skip the full re-solve unless this is a
+	// scheduled periodic repair (FullResolveEvery counts joins from 1).
+	placementOnly := e.placementJoins &&
+		!(e.cfg.FullResolveEvery > 0 && e.joins%e.cfg.FullResolveEvery == 0)
+	dirs, err := e.recomputeLocked(pos, placementOnly)
 	if err != nil {
 		e.removeRow(pos)
 		e.joins--
@@ -365,7 +392,7 @@ func (e *Engine) Update(userID int, rates, rssi []float64) ([]Directive, error) 
 	e.prevRates = append(e.prevRates[:0], r.rates...)
 	e.prevRSSI = append(e.prevRSSI[:0], r.rssi...)
 	e.setReport(r, rates, rssi)
-	dirs, err := e.recomputeLocked(pos)
+	dirs, err := e.recomputeLocked(pos, false)
 	if err != nil {
 		e.setReport(r, e.prevRates, e.prevRSSI)
 		return nil, err
@@ -396,7 +423,7 @@ func (e *Engine) Leave(userID int) ([]Directive, bool) {
 			// recomputeLocked tolerates the no-new-user form (-1) only
 			// on the Reassigner path, which never dereferences the new
 			// row.
-			dirs, err := e.recomputeLocked(-1)
+			dirs, err := e.recomputeLocked(-1, false)
 			if err == nil {
 				return dirs, true
 			}
@@ -437,18 +464,38 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// StatsLite returns the engine's counters without materializing the
+// assignment map — Stats.Assignment is nil. At city scale the full map
+// copy is an O(n) allocation per poll; callers that only want counters
+// (the sharded coordinator's merged stats, progress reporting) use this
+// form.
+func (e *Engine) StatsLite() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Policy:           e.policy,
+		Users:            len(e.rows),
+		Joins:            e.joins,
+		Leaves:           e.leaves,
+		Reassociations:   e.reassociations,
+		DroppedReassigns: e.droppedReassigns,
+	}
+}
+
 // recomputeLocked runs the policy after the user at row newRow joined or
 // reported fresh rates, updates the user table and returns the resulting
 // directives. newRow may be -1 (a departure under ReassignOnLeave) only
 // when the policy is a Reassigner, which never dereferences the new row.
-// Callers hold e.mu.
+// placementOnly asks applyStrategy for the online placement form instead
+// of the full re-solve when the policy has one (join path under
+// PlacementOnlyJoins). Callers hold e.mu.
 //
 // The network the strategy sees is persistent scratch: its rows alias
 // the user table's pooled rate vectors and its generation is bumped per
 // recompute, so delta evaluators and candidate caches re-attach instead
 // of trusting stale state (DESIGN.md §10). Steady state this path
 // allocates only the returned directive slice.
-func (e *Engine) recomputeLocked(newRow int) ([]Directive, error) {
+func (e *Engine) recomputeLocked(newRow int, placementOnly bool) ([]Directive, error) {
 	n := len(e.rows)
 	e.assign = growAssign(e.assign, n)
 
@@ -493,7 +540,7 @@ func (e *Engine) recomputeLocked(newRow int) ([]Directive, error) {
 	}
 	e.net.Invalidate()
 
-	assign, err := e.applyStrategy(&e.net, e.assign, newRow)
+	assign, err := e.applyStrategy(&e.net, e.assign, newRow, placementOnly)
 	if err != nil {
 		return nil, err
 	}
@@ -566,7 +613,22 @@ func growAssign(a model.Assignment, n int) model.Assignment {
 // exhaustive "optimal") are rejected with a typed error wrapping
 // strategy.ErrNoOnlineForm — the controller never silently falls back
 // to a different policy than the one configured.
-func (e *Engine) applyStrategy(n *model.Network, assign model.Assignment, newRow int) (model.Assignment, error) {
+//
+// With placementOnly set the preference inverts: a policy with an online
+// form places just the arriving user (O(budget) probes, no full sweep),
+// falling back to its re-solve form only when it has no online one. The
+// placement repair honours the §11 anytime contract — it is exactly what
+// Budget.Moves < 0 buys on the solver side, surfaced here as the join
+// fast path.
+func (e *Engine) applyStrategy(n *model.Network, assign model.Assignment, newRow int, placementOnly bool) (model.Assignment, error) {
+	if placementOnly && newRow >= 0 {
+		if on, ok := e.strategy.(strategy.Online); ok {
+			if _, err := on.Add(n, assign, newRow); err != nil {
+				return nil, err
+			}
+			return assign, nil
+		}
+	}
 	if re, ok := e.strategy.(strategy.Reassigner); ok {
 		return re.Reassign(n, assign)
 	}

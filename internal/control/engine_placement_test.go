@@ -1,0 +1,138 @@
+package control
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/plcwifi/wolt/internal/strategy"
+)
+
+// placementEngine builds a Fig 3 engine over the anytime hill-climb
+// policy with the given placement-only configuration.
+func placementEngine(t *testing.T, cfg EngineConfig) *Engine {
+	t.Helper()
+	cfg.PLCCaps = []float64{60, 20}
+	if cfg.Policy == "" {
+		cfg.Policy = "wolt-hillclimb"
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// fig3Displace replays the Fig 3 arrival pattern: user 1 settles on the
+// strong link, then user 2 arrives with rates that make a full re-solve
+// want to displace user 1 onto the weaker extender.
+func fig3Displace(t *testing.T, e *Engine) []Directive {
+	t.Helper()
+	if _, err := e.Join(1, []float64{15, 10}, []float64{-60, -70}); err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := e.Join(2, []float64{40, 5}, []float64{-55, -80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// TestEnginePlacementOnlyJoins pins the join fast path: with
+// PlacementOnlyJoins the second arrival is placed by the policy's online
+// form — exactly one directive, for the arriving user, and nobody else
+// moves.
+func TestEnginePlacementOnlyJoins(t *testing.T) {
+	// Baseline: the full re-solve path displaces user 1.
+	full := placementEngine(t, EngineConfig{})
+	dirs := fig3Displace(t, full)
+	directiveFor(t, dirs, 2)
+	if ext, _ := full.Extender(1); ext != 1 {
+		t.Fatalf("full re-solve: user 1 on extender %d, want displaced to 1", ext)
+	}
+
+	// Placement-only: user 2 is placed, user 1 stays put.
+	po := placementEngine(t, EngineConfig{PlacementOnlyJoins: true})
+	dirs = fig3Displace(t, po)
+	if len(dirs) != 1 {
+		t.Fatalf("placement-only join emitted %d directives %v, want 1", len(dirs), dirs)
+	}
+	d := directiveFor(t, dirs, 2)
+	if d.Reassociation {
+		t.Error("arriving user's directive marked as reassociation")
+	}
+	if ext, _ := po.Extender(1); ext != 0 {
+		t.Errorf("placement-only: user 1 moved to extender %d, want untouched on 0", ext)
+	}
+	if st := po.Stats(); st.Reassociations != 0 {
+		t.Errorf("placement-only joins counted %d reassociations, want 0", st.Reassociations)
+	}
+}
+
+// TestEngineBudgetMovesImpliesPlacementOnly: Budget.Moves < 0 is the §11
+// placement-only contract; setting it on the engine config implies
+// PlacementOnlyJoins without the explicit flag.
+func TestEngineBudgetMovesImpliesPlacementOnly(t *testing.T) {
+	e := placementEngine(t, EngineConfig{Budget: strategy.Budget{Moves: -1}})
+	if !e.placementJoins {
+		t.Fatal("Budget.Moves < 0 did not imply placement-only joins")
+	}
+	dirs := fig3Displace(t, e)
+	if len(dirs) != 1 {
+		t.Fatalf("join emitted %d directives %v, want 1", len(dirs), dirs)
+	}
+	if ext, _ := e.Extender(1); ext != 0 {
+		t.Errorf("user 1 moved to extender %d, want untouched on 0", ext)
+	}
+}
+
+// TestEngineFullResolveEvery: the periodic-repair knob forces the full
+// re-solve path on every Nth join, so deferred rebalances still happen.
+func TestEngineFullResolveEvery(t *testing.T) {
+	e := placementEngine(t, EngineConfig{PlacementOnlyJoins: true, FullResolveEvery: 2})
+	// Join #2 is a scheduled full re-solve: user 1 gets displaced just
+	// like the unconfigured engine would.
+	dirs := fig3Displace(t, e)
+	d := directiveFor(t, dirs, 1)
+	if !d.Reassociation || d.Extender != 1 {
+		t.Errorf("scheduled full re-solve directive for user 1 = %+v, want reassociation to 1", d)
+	}
+	if ext, _ := e.Extender(1); ext != 1 {
+		t.Errorf("user 1 on extender %d, want 1 after the scheduled re-solve", ext)
+	}
+}
+
+// TestEnginePlacementOnlyUpdatesStillResolve: placement-only applies to
+// joins; a scan-report update keeps the full recompute path so drifting
+// users are still rebalanced.
+func TestEnginePlacementOnlyUpdatesStillResolve(t *testing.T) {
+	e := placementEngine(t, EngineConfig{PlacementOnlyJoins: true})
+	fig3Displace(t, e)
+	if ext, _ := e.Extender(1); ext != 0 {
+		t.Fatalf("precondition: user 1 should still sit on extender 0, got %d", ext)
+	}
+	// User 1 re-reports the same rates; the update-path re-solve now
+	// performs the displacement the placement-only joins deferred.
+	dirs, err := e.Update(1, []float64{15, 10}, []float64{-60, -70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := directiveFor(t, dirs, 1)
+	if d.Extender != 1 {
+		t.Errorf("update-path directive = %+v, want move to extender 1", d)
+	}
+}
+
+// TestEngineStatsLite pins the counters-only stats form: identical
+// counters to Stats, no assignment map allocation.
+func TestEngineStatsLite(t *testing.T) {
+	e := fig3Engine(t, PolicyWOLT)
+	fig3Displace(t, e)
+	full, lite := e.Stats(), e.StatsLite()
+	if lite.Assignment != nil {
+		t.Errorf("StatsLite allocated an assignment map of %d entries", len(lite.Assignment))
+	}
+	full.Assignment = nil
+	if !reflect.DeepEqual(full, lite) {
+		t.Errorf("StatsLite counters diverge: %+v vs Stats %+v", lite, full)
+	}
+}

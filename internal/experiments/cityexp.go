@@ -13,14 +13,17 @@ import (
 // cityShardCounts is the experiment's shard-plane axis.
 var cityShardCounts = []int{2, 4}
 
-// CityRun is one shard-count row of the city experiment, averaged over
-// trials. The event/handoff columns are bit-identical for any
-// Options.Workers (DESIGN.md §7); the latency/throughput columns are
+// CityRun is one (shard count, lane count) row of the city experiment,
+// averaged over trials. The event/handoff columns are bit-identical for
+// any Options.Workers (DESIGN.md §7); the latency/throughput columns are
 // wall-clock measurements of this host and excluded from the determinism
 // contract.
 type CityRun struct {
 	Shards      int
 	TargetUsers int
+	// Lanes is the number of dispatch worker lanes driving the plane
+	// (city.Config.Concurrency); 1 is the sequential reference mode.
+	Lanes int
 	// Events/Joins/Leaves/Updates/Directives are mean per-trial operation
 	// counts driven into the plane.
 	Events     float64
@@ -60,10 +63,25 @@ func City(opts Options) (*CityResult, error) {
 	opts = opts.withDefaults(3)
 	target := 10 * opts.Users
 
-	units := len(cityShardCounts) * opts.Trials
+	// Lane axis: sequential only by default; Options.Concurrency > 1 adds
+	// a concurrent-dispatch row per shard count. Trial seeds are derived
+	// from (shard index, trial) only, so the lane-1 and lane-N rows replay
+	// the same event streams and their event counters compare. In lane>1
+	// rows the directive/reassociation counts join the wall-clock columns
+	// as interleaving-dependent: re-solving policies see operations in
+	// scheduler order across lanes.
+	laneChoices := []int{1}
+	if opts.Concurrency > 1 {
+		laneChoices = append(laneChoices, opts.Concurrency)
+	}
+
+	units := len(cityShardCounts) * len(laneChoices) * opts.Trials
+	perShard := len(laneChoices) * opts.Trials
 	measured, err := parallel.Map(opts.context(), units, opts.Workers, func(i int) (city.Result, error) {
-		ki := i / opts.Trials
-		shards := cityShardCounts[ki]
+		si := i / perShard
+		li := (i % perShard) / opts.Trials
+		trial := i % opts.Trials
+		shards := cityShardCounts[si]
 		eps := opts.Extenders / shards
 		if eps < 1 {
 			eps = 1
@@ -80,7 +98,8 @@ func City(opts Options) (*CityResult, error) {
 			Budget:            strategy.Budget{Probes: 200},
 			ReassignOnLeave:   true,
 			Workers:           opts.Workers,
-			Seed:              seed.Derive(opts.Seed, seed.CityTrial, int64(i)),
+			Concurrency:       laneChoices[li],
+			Seed:              seed.Derive(opts.Seed, seed.CityTrial, int64(si*opts.Trials+trial)),
 		})
 	})
 	if err != nil {
@@ -88,39 +107,41 @@ func City(opts Options) (*CityResult, error) {
 	}
 
 	res := &CityResult{Trials: opts.Trials}
-	for ki, shards := range cityShardCounts {
-		run := CityRun{Shards: shards, TargetUsers: target}
-		for t := 0; t < opts.Trials; t++ {
-			r := measured[ki*opts.Trials+t]
-			run.Events += float64(r.Events)
-			run.Joins += float64(r.Joins)
-			run.Leaves += float64(r.Leaves)
-			run.Updates += float64(r.Updates)
-			run.Directives += float64(r.Directives)
-			run.PeakUsers += float64(r.PeakUsers)
-			run.FinalUsers += float64(r.FinalUsers)
-			run.Handoffs += float64(r.Handoffs)
-			run.HandoffRate += r.HandoffRate
-			run.Reassociations += float64(r.Reassociations)
-			run.JoinsPerSec += r.JoinsPerSec
-			run.P50Micros += float64(r.P50Latency.Microseconds())
-			run.P99Micros += float64(r.P99Latency.Microseconds())
+	for si, shards := range cityShardCounts {
+		for li, lanes := range laneChoices {
+			run := CityRun{Shards: shards, TargetUsers: target, Lanes: lanes}
+			for t := 0; t < opts.Trials; t++ {
+				r := measured[si*perShard+li*opts.Trials+t]
+				run.Events += float64(r.Events)
+				run.Joins += float64(r.Joins)
+				run.Leaves += float64(r.Leaves)
+				run.Updates += float64(r.Updates)
+				run.Directives += float64(r.Directives)
+				run.PeakUsers += float64(r.PeakUsers)
+				run.FinalUsers += float64(r.FinalUsers)
+				run.Handoffs += float64(r.Handoffs)
+				run.HandoffRate += r.HandoffRate
+				run.Reassociations += float64(r.Reassociations)
+				run.JoinsPerSec += r.JoinsPerSec
+				run.P50Micros += float64(r.P50Latency.Microseconds())
+				run.P99Micros += float64(r.P99Latency.Microseconds())
+			}
+			n := float64(opts.Trials)
+			run.Events /= n
+			run.Joins /= n
+			run.Leaves /= n
+			run.Updates /= n
+			run.Directives /= n
+			run.PeakUsers /= n
+			run.FinalUsers /= n
+			run.Handoffs /= n
+			run.HandoffRate /= n
+			run.Reassociations /= n
+			run.JoinsPerSec /= n
+			run.P50Micros /= n
+			run.P99Micros /= n
+			res.Runs = append(res.Runs, run)
 		}
-		n := float64(opts.Trials)
-		run.Events /= n
-		run.Joins /= n
-		run.Leaves /= n
-		run.Updates /= n
-		run.Directives /= n
-		run.PeakUsers /= n
-		run.FinalUsers /= n
-		run.Handoffs /= n
-		run.HandoffRate /= n
-		run.Reassociations /= n
-		run.JoinsPerSec /= n
-		run.P50Micros /= n
-		run.P99Micros /= n
-		res.Runs = append(res.Runs, run)
 	}
 	return res, nil
 }
@@ -130,12 +151,12 @@ func (r *CityResult) Tables() []Table {
 	t := Table{
 		Caption: fmt.Sprintf("City harness — event-driven churn/roaming on sharded planes, wolt-hillclimb @200 probes (%d trials; latency columns are wall-clock)",
 			r.Trials),
-		Header: []string{"shards", "target users", "events", "joins", "updates",
+		Header: []string{"shards", "lanes", "target users", "events", "joins", "updates",
 			"handoffs", "handoff rate", "reassoc", "joins/sec", "p50 us", "p99 us"},
 	}
 	for _, run := range r.Runs {
 		t.Rows = append(t.Rows, []string{
-			strconv.Itoa(run.Shards), strconv.Itoa(run.TargetUsers),
+			strconv.Itoa(run.Shards), strconv.Itoa(run.Lanes), strconv.Itoa(run.TargetUsers),
 			f1(run.Events), f1(run.Joins), f1(run.Updates),
 			f1(run.Handoffs), strconv.FormatFloat(run.HandoffRate, 'f', 3, 64),
 			f1(run.Reassociations), f1(run.JoinsPerSec), f1(run.P50Micros), f1(run.P99Micros),

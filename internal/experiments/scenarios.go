@@ -129,6 +129,11 @@ type Options struct {
 	// Strategy restricts strategy-iterating experiments (Solve) to one
 	// registry name; empty runs all registered strategies.
 	Strategy string
+	// Concurrency adds a worker-lane axis to the city experiment: when
+	// > 1, each shard count runs both sequentially and with this many
+	// dispatch lanes (city.Config.Concurrency). <= 1 keeps the
+	// sequential-only table.
+	Concurrency int
 	// Ctx cancels a running experiment between units of work; nil means
 	// context.Background(). On cancellation the driver returns promptly
 	// with the context's error (the lowest-index task error otherwise).

@@ -151,7 +151,7 @@ func runShardPlane(inst *netsim.Instance, shards int, seedT int64, workers int) 
 		}
 		out.joinUs = append(out.joinUs, float64(time.Since(start))/float64(time.Microsecond))
 	}
-	st := coord.Stats()
+	st := coord.StatsWithAssignment()
 	assign := make(model.Assignment, n)
 	for i := range assign {
 		assign[i] = model.Unassigned

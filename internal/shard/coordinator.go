@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/plcwifi/wolt/internal/control"
 	"github.com/plcwifi/wolt/internal/model"
@@ -41,6 +42,14 @@ type Config struct {
 	// ReassignOnLeave lets reassigning member policies re-solve when a
 	// user departs (see control.EngineConfig.ReassignOnLeave).
 	ReassignOnLeave bool
+	// PlacementOnlyJoins routes member-engine joins through the policy's
+	// online placement form instead of a full re-solve (see
+	// control.EngineConfig.PlacementOnlyJoins).
+	PlacementOnlyJoins bool
+	// FullResolveEvery, under PlacementOnlyJoins, forces a full re-solve
+	// on every Nth join per member engine (see
+	// control.EngineConfig.FullResolveEvery).
+	FullResolveEvery int
 }
 
 // Stats is the coordinator's merged snapshot: the global view a single
@@ -69,9 +78,12 @@ type Stats struct {
 	// (control.Stats.DroppedReassigns across PerShard).
 	DroppedReassigns int
 	// Assignment is the merged user→extender map (global extender IDs).
+	// Stats leaves it nil — at city scale the copy is an O(users)
+	// allocation; call StatsWithAssignment when the full map is wanted.
 	Assignment map[int]int
 	// PerShard holds each member engine's own snapshot, in member-ID
-	// order.
+	// order. Under Stats the per-shard Assignment maps are nil too
+	// (control.Engine.StatsLite); StatsWithAssignment fills them.
 	PerShard []control.Stats
 }
 
@@ -82,24 +94,47 @@ type scan struct {
 	rssi  []float64
 }
 
-// Coordinator runs N shard engines behind one in-process API: it routes
-// every user to the member owning its best-rate extender, hands users
-// off across members when their radio environment moves them, and
-// rebalances when a shard joins or leaves.
-type Coordinator struct {
-	cfg  Config
-	ring *Ring
+// userRec is everything a member tracks per homed user: the last scan
+// and the merged-view global extender assignment.
+type userRec struct {
+	sc  scan
+	ext int
+}
 
-	mu      sync.Mutex
-	nextID  int
-	members map[int]*control.Engine // nil engine = member owns no extenders
-	ownerOf []int                   // extender -> member ID
-	home    map[int]int             // user -> member ID
-	scans   map[int]scan
-	assign  map[int]int // user -> global extender (the merged view)
-
+// counters are the coordinator-level logical counters, kept per member
+// (guarded by the member's lock) and folded together at Stats time.
+type counters struct {
 	joins, leaves, reassociations int
 	handoffs, redirects           int
+}
+
+func (a *counters) add(b counters) {
+	a.joins += b.joins
+	a.leaves += b.leaves
+	a.reassociations += b.reassociations
+	a.handoffs += b.handoffs
+	a.redirects += b.redirects
+}
+
+// scanPoolCap bounds each member's pool of departed users' scan buffers.
+// The pool only absorbs leave/join churn imbalance; a departure spike
+// beyond the cap frees the buffers instead of pinning peak memory
+// forever, and rebalancing drops the pools outright.
+const scanPoolCap = 256
+
+// member is one shard member: its engine plus the slice of coordinator
+// state for the users homed on it, all guarded by its own lock. The
+// struct survives rebalances (counters persist; the engine is rebuilt
+// when the owned-extender set changes) and dies only when the member
+// leaves the ring, at which point its counters fold into
+// Coordinator.retired.
+type member struct {
+	id int
+
+	mu    sync.Mutex
+	eng   *control.Engine // nil = member owns no extenders
+	users map[int]userRec // users homed here (scan + merged assignment)
+	ctr   counters
 
 	// scanPool parks departed users' scan buffers for reuse, keeping the
 	// steady-state churn path free of per-event vector allocations.
@@ -107,24 +142,76 @@ type Coordinator struct {
 }
 
 // takeScan pops pooled scan buffers (or a zero scan) and fills them with
-// copies of the reported vectors.
-func (c *Coordinator) takeScan(rates, rssi []float64) scan {
+// copies of the reported vectors. Callers hold m.mu.
+func (m *member) takeScan(rates, rssi []float64) scan {
 	var sc scan
-	if n := len(c.scanPool); n > 0 {
-		sc = c.scanPool[n-1]
-		c.scanPool = c.scanPool[:n-1]
+	if n := len(m.scanPool); n > 0 {
+		sc = m.scanPool[n-1]
+		m.scanPool = m.scanPool[:n-1]
 	}
 	sc.rates = append(sc.rates[:0], rates...)
 	sc.rssi = append(sc.rssi[:0], rssi...)
 	return sc
 }
 
-// releaseScan returns a departed user's scan buffers to the pool.
-func (c *Coordinator) releaseScan(userID int) {
-	if sc, ok := c.scans[userID]; ok {
-		c.scanPool = append(c.scanPool, sc)
-		delete(c.scans, userID)
+// releaseScan returns a departed user's scan buffers to the member's
+// pool, dropping them once the pool is full. Callers hold m.mu.
+func (m *member) releaseScan(sc scan) {
+	if len(m.scanPool) < scanPoolCap {
+		m.scanPool = append(m.scanPool, sc)
 	}
+}
+
+// routing is the read-mostly routing snapshot: which members exist and
+// which member owns each extender. Operations load it once (after
+// pinning their user's stripe) and never see it change mid-operation —
+// rebalancing publishes a fresh snapshot, with a bumped epoch, only
+// while holding every stripe lock.
+type routing struct {
+	epoch   int64
+	ownerOf []int           // extender -> member ID
+	members map[int]*member // never mutated after publish
+	ids     []int           // sorted member IDs
+}
+
+// numStripes is the user-home index stripe count (power of two).
+const numStripes = 256
+
+// stripe guards one shard of the user→home-member index.
+type stripe struct {
+	mu   sync.Mutex
+	home map[int]int // user -> member ID
+}
+
+// Coordinator runs N shard engines behind one in-process API: it routes
+// every user to the member owning its best-rate extender, hands users
+// off across members when their radio environment moves them, and
+// rebalances when a shard joins or leaves.
+//
+// Concurrency model (DESIGN.md §13): routing lives in an epoch-versioned
+// snapshot behind an atomic pointer; the user→home index is striped by
+// user ID; each member's engine and per-user state sit behind the
+// member's own lock. An operation takes exactly one stripe lock, then
+// member locks in ascending member-ID order (both on a handoff).
+// Rebalancing is stop-the-world: all stripe locks ascending, then all
+// member locks ascending, then a new snapshot is published. Holding any
+// stripe lock therefore freezes routing, so a snapshot loaded after the
+// stripe lock is pinned for the whole operation.
+type Coordinator struct {
+	cfg  Config
+	ring *Ring // guarded by admin
+
+	routing atomic.Pointer[routing]
+
+	admin  sync.Mutex // serializes ring changes (Add/RemoveShard)
+	nextID int        // guarded by admin
+
+	stripes [numStripes]stripe
+
+	// retired accumulates the counters of removed members so Stats stays
+	// a faithful history across RemoveShard.
+	retiredMu sync.Mutex
+	retired   counters
 }
 
 // NewCoordinator builds a sharded control plane with cfg.Shards members
@@ -140,40 +227,55 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		cfg.Policy = control.PolicyWOLT
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		ring:    NewRing(cfg.Seed, cfg.VirtualNodes),
-		nextID:  cfg.Shards,
-		members: make(map[int]*control.Engine, cfg.Shards),
-		home:    make(map[int]int),
-		scans:   make(map[int]scan),
-		assign:  make(map[int]int),
+		cfg:    cfg,
+		ring:   NewRing(cfg.Seed, cfg.VirtualNodes),
+		nextID: cfg.Shards,
 	}
+	for i := range c.stripes {
+		c.stripes[i].home = make(map[int]int)
+	}
+	members := make(map[int]*member, cfg.Shards)
 	for m := 0; m < cfg.Shards; m++ {
 		c.ring.Add(m)
-		c.members[m] = nil
+		members[m] = &member{id: m, users: make(map[int]userRec)}
 	}
-	c.ownerOf = c.ring.OwnerMap(len(cfg.PLCCaps))
-	for m, owned := range c.ownedSets(c.ownerOf) {
+	ownerOf := c.ring.OwnerMap(len(cfg.PLCCaps))
+	for m, owned := range ownedSets(members, ownerOf) {
 		eng, err := c.buildEngine(m, owned)
 		if err != nil {
 			return nil, err
 		}
-		c.members[m] = eng
+		members[m].eng = eng
 	}
+	c.routing.Store(&routing{
+		epoch:   1,
+		ownerOf: ownerOf,
+		members: members,
+		ids:     sortedMemberIDs(members),
+	})
 	return c, nil
 }
 
 // ownedSets groups extenders by owning member; every current member gets
 // an entry (possibly empty).
-func (c *Coordinator) ownedSets(ownerOf []int) map[int][]int {
-	sets := make(map[int][]int, len(c.members))
-	for m := range c.members {
+func ownedSets(members map[int]*member, ownerOf []int) map[int][]int {
+	sets := make(map[int][]int, len(members))
+	for m := range members {
 		sets[m] = nil
 	}
 	for j, m := range ownerOf {
 		sets[m] = append(sets[m], j)
 	}
 	return sets
+}
+
+func sortedMemberIDs(members map[int]*member) []int {
+	ids := make([]int, 0, len(members))
+	for m := range members {
+		ids = append(ids, m)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // buildEngine constructs member m's engine over its owned extenders; a
@@ -184,35 +286,45 @@ func (c *Coordinator) buildEngine(m int, owned []int) (*control.Engine, error) {
 		return nil, nil
 	}
 	return control.NewEngine(control.EngineConfig{
-		PLCCaps:         c.cfg.PLCCaps,
-		Owned:           owned,
-		Policy:          c.cfg.Policy,
-		ModelOpts:       c.cfg.ModelOpts,
-		Workers:         c.cfg.Workers,
-		Seed:            seed.Derive(c.cfg.Seed, seed.ShardEngine, int64(m)),
-		Budget:          c.cfg.Budget,
-		ReassignOnLeave: c.cfg.ReassignOnLeave,
+		PLCCaps:            c.cfg.PLCCaps,
+		Owned:              owned,
+		Policy:             c.cfg.Policy,
+		ModelOpts:          c.cfg.ModelOpts,
+		Workers:            c.cfg.Workers,
+		Seed:               seed.Derive(c.cfg.Seed, seed.ShardEngine, int64(m)),
+		Budget:             c.cfg.Budget,
+		ReassignOnLeave:    c.cfg.ReassignOnLeave,
+		PlacementOnlyJoins: c.cfg.PlacementOnlyJoins,
+		FullResolveEvery:   c.cfg.FullResolveEvery,
 	})
+}
+
+// stripeFor returns the stripe guarding the user's home entry.
+func (c *Coordinator) stripeFor(userID int) *stripe {
+	return &c.stripes[uint(userID)&(numStripes-1)]
 }
 
 // NumShards returns the current member count.
 func (c *Coordinator) NumShards() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.members)
+	return len(c.routing.Load().members)
+}
+
+// Epoch returns the routing snapshot's version; it bumps once per
+// completed rebalance.
+func (c *Coordinator) Epoch() int64 {
+	return c.routing.Load().epoch
 }
 
 // Owner returns the member ID owning the given extender.
 func (c *Coordinator) Owner(extender int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if extender < 0 || extender >= len(c.ownerOf) {
+	rt := c.routing.Load()
+	if extender < 0 || extender >= len(rt.ownerOf) {
 		return -1
 	}
-	return c.ownerOf[extender]
+	return rt.ownerOf[extender]
 }
 
-// ownerForRatesLocked routes a scan report: the member owning the user's
+// ownerForRates routes a scan report: the member owning the user's
 // best-rate extender, or -1 when the user reaches nothing.
 func ownerForRates(ownerOf []int, rates []float64) int {
 	best := bestExtender(rates)
@@ -222,17 +334,21 @@ func ownerForRates(ownerOf []int, rates []float64) int {
 	return ownerOf[best]
 }
 
-// applyLocked folds engine directives into the merged assignment,
-// recomputing the Reassociation flag globally: an engine that just
-// admitted a handed-off user reports a fresh association, but from the
-// plane's point of view the user moved. Returns the (patched) directives.
-func (c *Coordinator) applyLocked(dirs []control.Directive) []control.Directive {
+// applyLocked folds engine directives into the member's merged per-user
+// assignments, recomputing the Reassociation flag globally: an engine
+// that just admitted a handed-off user reports a fresh association, but
+// from the plane's point of view the user moved. Every directive a
+// member engine emits addresses a user homed on that member, so the
+// caller's member lock covers all of them. Returns the (patched)
+// directives.
+func (m *member) applyLocked(dirs []control.Directive) []control.Directive {
 	for i, d := range dirs {
-		old, had := c.assign[d.UserID]
-		reassoc := had && old != model.Unassigned && old != d.Extender
-		c.assign[d.UserID] = d.Extender
+		rec, had := m.users[d.UserID]
+		reassoc := had && rec.ext != model.Unassigned && rec.ext != d.Extender
+		rec.ext = d.Extender
+		m.users[d.UserID] = rec
 		if reassoc {
-			c.reassociations++
+			m.ctr.reassociations++
 		}
 		dirs[i].Reassociation = reassoc
 	}
@@ -243,27 +359,31 @@ func (c *Coordinator) applyLocked(dirs []control.Directive) []control.Directive 
 // best-rate extender, and the member's directives (with globally-correct
 // reassociation flags) are returned.
 func (c *Coordinator) Join(userID int, rates, rssi []float64) ([]control.Directive, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.home[userID]; ok {
+	s := c.stripeFor(userID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.home[userID]; ok {
 		return nil, fmt.Errorf("shard: user %d already joined", userID)
 	}
-	owner := ownerForRates(c.ownerOf, rates)
+	rt := c.routing.Load()
+	owner := ownerForRates(rt.ownerOf, rates)
 	if owner < 0 {
 		return nil, fmt.Errorf("shard: user %d reaches no extender", userID)
 	}
-	eng := c.members[owner]
-	if eng == nil {
+	m := rt.members[owner]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.eng == nil {
 		return nil, fmt.Errorf("shard: member %d owns no extenders", owner)
 	}
-	dirs, err := eng.Join(userID, rates, rssi)
+	dirs, err := m.eng.Join(userID, rates, rssi)
 	if err != nil {
 		return nil, err
 	}
-	c.home[userID] = owner
-	c.scans[userID] = c.takeScan(rates, rssi)
-	c.joins++
-	return c.applyLocked(dirs), nil
+	s.home[userID] = owner
+	m.users[userID] = userRec{sc: m.takeScan(rates, rssi), ext: model.Unassigned}
+	m.ctr.joins++
+	return m.applyLocked(dirs), nil
 }
 
 // Update refreshes a user's scan report. When the report's best-rate
@@ -272,58 +392,79 @@ func (c *Coordinator) Join(userID int, rates, rssi []float64) ([]control.Directi
 // the ring), the coordinator hands the user off: leave the old engine,
 // join the new one, and report the move as a reassociation directive.
 func (c *Coordinator) Update(userID int, rates, rssi []float64) ([]control.Directive, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	home, ok := c.home[userID]
+	s := c.stripeFor(userID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	home, ok := s.home[userID]
 	if !ok {
 		return nil, fmt.Errorf("shard: user %d not joined", userID)
 	}
-	owner := ownerForRates(c.ownerOf, rates)
+	rt := c.routing.Load()
+	owner := ownerForRates(rt.ownerOf, rates)
 	if owner < 0 {
 		return nil, fmt.Errorf("shard: user %d reaches no extender", userID)
 	}
 	if owner == home {
-		dirs, err := c.members[home].Update(userID, rates, rssi)
+		m := rt.members[home]
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		dirs, err := m.eng.Update(userID, rates, rssi)
 		if err != nil {
 			return nil, err
 		}
 		// Refresh the stored scan in place: the old copy's buffers
 		// already have the right capacity.
-		old := c.scans[userID]
-		old.rates = append(old.rates[:0], rates...)
-		old.rssi = append(old.rssi[:0], rssi...)
-		c.scans[userID] = old
-		return c.applyLocked(dirs), nil
+		rec := m.users[userID]
+		rec.sc.rates = append(rec.sc.rates[:0], rates...)
+		rec.sc.rssi = append(rec.sc.rssi[:0], rssi...)
+		m.users[userID] = rec
+		return m.applyLocked(dirs), nil
 	}
-	// Cross-shard handoff. The old member's leave may itself rebalance
-	// (ReassignOnLeave); those directives ride along with the join's.
-	eng := c.members[owner]
-	if eng == nil {
+	// Cross-shard handoff: both member locks, ascending member-ID order
+	// (the lock protocol's second tier; see the Coordinator doc comment).
+	old, next := rt.members[home], rt.members[owner]
+	lockPair(&old.mu, old.id, &next.mu, next.id)
+	defer old.mu.Unlock()
+	defer next.mu.Unlock()
+	if next.eng == nil {
 		return nil, fmt.Errorf("shard: member %d owns no extenders", owner)
 	}
-	leaveDirs, _ := c.members[home].Leave(userID)
-	leaveDirs = c.applyLocked(leaveDirs)
-	dirs, err := eng.Join(userID, rates, rssi)
+	// The old member's leave may itself rebalance (ReassignOnLeave);
+	// those directives ride along with the join's.
+	leaveDirs, _ := old.eng.Leave(userID)
+	rec := old.users[userID]
+	delete(old.users, userID)
+	leaveDirs = old.applyLocked(leaveDirs)
+	dirs, err := next.eng.Join(userID, rates, rssi)
 	if err != nil {
 		// The user is gone from its old shard and rejected by the new
 		// one (offline-only policy): it has effectively departed.
-		delete(c.home, userID)
-		c.releaseScan(userID)
-		delete(c.assign, userID)
-		c.leaves++
+		delete(s.home, userID)
+		old.releaseScan(rec.sc)
+		old.ctr.leaves++
 		return nil, fmt.Errorf("shard: handoff of user %d to member %d: %w", userID, owner, err)
 	}
-	c.home[userID] = owner
-	old := c.scans[userID]
-	old.rates = append(old.rates[:0], rates...)
-	old.rssi = append(old.rssi[:0], rssi...)
-	c.scans[userID] = old
-	c.handoffs++
-	dirs = c.applyLocked(dirs)
+	s.home[userID] = owner
+	rec.sc.rates = append(rec.sc.rates[:0], rates...)
+	rec.sc.rssi = append(rec.sc.rssi[:0], rssi...)
+	next.users[userID] = rec
+	next.ctr.handoffs++
+	dirs = next.applyLocked(dirs)
 	if len(leaveDirs) == 0 {
 		return dirs, nil
 	}
 	return append(leaveDirs, dirs...), nil
+}
+
+// lockPair acquires two member locks in ascending member-ID order.
+func lockPair(a *sync.Mutex, aID int, b *sync.Mutex, bID int) {
+	if aID < bID {
+		a.Lock()
+		b.Lock()
+	} else {
+		b.Lock()
+		a.Lock()
+	}
 }
 
 // Leave removes a user from its home member and reports whether it was
@@ -331,63 +472,113 @@ func (c *Coordinator) Update(userID int, rates, rssi []float64) ([]control.Direc
 // rebalancing directives (globally-correct reassociation flags) are
 // returned, mirroring control.Engine.Leave.
 func (c *Coordinator) Leave(userID int) ([]control.Directive, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	home, ok := c.home[userID]
+	s := c.stripeFor(userID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	home, ok := s.home[userID]
 	if !ok {
 		return nil, false
 	}
-	dirs, _ := c.members[home].Leave(userID)
-	delete(c.home, userID)
-	c.releaseScan(userID)
-	delete(c.assign, userID)
-	c.leaves++
-	return c.applyLocked(dirs), true
+	m := c.routing.Load().members[home]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dirs, _ := m.eng.Leave(userID)
+	rec := m.users[userID]
+	delete(m.users, userID)
+	m.releaseScan(rec.sc)
+	delete(s.home, userID)
+	m.ctr.leaves++
+	return m.applyLocked(dirs), true
 }
 
 // AddShard adds a new member to the ring and rebalances: extenders whose
 // ownership moved to the new member take their users with them. Returns
 // the new member's ID and the number of users handed off.
-func (c *Coordinator) AddShard() (member, handoffs int, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	member = c.nextID
+func (c *Coordinator) AddShard() (memberID, handoffs int, err error) {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	memberID = c.nextID
 	c.nextID++
-	c.ring.Add(member)
-	c.members[member] = nil
-	handoffs, err = c.rebalanceLocked()
-	return member, handoffs, err
+	c.ring.Add(memberID)
+	handoffs, err = c.rebalance(memberID, -1)
+	return memberID, handoffs, err
 }
 
 // RemoveShard removes a member from the ring and rebalances its
 // extenders (and their users) onto the survivors. The last member cannot
 // be removed.
-func (c *Coordinator) RemoveShard(member int) (handoffs int, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.members[member]; !ok {
-		return 0, fmt.Errorf("shard: no member %d", member)
+func (c *Coordinator) RemoveShard(memberID int) (handoffs int, err error) {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	rt := c.routing.Load()
+	if _, ok := rt.members[memberID]; !ok {
+		return 0, fmt.Errorf("shard: no member %d", memberID)
 	}
-	if len(c.members) == 1 {
+	if len(rt.members) == 1 {
 		return 0, errors.New("shard: cannot remove the last member")
 	}
-	c.ring.Remove(member)
-	delete(c.members, member)
-	return c.rebalanceLocked()
+	c.ring.Remove(memberID)
+	return c.rebalance(-1, memberID)
 }
 
-// rebalanceLocked recomputes extender ownership after a ring change,
-// rebuilds the engines whose owned sets changed, and re-routes affected
-// users deterministically (ascending user ID). Users whose home member
-// changed count as handoffs; users re-joining a rebuilt engine of the
-// same member do not.
-func (c *Coordinator) rebalanceLocked() (int, error) {
-	newOwnerOf := c.ring.OwnerMap(len(c.cfg.PLCCaps))
-	newSets := c.ownedSets(newOwnerOf)
-	oldSets := c.ownedSets(c.ownerOf)
+// lockWorld acquires every stripe lock then every member lock, both in
+// ascending order — the stop-the-world prefix shared by rebalancing and
+// StatsWithAssignment. The returned function releases everything in
+// reverse. With all stripes held no operation is in flight (each pins
+// its stripe for its whole critical section), and the routing snapshot
+// cannot change under anyone.
+func (c *Coordinator) lockWorld(rt *routing) (unlock func()) {
+	for i := range c.stripes {
+		c.stripes[i].mu.Lock()
+	}
+	for _, id := range rt.ids {
+		rt.members[id].mu.Lock()
+	}
+	return func() {
+		for i := len(rt.ids) - 1; i >= 0; i-- {
+			rt.members[rt.ids[i]].mu.Unlock()
+		}
+		for i := numStripes - 1; i >= 0; i-- {
+			c.stripes[i].mu.Unlock()
+		}
+	}
+}
 
-	changed := make(map[int]bool, len(c.members))
-	for m := range c.members {
+// rebalance recomputes extender ownership after a ring change, rebuilds
+// the engines whose owned sets changed, re-routes affected users
+// deterministically (ascending user ID) and publishes the next routing
+// snapshot. Users whose home member changed count as handoffs; users
+// re-joining a rebuilt engine of the same member do not. added >= 0
+// introduces that member; removed >= 0 drops it (its counters fold into
+// the retired totals). Callers hold c.admin; the world is locked for
+// the duration.
+func (c *Coordinator) rebalance(added, removed int) (int, error) {
+	rt := c.routing.Load()
+	unlock := c.lockWorld(rt)
+	defer unlock()
+
+	// Next membership: the member structs (and their counters, users and
+	// locks) carry over; only the ring delta is applied.
+	members := make(map[int]*member, len(rt.members)+1)
+	for id, m := range rt.members {
+		members[id] = m
+	}
+	if added >= 0 {
+		members[added] = &member{id: added, users: make(map[int]userRec)}
+		members[added].mu.Lock() // world-locked like its peers
+	}
+	var removedMember *member
+	if removed >= 0 {
+		removedMember = members[removed]
+		delete(members, removed)
+	}
+
+	newOwnerOf := c.ring.OwnerMap(len(c.cfg.PLCCaps))
+	newSets := ownedSets(members, newOwnerOf)
+	oldSets := ownedSets(members, rt.ownerOf)
+
+	changed := make(map[int]bool, len(members))
+	for m := range members {
 		if !equalInts(oldSets[m], newSets[m]) {
 			changed[m] = true
 		}
@@ -395,92 +586,156 @@ func (c *Coordinator) rebalanceLocked() (int, error) {
 	for m := range changed {
 		eng, err := c.buildEngine(m, newSets[m])
 		if err != nil {
+			if added >= 0 {
+				members[added].mu.Unlock()
+			}
 			return 0, err
 		}
-		c.members[m] = eng
+		members[m].eng = eng
 	}
 
-	ids := make([]int, 0, len(c.home))
-	for id := range c.home {
-		ids = append(ids, id)
+	ids := make([]int, 0, 1024)
+	for i := range c.stripes {
+		for id := range c.stripes[i].home {
+			ids = append(ids, id)
+		}
 	}
 	sort.Ints(ids)
 
 	handoffs := 0
 	for _, id := range ids {
-		sc := c.scans[id]
-		oldHome := c.home[id]
-		newHome := ownerForRates(newOwnerOf, sc.rates)
-		oldEng, oldAlive := c.members[oldHome]
+		st := c.stripeFor(id)
+		oldHome := st.home[id]
+		oldMember := rt.members[oldHome]
+		rec := oldMember.users[id]
+		newHome := ownerForRates(newOwnerOf, rec.sc.rates)
+		oldAlive := oldHome != removed
 		oldRebuilt := changed[oldHome]
 		if newHome == oldHome && oldAlive && !oldRebuilt {
 			continue
 		}
-		if oldAlive && !oldRebuilt && oldEng != nil {
+		if oldAlive && !oldRebuilt && oldMember.eng != nil {
 			// Old engine still live: the user is leaving it for another
 			// member. (Rebuilt engines start empty, and a removed member's
 			// engine dies with it; neither has anything to remove.)
-			oldEng.Leave(id)
+			oldMember.eng.Leave(id)
 		}
-		if newHome < 0 || c.members[newHome] == nil {
+		depart := func() {
+			delete(st.home, id)
+			delete(oldMember.users, id)
+			oldMember.releaseScan(rec.sc)
+			oldMember.ctr.leaves++
+		}
+		if newHome < 0 || members[newHome] == nil || members[newHome].eng == nil {
 			// No surviving member owns anything this user reaches; it
 			// has effectively departed.
-			delete(c.home, id)
-			c.releaseScan(id)
-			delete(c.assign, id)
-			c.leaves++
+			depart()
 			continue
 		}
-		dirs, err := c.members[newHome].Join(id, sc.rates, sc.rssi)
+		next := members[newHome]
+		dirs, err := next.eng.Join(id, rec.sc.rates, rec.sc.rssi)
 		if err != nil {
-			delete(c.home, id)
-			c.releaseScan(id)
-			delete(c.assign, id)
-			c.leaves++
+			depart()
 			continue
 		}
 		if newHome != oldHome {
 			handoffs++
+			next.ctr.handoffs++
+			delete(oldMember.users, id)
+			next.users[id] = rec
+			st.home[id] = newHome
 		}
-		c.home[id] = newHome
-		c.applyLocked(dirs)
+		next.applyLocked(dirs)
 	}
-	c.ownerOf = newOwnerOf
-	c.handoffs += handoffs
+
+	// Rebalancing is rare and re-routes the whole population: reset the
+	// scan pools so a past churn spike can't pin peak memory forever.
+	for _, m := range members {
+		m.scanPool = nil
+	}
+
+	if removedMember != nil {
+		c.retiredMu.Lock()
+		c.retired.add(removedMember.ctr)
+		c.retiredMu.Unlock()
+	}
+
+	c.routing.Store(&routing{
+		epoch:   rt.epoch + 1,
+		ownerOf: newOwnerOf,
+		members: members,
+		ids:     sortedMemberIDs(members),
+	})
+	if added >= 0 {
+		members[added].mu.Unlock()
+	}
 	return handoffs, nil
 }
 
-// Stats returns the coordinator's merged snapshot.
+// Stats returns the coordinator's merged counters without stopping the
+// world: it visits members one at a time, so concurrent operations keep
+// flowing and the totals are a monotone (not point-in-time) view. The
+// merged and per-shard Assignment maps are nil — use
+// StatsWithAssignment for the full O(users) copy.
 func (c *Coordinator) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := Stats{
-		Shards:         len(c.members),
-		Users:          len(c.home),
-		Joins:          c.joins,
-		Leaves:         c.leaves,
-		Reassociations: c.reassociations,
-		Handoffs:       c.handoffs,
-		Redirects:      c.redirects,
-		Assignment:     make(map[int]int, len(c.assign)),
+	return c.stats(false)
+}
+
+// StatsWithAssignment returns a point-in-time merged snapshot including
+// the user→extender assignment maps (coordinator-wide and per shard).
+// It briefly stops the world, and the maps are O(users) allocations;
+// prefer Stats for monitoring.
+func (c *Coordinator) StatsWithAssignment() Stats {
+	return c.stats(true)
+}
+
+func (c *Coordinator) stats(withAssignment bool) Stats {
+	rt := c.routing.Load()
+	if withAssignment {
+		// The world lock both freezes a consistent snapshot and pins rt
+		// as the current routing.
+		unlock := c.lockWorld(rt)
+		defer unlock()
 	}
-	for id, ext := range c.assign {
-		st.Assignment[id] = ext
+	c.retiredMu.Lock()
+	total := c.retired
+	c.retiredMu.Unlock()
+	st := Stats{Shards: len(rt.members)}
+	if withAssignment {
+		st.Assignment = make(map[int]int, 1024)
 	}
-	members := make([]int, 0, len(c.members))
-	for m := range c.members {
-		members = append(members, m)
-	}
-	sort.Ints(members)
-	for _, m := range members {
-		if eng := c.members[m]; eng != nil {
-			es := eng.Stats()
-			st.DroppedReassigns += es.DroppedReassigns
-			st.PerShard = append(st.PerShard, es)
-		} else {
-			st.PerShard = append(st.PerShard, control.Stats{Policy: c.cfg.Policy})
+	for _, id := range rt.ids {
+		m := rt.members[id]
+		if !withAssignment {
+			m.mu.Lock()
 		}
+		total.add(m.ctr)
+		st.Users += len(m.users)
+		var es control.Stats
+		switch {
+		case m.eng == nil:
+			es = control.Stats{Policy: c.cfg.Policy}
+		case withAssignment:
+			es = m.eng.Stats()
+		default:
+			es = m.eng.StatsLite()
+		}
+		if withAssignment {
+			for uid, rec := range m.users {
+				st.Assignment[uid] = rec.ext
+			}
+		}
+		if !withAssignment {
+			m.mu.Unlock()
+		}
+		st.DroppedReassigns += es.DroppedReassigns
+		st.PerShard = append(st.PerShard, es)
 	}
+	st.Joins = total.joins
+	st.Leaves = total.leaves
+	st.Reassociations = total.reassociations
+	st.Handoffs = total.handoffs
+	st.Redirects = total.redirects
 	return st
 }
 

@@ -189,7 +189,7 @@ func TestCoordinatorFourShardIntegration(t *testing.T) {
 		}
 	}
 
-	st := coord.Stats()
+	st := coord.StatsWithAssignment()
 	gst := global.Stats()
 	if st.Users != gst.Users {
 		t.Errorf("merged Users = %d, global single-CC Users = %d", st.Users, gst.Users)
@@ -276,7 +276,7 @@ func TestCoordinatorRebalance(t *testing.T) {
 	if member != 2 {
 		t.Errorf("new member ID = %d, want 2", member)
 	}
-	st := coord.Stats()
+	st := coord.StatsWithAssignment()
 	if st.Shards != 3 {
 		t.Errorf("Shards = %d, want 3", st.Shards)
 	}
@@ -339,7 +339,7 @@ func TestCoordinatorDeterministicAcrossWorkers(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		return c.Stats().Assignment
+		return c.StatsWithAssignment().Assignment
 	}
 	if a1, a8 := run(1), run(8); !reflect.DeepEqual(a1, a8) {
 		t.Errorf("assignment differs across worker counts:\n1: %v\n8: %v", a1, a8)
@@ -391,7 +391,7 @@ func TestCoordinatorReassignOnLeave(t *testing.T) {
 			}
 		}
 	}
-	st := coord.Stats()
+	st := coord.StatsWithAssignment()
 	if st.Users != 20 || st.Leaves != 20 {
 		t.Fatalf("stats = %d users / %d leaves, want 20 / 20", st.Users, st.Leaves)
 	}

@@ -6,6 +6,11 @@
 #   BenchmarkCitySustained — acceptance-scale run: 32 shards, 10^5 users
 #       sustained under diurnal arrivals and roaming; one iteration
 #       drives several hundred thousand plane operations
+#   BenchmarkCitySustained1M — north-star run: 256 shards, 10^6 users
+#       sustained on the lock-striped coordinator with placement-only
+#       warm joins, 4 dispatch lanes and fixed-memory latency sketches;
+#       over a million plane operations, takes minutes (WOLT_CITY_1M
+#       gates it inside the test binary)
 #   BenchmarkEngineChurnEvent — the per-event engine path (leave + join
 #       + 2 updates on a 400-user shard); its allocs/op pins the O(1)
 #       steady-state allocation discipline of the pooled user table
@@ -13,9 +18,10 @@
 # Each city row reports joins/sec (sustained join throughput), p50_us /
 # p99_us (directive latency percentiles), handoff_rate (cross-shard
 # handoffs per roam update) and users_peak (population actually
-# sustained). Acceptance: the sustained row must show users_peak >= 1e5.
+# sustained). Acceptance: the sustained row must show users_peak >= 1e5
+# and the 1M row users_peak >= 1e6.
 # Usage: scripts/bench-city.sh [count]   (count applies to the smoke and
-# engine rows; the sustained run always executes once)
+# engine rows; the sustained runs always execute once)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,8 +32,10 @@ cores="$(go env GONUMCPU 2>/dev/null || true)"
 
 go test -run '^$' -bench 'CitySmoke' -count "$count" \
 	./internal/city | tee /tmp/bench_city.txt
-go test -run '^$' -bench 'CitySustained' -benchtime 1x -count 1 \
+go test -run '^$' -bench 'CitySustained$' -benchtime 1x -count 1 \
 	./internal/city | tee -a /tmp/bench_city.txt
+WOLT_CITY_1M=1 go test -run '^$' -bench 'CitySustained1M' -benchtime 1x -count 1 \
+	-timeout 2h ./internal/city | tee -a /tmp/bench_city.txt
 go test -run '^$' -bench 'EngineChurnEvent' -benchmem -count "$count" \
 	./internal/control | tee -a /tmp/bench_city.txt
 

@@ -87,4 +87,16 @@ if [ -n "$bad" ]; then
 	echo "scan reports and budgets are the only interface; do not reach the model or algorithm layers" >&2
 	exit 1
 fi
+# internal/stats is a leaf utility (streaming quantile sketches for
+# host-side measurements): stdlib only, so every layer — harness, CLI,
+# experiments — may use it without dragging plane or algorithm code
+# along. Any internal import from it is a layering violation. No
+# test-file exemption; even its tests need nothing above stdlib.
+bad=$(grep -rnF '"github.com/plcwifi/wolt/internal/' --include='*.go' ./internal/stats/ || true)
+if [ -n "$bad" ]; then
+	echo "import lint: internal/stats must stay a stdlib-only leaf package:" >&2
+	echo "$bad" >&2
+	echo "move anything needing plane or algorithm types out of internal/stats" >&2
+	exit 1
+fi
 echo "import lint: clean"
