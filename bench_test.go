@@ -6,6 +6,8 @@
 package wolt_test
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"github.com/plcwifi/wolt/internal/nlp"
 	"github.com/plcwifi/wolt/internal/qos"
 	"github.com/plcwifi/wolt/internal/stats"
+	"github.com/plcwifi/wolt/internal/strategy"
 	"github.com/plcwifi/wolt/internal/topology"
 )
 
@@ -522,6 +525,43 @@ func BenchmarkFairnessVariant(b *testing.B) {
 			}
 			b.ReportMetric(agg, "aggregate_Mbps")
 			b.ReportMetric(jain, "jain")
+		})
+	}
+}
+
+// BenchmarkFrontierAlpha prices one full two-phase wolt-alpha solve per
+// utility member on the enterprise instance, attaching the frontier's
+// headline quantities (achieved utility, Jain index, sum-rate) as
+// metrics: bench-frontier.sh records these rows as BENCH_frontier.json.
+func BenchmarkFrontierAlpha(b *testing.B) {
+	n := benchNetwork(b, 10, 40)
+	opts := model.Options{Redistribute: true}
+	for _, alpha := range []float64{0, 0.5, 1, 2, 4, math.Inf(1)} {
+		name := fmt.Sprintf("alpha=%g", alpha)
+		b.Run(name, func(b *testing.B) {
+			st, err := strategy.New("wolt-alpha", strategy.Config{ModelOpts: opts, Alpha: alpha})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var agg, jain, util float64
+			for i := 0; i < b.N; i++ {
+				assign, err := st.Solve(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evalOpts := opts
+				evalOpts.Utility = model.AlphaFair(alpha)
+				eval, err := model.Evaluate(n, assign, evalOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg = eval.Aggregate
+				jain = stats.JainIndex(eval.PerUser)
+				util = eval.Utility
+			}
+			b.ReportMetric(agg, "aggregate_Mbps")
+			b.ReportMetric(jain, "jain")
+			b.ReportMetric(util, "utility")
 		})
 	}
 }

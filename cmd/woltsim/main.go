@@ -5,8 +5,8 @@
 //	woltsim [flags] <experiment>
 //
 // Experiments: fig2a fig2b fig2c fig3 fig4a fig4b fig4c fig5 fig6a
-// fig6b fig6c fairness nphard gap solve anytime sweep mobility channels
-// qos shard city verify all
+// fig6b fig6c fairness nphard gap solve anytime frontier sweep mobility
+// channels qos shard city verify all
 //
 // Each experiment prints one or more paper-style tables. See DESIGN.md
 // for the experiment ↔ paper mapping and EXPERIMENTS.md for recorded
@@ -204,6 +204,7 @@ func registry() map[string]runnerFunc {
 		"gap":      wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Gap(o) }),
 		"solve":    wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Solve(o) }),
 		"anytime":  wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Anytime(o) }),
+		"frontier": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Frontier(o) }),
 		"sweep":    wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Sweep(o) }),
 		"mobility": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Mobility(o) }),
 		"channels": wrap(func(o experiments.Options) (experiments.Tabler, error) { return experiments.Channels(o) }),
@@ -219,7 +220,7 @@ func registry() map[string]runnerFunc {
 func experimentIDs() []string {
 	return []string{
 		"fig2a", "fig2b", "fig2c", "fig3", "fig4a", "fig5",
-		"fig6a", "fig6b", "fairness", "nphard", "gap", "solve", "anytime", "sweep", "mobility", "channels", "qos", "shard", "city",
+		"fig6a", "fig6b", "fairness", "nphard", "gap", "solve", "anytime", "frontier", "sweep", "mobility", "channels", "qos", "shard", "city",
 	}
 }
 

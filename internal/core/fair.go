@@ -1,12 +1,6 @@
 package core
 
-import (
-	"fmt"
-	"time"
-
-	"github.com/plcwifi/wolt/internal/model"
-	"github.com/plcwifi/wolt/internal/nlp"
-)
+import "github.com/plcwifi/wolt/internal/model"
 
 // AssignProportionalFair is the fairness extension of WOLT: Phase I is
 // unchanged (it seeds every extender with one well-matched user), but
@@ -17,48 +11,12 @@ import (
 // The paper optimizes efficiency and accepts the fairness that falls out
 // (§V-D); this variant makes the efficiency/fairness trade-off explicit
 // and is benchmarked against plain Assign in BenchmarkFairnessVariant.
+// It is now a fixed point of the pluggable utility machinery — the
+// α=1 member of Options.Utility over the coordinate Phase II solver —
+// kept as a named entry point for its callers and docs; the general
+// family (any α, plus max-min) goes through Options.Utility directly.
 func AssignProportionalFair(n *model.Network, opts Options) (*Result, error) {
-	if err := n.Validate(); err != nil {
-		return nil, err
-	}
-	if n.NumUsers() == 0 {
-		return &Result{Assign: model.Assignment{}}, nil
-	}
-
-	// Phase I: identical to Assign.
-	plain := opts
-	plain.Solver = Phase2Coordinate
-	base, err := Assign(n, plain)
-	if err != nil {
-		return nil, err
-	}
-	if len(base.PhaseIUsers) == n.NumUsers() {
-		return base, nil
-	}
-
-	// Rebuild the Phase I pinning and run the proportional-fair Phase II.
-	fixed := make(model.Assignment, n.NumUsers())
-	for i := range fixed {
-		fixed[i] = model.Unassigned
-	}
-	for _, i := range base.PhaseIUsers {
-		fixed[i] = base.Assign[i]
-	}
-	phase2Start := time.Now()
-	sol, err := nlp.SolveCoordinateWith(
-		nlp.Problem{Rates: n.WiFiRates, Fixed: fixed},
-		nlp.ProportionalFair,
-	)
-	if err != nil {
-		return nil, fmt.Errorf("fair phase II: %w", err)
-	}
-	return &Result{
-		Assign:              sol.Assign,
-		PhaseIUsers:         base.PhaseIUsers,
-		PhaseIUtility:       base.PhaseIUtility,
-		Phase2:              sol,
-		Phase1Time:          base.Phase1Time,
-		Phase2Time:          time.Since(phase2Start),
-		Phase1Augmentations: base.Phase1Augmentations,
-	}, nil
+	opts.Utility = model.ProportionalFairness()
+	opts.Solver = Phase2Coordinate
+	return Assign(n, opts)
 }

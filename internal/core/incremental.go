@@ -149,14 +149,18 @@ func AssignIncrementalWith(cs *Scratch, n *model.Network, prev model.Assignment,
 	if err := d.Attach(n, res.Assign, evalOpts); err != nil {
 		return nil, err
 	}
-	currentAgg := d.Aggregate()
+	// Moves are ranked by the evaluation options' lexicographic Score;
+	// under the zero sum-rate utility both components are the aggregate
+	// and the selection reduces bit-for-bit to the old aggregate-greedy
+	// loop.
+	currentScore := d.Score()
 	remaining := budget
 	for remaining != 0 && len(candidates) > 0 {
-		bestIdx, bestAgg := -1, currentAgg
+		bestIdx, bestScore := -1, currentScore
 		for idx, user := range candidates {
-			agg := d.ProbeMove(user, res.Assign[user], target.Assign[user])
-			if agg > bestAgg+1e-12 {
-				bestIdx, bestAgg = idx, agg
+			sc := d.ProbeMoveScore(user, res.Assign[user], target.Assign[user])
+			if sc.BetterEps(bestScore, 1e-12) {
+				bestIdx, bestScore = idx, sc
 			}
 		}
 		if bestIdx < 0 {
@@ -167,7 +171,7 @@ func AssignIncrementalWith(cs *Scratch, n *model.Network, prev model.Assignment,
 		res.Assign[user] = target.Assign[user]
 		res.Moves = append(res.Moves, user)
 		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
-		currentAgg = bestAgg
+		currentScore = bestScore
 		if remaining > 0 {
 			remaining--
 		}
@@ -175,7 +179,7 @@ func AssignIncrementalWith(cs *Scratch, n *model.Network, prev model.Assignment,
 
 	res.Evals = d.Evals - evals0
 	res.DeltaProbes = d.Probes - probes0
-	res.AchievedAggregate = currentAgg
+	res.AchievedAggregate = currentScore.Tie
 	// The network was validated above and target.Assign was produced by
 	// AssignWith against this same network, so the full evaluation can
 	// skip re-validating the pair (model.Options.SkipValidate contract).

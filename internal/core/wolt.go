@@ -67,6 +67,12 @@ type Options struct {
 	Solver Phase2Solver
 	// NLP tunes the projected-gradient solver.
 	NLP nlp.Options
+	// Utility selects the Phase II objective family (the zero value is
+	// the paper's sum-throughput, bit-identical to the pre-utility
+	// solver). It overrides NLP.Utility when non-zero and drives the
+	// coordinate solver's cell objective; Phase I is utility-agnostic
+	// (its Lemma 2 seeding is about coverage, not the objective).
+	Utility model.Utility
 	// Warm, when non-nil, switches AssignIncrementalWith to the warm
 	// local-search path: the previous assignment seeds an anytime
 	// search (internal/localsearch) instead of re-running the two-phase
@@ -271,12 +277,20 @@ func AssignWith(s *Scratch, n *model.Network, opts Options) (*Result, error) {
 	}
 	phase2Start := time.Now()
 	problem := nlp.Problem{Rates: n.WiFiRates, Fixed: fixed}
+	utility := opts.Utility
+	if utility.IsSumRate() {
+		utility = opts.NLP.Utility
+	}
 	var sol *nlp.Solution
 	switch opts.Solver {
 	case Phase2ProjectedGradient:
-		sol, err = nlp.SolveProjectedGradient(problem, opts.NLP)
+		nlpOpts := opts.NLP
+		nlpOpts.Utility = utility
+		sol, err = nlp.SolveProjectedGradient(problem, nlpOpts)
 	case Phase2Coordinate:
-		sol, err = nlp.SolveCoordinate(problem)
+		// AlphaFairCell of the zero utility is SumThroughput itself, so
+		// the default path is exactly the old SolveCoordinate.
+		sol, err = nlp.SolveCoordinateWith(problem, nlp.AlphaFairCell(utility))
 	default:
 		return nil, fmt.Errorf("core: unknown phase II solver %d", opts.Solver)
 	}

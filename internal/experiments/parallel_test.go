@@ -38,6 +38,7 @@ func TestDriversDeterministicAcrossWorkers(t *testing.T) {
 		{"Gap", func(o Options) (any, error) { return Gap(o) }},
 		{"Mobility", func(o Options) (any, error) { return Mobility(o) }},
 		{"Anytime", func(o Options) (any, error) { return Anytime(o) }},
+		{"Frontier", func(o Options) (any, error) { return Frontier(o) }},
 		{"City", func(o Options) (any, error) {
 			res, err := City(o)
 			if err != nil {
@@ -149,6 +150,7 @@ func TestDriversHonorCancelledContext(t *testing.T) {
 		{"NPHard", func(o Options) error { _, err := NPHard(o); return err }},
 		{"Gap", func(o Options) error { _, err := Gap(o); return err }},
 		{"Mobility", func(o Options) error { _, err := Mobility(o); return err }},
+		{"Frontier", func(o Options) error { _, err := Frontier(o); return err }},
 		{"City", func(o Options) error { _, err := City(o); return err }},
 		{"Fig6a", func(o Options) error { _, err := Fig6a(o); return err }},
 		{"Fairness", func(o Options) error { _, err := Fairness(o); return err }},

@@ -226,8 +226,14 @@ type Result struct {
 	// Aggregate is Assign's total throughput, bit-identical to a fresh
 	// model.EvaluateWith under the same model options.
 	Aggregate float64
-	// Start is the aggregate of the seed assignment after free
-	// placement of unassigned users, the baseline the search improved.
+	// Utility is Assign's value under Options.Model.Utility — the
+	// quantity the search actually maximized (equal to Aggregate for
+	// the zero sum-rate utility), bit-identical to a fresh
+	// model.EvaluateWith's Result.Utility.
+	Utility float64
+	// Start is the utility of the seed assignment after free placement
+	// of unassigned users, the baseline the search improved (the
+	// aggregate under the zero utility).
 	Start float64
 	// Placed counts previously unassigned users the seeding pass
 	// placed (they do not consume the move budget).
@@ -243,11 +249,12 @@ type Result struct {
 	// rollbacks (it measures evaluator work, not net moves).
 	Commits int
 	// Improving counts strict improvements of the best-so-far
-	// aggregate; Improving/Commits is the improving-move ratio
+	// score; Improving/Commits is the improving-move ratio
 	// surfaced in strategy.Stats.
 	Improving int
-	// Trajectory is the best-so-far aggregate after seeding and after
-	// each improvement: the anytime quality curve.
+	// Trajectory is the best-so-far utility after seeding and after
+	// each improvement (the aggregate under the zero sum-rate
+	// utility): the anytime quality curve.
 	Trajectory []float64
 	// Stop records why the search returned.
 	Stop StopReason
@@ -355,9 +362,10 @@ type Searcher struct {
 	delta model.DeltaEval
 	cands Candidates
 
-	best    model.Assignment
-	bestAgg float64
-	traj    []float64
+	best      model.Assignment
+	bestScore model.Score
+	util      model.Utility
+	traj      []float64
 
 	placed, commits, improving int
 
@@ -444,10 +452,11 @@ func (s *Searcher) Place(n *model.Network, assign model.Assignment, user int, op
 	if got := s.delta.Assigned(user); got != model.Unassigned {
 		return model.Unassigned, fmt.Errorf("localsearch: Place(user %d): already assigned to %d", user, got)
 	}
-	bestTo, bestAgg := -1, math.Inf(-1)
+	bestTo := -1
+	bestSc := model.Score{Primary: math.Inf(-1), Tie: math.Inf(-1)}
 	for _, to := range s.cands.For(user) {
-		if agg := s.delta.ProbeMove(user, model.Unassigned, to); agg > bestAgg {
-			bestTo, bestAgg = to, agg
+		if sc := s.delta.ProbeMoveScore(user, model.Unassigned, to); sc.Better(bestSc) {
+			bestTo, bestSc = to, sc
 		}
 	}
 	if bestTo < 0 {
@@ -482,31 +491,34 @@ func (s *Searcher) begin(n *model.Network, start model.Assignment, opts Options,
 		}
 	}
 	s.cands.Ensure(n, opts.neighborhood())
+	s.util = opts.Model.Utility
 	s.placed, s.commits, s.improving = 0, 0, 0
 	s.place(n, r)
-	s.bestAgg = s.delta.Aggregate()
+	s.bestScore = s.delta.Score()
 	s.best = s.delta.AppendAssignment(s.best)
-	s.traj = append(s.traj[:0], s.bestAgg)
+	s.traj = append(s.traj[:0], s.bestScore.Primary)
 	return nil
 }
 
 // place greedily assigns every Unassigned user to the candidate that
-// maximizes the aggregate — the same arrivals-are-free rule as
-// core.AssignIncrementalWith, so the move budget is untouched. Probes
-// still count (they are real work), and an exhausted budget leaves the
-// remaining users unassigned, which is still a valid state.
+// maximizes the score (the aggregate, under the zero utility) — the
+// same arrivals-are-free rule as core.AssignIncrementalWith, so the
+// move budget is untouched. Probes still count (they are real work),
+// and an exhausted budget leaves the remaining users unassigned, which
+// is still a valid state.
 func (s *Searcher) place(n *model.Network, r *run) {
 	for i := 0; i < n.NumUsers(); i++ {
 		if s.delta.Assigned(i) != model.Unassigned {
 			continue
 		}
-		bestTo, bestAgg := -1, math.Inf(-1)
+		bestTo := -1
+		bestSc := model.Score{Primary: math.Inf(-1), Tie: math.Inf(-1)}
 		for _, to := range s.cands.For(i) {
 			if !r.takeProbe() {
 				break
 			}
-			if agg := s.delta.ProbeMove(i, model.Unassigned, to); agg > bestAgg {
-				bestTo, bestAgg = to, agg
+			if sc := s.delta.ProbeMoveScore(i, model.Unassigned, to); sc.Better(bestSc) {
+				bestTo, bestSc = to, sc
 			}
 		}
 		if bestTo >= 0 {
@@ -522,9 +534,9 @@ func (s *Searcher) place(n *model.Network, r *run) {
 
 // noteBest snapshots the committed state as the new best.
 func (s *Searcher) noteBest() {
-	s.bestAgg = s.delta.Aggregate()
+	s.bestScore = s.delta.Score()
 	s.best = s.delta.AppendAssignment(s.best)
-	s.traj = append(s.traj, s.bestAgg)
+	s.traj = append(s.traj, s.bestScore.Primary)
 	s.improving++
 }
 
@@ -551,7 +563,7 @@ func (s *Searcher) hillClimb(r *run) {
 			if from == model.Unassigned {
 				continue // unplaced only when placement ran out of budget
 			}
-			bestTo, bestAgg := -1, s.bestAgg
+			bestTo, bestSc := -1, s.bestScore
 			for _, to := range s.cands.For(i) {
 				if to == from {
 					continue
@@ -559,8 +571,8 @@ func (s *Searcher) hillClimb(r *run) {
 				if !r.takeProbe() {
 					break
 				}
-				if agg := s.delta.ProbeMove(i, from, to); agg > bestAgg+improveEps {
-					bestTo, bestAgg = to, agg
+				if sc := s.delta.ProbeMoveScore(i, from, to); sc.BetterEps(bestSc, improveEps) {
+					bestTo, bestSc = to, sc
 				}
 			}
 			if bestTo >= 0 && r.takeMove() {
@@ -580,9 +592,14 @@ func (s *Searcher) hillClimb(r *run) {
 }
 
 // sweepOrder rebuilds the pass permutation: every user, sorted by
-// descending (best candidate rate − current rate). Unassigned users
-// keep their full best rate as the deficit, so any user the placement
-// pass could not afford sorts first.
+// descending rate deficit in the utility's own units
+// (model.Utility.Deficit of the best candidate rate vs the current
+// rate — plain arithmetic over the candidate cache, no probes). The
+// zero sum-rate utility keeps today's raw rate difference bit-for-bit;
+// fairness-hungry members send users at or near zero throughput to the
+// front. Unassigned users keep their full best rate as the deficit
+// (+∞ under finite α > 0), so any user the placement pass could not
+// afford sorts first.
 func (s *Searcher) sweepOrder() {
 	users := len(s.best)
 	if cap(s.sweep.order) < users {
@@ -603,7 +620,7 @@ func (s *Searcher) sweepOrder() {
 		if from := s.delta.Assigned(i); from != model.Unassigned {
 			cur = s.cands.net.WiFiRates[i][from]
 		}
-		s.sweep.deficit[i] = best - cur
+		s.sweep.deficit[i] = s.util.Deficit(best, cur)
 	}
 	sort.Sort(&s.sweep)
 }
@@ -658,14 +675,15 @@ func (s *Searcher) tryChain(n *model.Network, u0 int, depth int, r *run) bool {
 	s.movedList = s.movedList[:0]
 
 	bestDepth := 0
-	bestChainAgg := s.bestAgg
+	bestChainSc := s.bestScore
 	u := u0
 	for len(s.chainUser) < depth {
 		from := s.delta.Assigned(u)
 		if from == model.Unassigned {
 			break
 		}
-		bestTo, bestAgg := -1, math.Inf(-1)
+		bestTo := -1
+		bestSc := model.Score{Primary: math.Inf(-1), Tie: math.Inf(-1)}
 		for _, to := range s.cands.For(u) {
 			if to == from {
 				continue
@@ -673,8 +691,8 @@ func (s *Searcher) tryChain(n *model.Network, u0 int, depth int, r *run) bool {
 			if !r.takeProbe() {
 				break
 			}
-			if agg := s.delta.ProbeMove(u, from, to); agg > bestAgg {
-				bestTo, bestAgg = to, agg
+			if sc := s.delta.ProbeMoveScore(u, from, to); sc.Better(bestSc) {
+				bestTo, bestSc = to, sc
 			}
 		}
 		if bestTo < 0 {
@@ -687,8 +705,8 @@ func (s *Searcher) tryChain(n *model.Network, u0 int, depth int, r *run) bool {
 		s.chainTo = append(s.chainTo, bestTo)
 		s.moved[u] = true
 		s.movedList = append(s.movedList, u)
-		if bestAgg > bestChainAgg+improveEps {
-			bestChainAgg = bestAgg
+		if bestSc.BetterEps(bestChainSc, improveEps) {
+			bestChainSc = bestSc
 			bestDepth = len(s.chainUser)
 		}
 		if r.halted {
@@ -716,7 +734,7 @@ func (s *Searcher) tryChain(n *model.Network, u0 int, depth int, r *run) bool {
 	// prefix to what remains.
 	if r.movesLeft >= 0 && bestDepth > r.movesLeft {
 		bestDepth = r.movesLeft
-		bestChainAgg = s.bestAgg // prefix aggregate unknown; recheck below
+		bestChainSc = s.bestScore // prefix score unknown; recheck below
 	}
 	for k := len(s.chainUser) - 1; k >= bestDepth; k-- {
 		s.delta.Commit(s.chainUser[k], s.chainTo[k], s.chainFrom[k])
@@ -725,7 +743,7 @@ func (s *Searcher) tryChain(n *model.Network, u0 int, depth int, r *run) bool {
 	if bestDepth == 0 {
 		return false
 	}
-	if agg := s.delta.Aggregate(); agg > s.bestAgg+improveEps {
+	if s.delta.Score().BetterEps(s.bestScore, improveEps) {
 		for k := 0; k < bestDepth; k++ {
 			r.takeMove()
 		}
@@ -759,7 +777,11 @@ func (s *Searcher) anneal(n *model.Network, opts Options, r *run) {
 	rng := opts.rng()
 	t0 := opts.Anneal.InitTemp
 	if t0 <= 0 {
-		t0 = 0.02 * math.Max(s.bestAgg, 1)
+		// Utility units, not Mbps, when a non-zero utility is chosen:
+		// 2% of the seed score's magnitude (the aggregate under the
+		// zero utility, where |score| == score — today's temperature
+		// bit-for-bit).
+		t0 = 0.02 * math.Max(math.Abs(s.bestScore.Primary), 1)
 	}
 	floorFrac := opts.Anneal.FloorFrac
 	if floorFrac <= 0 {
@@ -777,7 +799,7 @@ func (s *Searcher) anneal(n *model.Network, opts Options, r *run) {
 	}
 	floor := t0 * floorFrac
 
-	curAgg := s.delta.Aggregate()
+	curScore := s.delta.Score()
 	temp := t0
 	for {
 		if temp < floor {
@@ -791,17 +813,21 @@ func (s *Searcher) anneal(n *model.Network, opts Options, r *run) {
 		if !r.takeProbe() {
 			return
 		}
-		agg := s.delta.ProbeMove(i, from, to)
+		// Metropolis Δ is the primary (utility) delta; the rng draw
+		// sequence — one Float64 per non-improving candidate — is
+		// independent of the utility choice, so the zero utility
+		// replays today's walk bit-for-bit.
+		sc := s.delta.ProbeMoveScore(i, from, to)
 		if to != from {
-			delta := agg - curAgg
+			delta := sc.Primary - curScore.Primary
 			if delta > 0 || rng.Float64() < math.Exp(delta/temp) {
 				if !r.takeMove() {
 					return
 				}
 				s.delta.Commit(i, from, to)
 				s.commits++
-				curAgg = s.delta.Aggregate()
-				if curAgg > s.bestAgg+improveEps {
+				curScore = s.delta.Score()
+				if curScore.BetterEps(s.bestScore, improveEps) {
 					s.noteBest()
 				}
 			}
@@ -815,7 +841,8 @@ func (s *Searcher) anneal(n *model.Network, opts Options, r *run) {
 func (s *Searcher) finish(r *run) *Result {
 	res := &Result{
 		Assign:     append(model.Assignment(nil), s.best...),
-		Aggregate:  s.bestAgg,
+		Aggregate:  s.bestScore.Tie,
+		Utility:    s.bestScore.Primary,
 		Placed:     s.placed,
 		Commits:    s.commits,
 		Improving:  s.improving,

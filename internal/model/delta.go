@@ -1,6 +1,9 @@
 package model
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // DeltaEval is a stateful evaluator for single-move what-if probes. It
 // holds a validated (network, assignment) pair together with the
@@ -53,6 +56,7 @@ type DeltaEval struct {
 
 	perExt    []float64 // committed per-extender delivered throughput
 	aggregate float64   // committed Σ perExt over active, ascending
+	utility   float64   // committed Options.Utility value (== aggregate for sum-rate)
 
 	// probe scratch, sized to the active set of the hypothesis
 	pActive    []int
@@ -132,6 +136,20 @@ func (d *DeltaEval) Aggregate() float64 {
 	return d.aggregate
 }
 
+// Utility returns the committed assignment's value under the attached
+// Options.Utility — bit-identical to EvaluateWith's Result.Utility.
+func (d *DeltaEval) Utility() float64 {
+	d.check()
+	return d.utility
+}
+
+// Score returns the committed assignment's lexicographic objective
+// (Utility primary, Aggregate tie-break).
+func (d *DeltaEval) Score() Score {
+	d.check()
+	return Score{Primary: d.utility, Tie: d.aggregate}
+}
+
 // PerUser returns user i's committed end-to-end throughput —
 // bit-identical to EvaluateWith's Result.PerUser[i].
 func (d *DeltaEval) PerUser(i int) float64 {
@@ -172,7 +190,7 @@ func (d *DeltaEval) Members(j int) []int {
 // `to`; either end may be Unassigned. The committed state is untouched
 // and nothing is allocated.
 func (d *DeltaEval) ProbeMove(i, from, to int) float64 {
-	agg, _ := d.probe(i, from, to)
+	agg, _, _ := d.probe(i, from, to)
 	return agg
 }
 
@@ -180,7 +198,18 @@ func (d *DeltaEval) ProbeMove(i, from, to int) float64 {
 // throughput under the hypothesis (0 when to == Unassigned) — the
 // quantity the selfish baseline maximizes.
 func (d *DeltaEval) ProbeMoveUser(i, from, to int) (agg, own float64) {
-	return d.probe(i, from, to)
+	agg, own, _ = d.probe(i, from, to)
+	return agg, own
+}
+
+// ProbeMoveScore returns the lexicographic objective the network would
+// have under the (i: from → to) hypothesis — the comparison value of
+// every utility-aware search loop. For the zero sum-rate utility both
+// components equal ProbeMove's aggregate, so Score comparisons reduce
+// bit-for-bit to the old aggregate comparisons.
+func (d *DeltaEval) ProbeMoveScore(i, from, to int) Score {
+	agg, _, util := d.probe(i, from, to)
+	return Score{Primary: util, Tie: agg}
 }
 
 // Commit applies the move (i: from → to) to the committed state: the two
@@ -291,18 +320,28 @@ func (d *DeltaEval) recommit() {
 		}
 	}
 	d.aggregate = agg
+	if d.opts.Utility.IsSumRate() {
+		d.utility = agg
+	} else {
+		d.utility = utilityOver(d.opts.Utility, act, d.perExt, d.count)
+	}
 }
 
 // probe evaluates the (i: from → to) hypothesis without touching the
 // committed state: the two affected cells' sums are recomputed from the
 // member lists (with i removed or merged at its sorted position), the
 // hypothetical active set is built ascending, and the water-fill and
-// aggregate sum run over it in exactly EvaluateWith's order.
-func (d *DeltaEval) probe(i, from, to int) (agg, own float64) {
+// aggregate sum run over it in exactly EvaluateWith's order. The
+// utility rides the same single pass: each cell's contribution is
+// accumulated (or min-tracked, for max-min) as its delivered
+// throughput is produced, so non-sum-rate probes stay O(Δ) and
+// allocation-free; the sum-rate utility is the aggregate itself and
+// costs nothing extra.
+func (d *DeltaEval) probe(i, from, to int) (agg, own, util float64) {
 	d.checkMove(i, from, to)
 	d.Probes++
 	if from == to {
-		return d.aggregate, d.PerUser(i)
+		return d.aggregate, d.PerUser(i), d.utility
 	}
 
 	// Hypothetical demands and counts of the two affected cells.
@@ -356,7 +395,7 @@ func (d *DeltaEval) probe(i, from, to int) (agg, own float64) {
 	// hypothetical active set, so the appends never reallocate).
 
 	if len(act) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	demandAt := func(j int) float64 {
 		switch j {
@@ -367,6 +406,18 @@ func (d *DeltaEval) probe(i, from, to int) (agg, own float64) {
 		}
 		return d.demand[j]
 	}
+	countAt := func(j int) int {
+		switch j {
+		case from:
+			return d.count[from] - 1
+		case to:
+			return toCount
+		}
+		return d.count[j]
+	}
+	u := d.opts.Utility
+	sumRate := u.IsSumRate()
+	minShare := math.Inf(1)
 	contenders := len(act)
 	if d.opts.FixedShare {
 		contenders = d.net.NumExtenders()
@@ -386,6 +437,15 @@ func (d *DeltaEval) probe(i, from, to int) (agg, own float64) {
 			if j == to {
 				toPer = per
 			}
+			if !sumRate {
+				if u.MaxMin {
+					if share := per / float64(countAt(j)); share < minShare {
+						minShare = share
+					}
+				} else {
+					util += u.CellUtility(countAt(j), per)
+				}
+			}
 		}
 	} else {
 		fair := 1 / float64(contenders)
@@ -395,12 +455,26 @@ func (d *DeltaEval) probe(i, from, to int) (agg, own float64) {
 			if j == to {
 				toPer = per
 			}
+			if !sumRate {
+				if u.MaxMin {
+					if share := per / float64(countAt(j)); share < minShare {
+						minShare = share
+					}
+				} else {
+					util += u.CellUtility(countAt(j), per)
+				}
+			}
 		}
+	}
+	if sumRate {
+		util = agg
+	} else if u.MaxMin {
+		util = minShare
 	}
 	if to != Unassigned {
 		own = toPer / float64(toCount)
 	}
-	return agg, own
+	return agg, own, util
 }
 
 // check panics when the evaluator has no attached state or the network

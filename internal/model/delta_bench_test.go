@@ -79,6 +79,49 @@ func BenchmarkDeltaFullProbe(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaProbeScore measures the lexicographic-score probe under
+// a non-trivial utility (proportional fair): the per-cell utility terms
+// ride the same single water-fill pass, so the probe stays O(Δ) and
+// zero-alloc like the plain aggregate probe.
+func BenchmarkDeltaProbeScore(b *testing.B) {
+	n, assign := benchDeltaInstance(benchDeltaUsers, benchDeltaExt)
+	opts := Options{Redistribute: true, Utility: AlphaFair(1)}
+	var d DeltaEval
+	if err := d.Attach(n, assign, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		user := i % benchDeltaUsers
+		from := assign[user]
+		to := (from + 1 + i%(benchDeltaExt-1)) % benchDeltaExt
+		d.ProbeMoveScore(user, from, to)
+	}
+}
+
+// TestProbeMoveScoreAllocs pins the acceptance criterion directly:
+// utility-scored probes allocate nothing, for every utility member.
+func TestProbeMoveScoreAllocs(t *testing.T) {
+	n, assign := benchDeltaInstance(200, 16)
+	for _, u := range deltaUtilities {
+		var d DeltaEval
+		if err := d.Attach(n, assign, Options{Redistribute: true, Utility: u}); err != nil {
+			t.Fatal(err)
+		}
+		user := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			from := assign[user]
+			to := (from + 1) % 16
+			d.ProbeMoveScore(user, from, to)
+			user = (user + 1) % 200
+		})
+		if allocs != 0 {
+			t.Errorf("utility %v: ProbeMoveScore allocates %v per probe, want 0", u, allocs)
+		}
+	}
+}
+
 // BenchmarkDeltaCommit measures a committed move (member-list edit, two
 // cell recomputations and the water-fill re-run).
 func BenchmarkDeltaCommit(b *testing.B) {

@@ -64,6 +64,15 @@ func checkDeltaAgainstFull(t *testing.T, base int64, numExt, numUsers, numMoves 
 		if d.Aggregate() != res.Aggregate {
 			t.Fatalf("%s: aggregate %v != full %v", step, d.Aggregate(), res.Aggregate)
 		}
+		if d.Utility() != res.Utility {
+			t.Fatalf("%s: utility %v != full %v (utility %v)", step, d.Utility(), res.Utility, opts.Utility)
+		}
+		if sc := d.Score(); sc != res.Score() {
+			t.Fatalf("%s: score %v != full %v", step, sc, res.Score())
+		}
+		if opts.Utility.IsSumRate() && res.Utility != res.Aggregate {
+			t.Fatalf("%s: sum-rate utility %v != aggregate %v", step, res.Utility, res.Aggregate)
+		}
 		for i := range assign {
 			if d.PerUser(i) != res.PerUser[i] {
 				t.Fatalf("%s: user %d throughput %v != full %v", step, i, d.PerUser(i), res.PerUser[i])
@@ -100,6 +109,7 @@ func checkDeltaAgainstFull(t *testing.T, base int64, numExt, numUsers, numMoves 
 		from := assign[i]
 
 		agg, own := d.ProbeMoveUser(i, from, to)
+		sc := d.ProbeMoveScore(i, from, to)
 		copy(probe, assign)
 		probe[i] = to
 		res, err := EvaluateWith(&full, n, probe, opts)
@@ -113,6 +123,10 @@ func checkDeltaAgainstFull(t *testing.T, base int64, numExt, numUsers, numMoves 
 		if own != res.PerUser[i] {
 			t.Fatalf("move %d (%d: %d→%d): probe own %v != full %v",
 				m, i, from, to, own, res.PerUser[i])
+		}
+		if sc != res.Score() {
+			t.Fatalf("move %d (%d: %d→%d): probe score %v != full %v",
+				m, i, from, to, sc, res.Score())
 		}
 
 		d.Commit(i, from, to)
@@ -129,10 +143,35 @@ var deltaOptions = []Options{
 	{Redistribute: true, FixedShare: true},
 }
 
+// deltaUtilities is the utility dimension of the differential sweep:
+// the zero sum-rate member plus one representative of every non-trivial
+// branch (log, the α=2 fast path, fractional α, max-min).
+var deltaUtilities = []Utility{
+	{},
+	AlphaFair(1),
+	AlphaFair(2),
+	AlphaFair(0.5),
+	MaxMinFairness(),
+}
+
 func TestDeltaMatchesFull(t *testing.T) {
 	for _, opts := range deltaOptions {
 		for base := int64(0); base < 8; base++ {
 			checkDeltaAgainstFull(t, base, int(base%5)+1, int(base*3)%17+1, 40, opts)
+		}
+	}
+}
+
+// TestDeltaMatchesFullUtilities replays the differential move sequences
+// with every utility member: probe/commit utilities and Scores must
+// agree bit-for-bit (==) with fresh full evaluations.
+func TestDeltaMatchesFullUtilities(t *testing.T) {
+	for _, u := range deltaUtilities {
+		for _, opts := range deltaOptions {
+			opts.Utility = u
+			for base := int64(0); base < 4; base++ {
+				checkDeltaAgainstFull(t, base, int(base%5)+2, int(base*5)%17+2, 30, opts)
+			}
 		}
 	}
 }
@@ -142,16 +181,18 @@ func TestDeltaMatchesFull(t *testing.T) {
 // random networks, moves to/from Unassigned, and every
 // Redistribute/FixedShare combination.
 func FuzzDeltaVsFull(f *testing.F) {
-	f.Add(int64(1), uint8(3), uint8(10), uint8(0))
-	f.Add(int64(2), uint8(1), uint8(6), uint8(1))
-	f.Add(int64(3), uint8(5), uint8(20), uint8(2))
-	f.Add(int64(4), uint8(2), uint8(15), uint8(3))
-	f.Fuzz(func(t *testing.T, base int64, ext, users, optBits uint8) {
+	f.Add(int64(1), uint8(3), uint8(10), uint8(0), uint8(0))
+	f.Add(int64(2), uint8(1), uint8(6), uint8(1), uint8(1))
+	f.Add(int64(3), uint8(5), uint8(20), uint8(2), uint8(2))
+	f.Add(int64(4), uint8(2), uint8(15), uint8(3), uint8(3))
+	f.Add(int64(5), uint8(4), uint8(18), uint8(1), uint8(4))
+	f.Fuzz(func(t *testing.T, base int64, ext, users, optBits, utilSel uint8) {
 		numExt := int(ext%6) + 1
 		numUsers := int(users%24) + 1
 		opts := Options{
 			Redistribute: optBits&1 != 0,
 			FixedShare:   optBits&2 != 0,
+			Utility:      deltaUtilities[int(utilSel)%len(deltaUtilities)],
 		}
 		checkDeltaAgainstFull(t, base, numExt, numUsers, 24, opts)
 	})

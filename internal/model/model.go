@@ -184,6 +184,13 @@ type Options struct {
 	// path pure arithmetic. With it set, behaviour on invalid input is
 	// undefined.
 	SkipValidate bool
+	// Utility selects the objective family Result.Utility (and the
+	// lexicographic Score used by probe-driven search) is computed
+	// under. The zero value is sum-rate, where Utility is defined to be
+	// bit-identical to Aggregate and no extra arithmetic runs. The
+	// physical throughput model — PerUser, PerExtender, Aggregate — is
+	// independent of the choice; only the scoring overlay changes.
+	Utility Utility
 }
 
 // Result is the evaluated throughput of an assignment.
@@ -198,9 +205,20 @@ type Result struct {
 	TimeShare []float64
 	// Aggregate is the total end-to-end network throughput (objective 3).
 	Aggregate float64
+	// Utility is the assignment's value under Options.Utility: equal to
+	// Aggregate (bit-identical) for the zero sum-rate utility,
+	// Σ_cells n·u_α(perExt/n) for finite α, and the minimum
+	// assigned-user throughput for max-min.
+	Utility float64
 	// ActiveExtenders is A, the number of extenders with at least one
 	// associated user.
 	ActiveExtenders int
+}
+
+// Score returns the result's lexicographic objective value
+// (Utility primary, Aggregate tie-break).
+func (r *Result) Score() Score {
+	return Score{Primary: r.Utility, Tie: r.Aggregate}
 }
 
 // EvalScratch holds the reusable buffers of the evaluation inner loop:
@@ -258,6 +276,7 @@ func EvaluateWith(s *EvalScratch, n *Network, a Assignment, opts Options) (*Resu
 	res.WiFiDemand = growZeroFloats(res.WiFiDemand, numExt)
 	res.TimeShare = growZeroFloats(res.TimeShare, numExt)
 	res.Aggregate = 0
+	res.Utility = 0
 	res.ActiveExtenders = 0
 
 	// Per-cell harmonic sums: validation above guarantees every assigned
@@ -326,6 +345,11 @@ func EvaluateWith(s *EvalScratch, n *Network, a Assignment, opts Options) (*Resu
 	}
 	for _, j := range active {
 		res.Aggregate += res.PerExtender[j]
+	}
+	if opts.Utility.IsSumRate() {
+		res.Utility = res.Aggregate
+	} else {
+		res.Utility = utilityOver(opts.Utility, active, res.PerExtender, count)
 	}
 	return res, nil
 }

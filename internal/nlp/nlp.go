@@ -103,6 +103,13 @@ type Options struct {
 	// rows, simplex projections). <= 1 runs fully sequentially; results
 	// are bit-identical for every value.
 	Workers int
+	// Utility selects the objective family the relaxation ascends and
+	// the polish/coordinate cross-check optimize: the zero value is
+	// Problem 2's sum-throughput (bit-identical to the pre-utility
+	// solver), finite α uses the α-fair cell term n·u_α(1/s), and
+	// max-min is approximated by the smooth MaxMinSurrogateAlpha member
+	// (see AlphaFairCell).
+	Utility model.Utility
 }
 
 func (o Options) withDefaults() Options {
@@ -184,6 +191,14 @@ type pgState struct {
 	// the line-search hot loop.
 	supports [][]int
 	supBuf   []int
+	// alpha is the (surrogate) fairness exponent and obj the matching
+	// cell objective; alpha == 0 keeps the original multiply-only
+	// sum-throughput gradient verbatim. gN/gS hold the per-extender
+	// partials ∂f/∂N_j and ∂f/∂S_j of the α-fair objective, hoisted out
+	// of the row loop exactly like invS2 is for sum-throughput.
+	alpha  float64
+	obj    CellObjective
+	gN, gS []float64
 }
 
 func matrixOver(buf []float64, rows, cols int) [][]float64 {
@@ -194,7 +209,7 @@ func matrixOver(buf []float64, rows, cols int) [][]float64 {
 	return m
 }
 
-func newPGState(p Problem, free []int, numExt int) *pgState {
+func newPGState(p Problem, free []int, numExt int, u model.Utility) *pgState {
 	f := len(free)
 	st := &pgState{
 		xb:     make([]float64, f*numExt),
@@ -205,6 +220,10 @@ func newPGState(p Problem, free []int, numExt int) *pgState {
 		proj:   make([]projScratch, (f+rowChunk-1)/rowChunk),
 		invRb:  make([]float64, f*numExt),
 		invS2:  make([]float64, numExt),
+		alpha:  surrogateAlpha(u),
+		obj:    AlphaFairCell(u),
+		gN:     make([]float64, numExt),
+		gS:     make([]float64, numExt),
 	}
 	st.x = matrixOver(st.xb, f, numExt)
 	st.cand = matrixOver(st.cb, f, numExt)
@@ -253,7 +272,7 @@ func (st *pgState) cells(p Problem, free []int, x [][]float64) float64 {
 			st.cellsS[j] += mass * invR[j]
 		}
 	}
-	return Total(SumThroughput, st.cellsN, st.cellsS)
+	return Total(st.obj, st.cellsN, st.cellsS)
 }
 
 // SolveProjectedGradient solves the Phase II relaxation by projected
@@ -272,7 +291,7 @@ func SolveProjectedGradient(p Problem, opts Options) (*Solution, error) {
 		return &Solution{Assign: assign, Objective: obj, IntegralAtConvergence: true}, nil
 	}
 
-	st := newPGState(p, free, numExt)
+	st := newPGState(p, free, numExt, opts.Utility)
 
 	// x[k][j]: fractional assignment of free user k to extender j,
 	// initialized uniformly over reachable extenders.
@@ -301,33 +320,68 @@ func SolveProjectedGradient(p Problem, opts Options) (*Solution, error) {
 		// divisions were precomputed at attach, so the inner loop is
 		// multiply-only.
 		st.cells(p, free, st.x)
-		for j := 0; j < numExt; j++ {
-			if s := st.cellsS[j]; s > 0 {
-				st.invS2[j] = 1 / (s * s)
-			} else {
-				st.invS2[j] = 0
-			}
-		}
-		forRows(len(free), opts.Workers, func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				i := free[k]
-				row := st.grad[k]
-				invR := st.invR[k]
-				for j := 0; j < numExt; j++ {
-					if invR[j] == 0 {
-						row[j] = 0
-						continue
-					}
-					s := st.cellsS[j]
-					if s <= 0 {
-						// Empty cell: joining it alone yields throughput r.
-						row[j] = p.Rates[i][j]
-						continue
-					}
-					row[j] = (s - st.cellsN[j]*invR[j]) * st.invS2[j]
+		if st.alpha == 0 {
+			for j := 0; j < numExt; j++ {
+				if s := st.cellsS[j]; s > 0 {
+					st.invS2[j] = 1 / (s * s)
+				} else {
+					st.invS2[j] = 0
 				}
 			}
-		})
+			forRows(len(free), opts.Workers, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					i := free[k]
+					row := st.grad[k]
+					invR := st.invR[k]
+					for j := 0; j < numExt; j++ {
+						if invR[j] == 0 {
+							row[j] = 0
+							continue
+						}
+						s := st.cellsS[j]
+						if s <= 0 {
+							// Empty cell: joining it alone yields throughput r.
+							row[j] = p.Rates[i][j]
+							continue
+						}
+						row[j] = (s - st.cellsN[j]*invR[j]) * st.invS2[j]
+					}
+				}
+			})
+		} else {
+			// α-fair gradient of f = Σ_j N_j·u_α(1/S_j): the chain rule
+			// gives ∂f/∂x_kj = ∂f/∂N_j + ∂f/∂S_j·(1/r_ij) with
+			// ∂f/∂N_j = u_α(1/S_j) and ∂f/∂S_j = −N_j·S_j^(α−2), both
+			// per-extender quantities hoisted out of the row loop so the
+			// inner loop stays one multiply-add per matrix element.
+			for j := 0; j < numExt; j++ {
+				if s := st.cellsS[j]; s > 0 {
+					st.gN[j] = perUserUtil(st.alpha, 1/s)
+					st.gS[j] = -st.cellsN[j] * math.Pow(s, st.alpha-2)
+				} else {
+					st.gN[j], st.gS[j] = 0, 0
+				}
+			}
+			forRows(len(free), opts.Workers, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					i := free[k]
+					row := st.grad[k]
+					invR := st.invR[k]
+					for j := 0; j < numExt; j++ {
+						if invR[j] == 0 {
+							row[j] = 0
+							continue
+						}
+						if st.cellsS[j] <= 0 {
+							// Empty cell: joining it alone yields u_α(r).
+							row[j] = perUserUtil(st.alpha, p.Rates[i][j])
+							continue
+						}
+						row[j] = st.gN[j] + st.gS[j]*invR[j]
+					}
+				}
+			})
+		}
 
 		// Backtracking line search on the projected step. The candidate
 		// build + per-row simplex projection is row-independent and fans
@@ -393,12 +447,12 @@ func SolveProjectedGradient(p Problem, opts Options) (*Solution, error) {
 		}
 		assign[i] = best
 	}
-	obj, sweeps := polish(p, assign, free, numExt, SumThroughput)
+	obj, sweeps := polish(p, assign, free, numExt, st.obj)
 
 	// The relaxation is non-convex, so the gradient iterate can land in a
 	// poorer basin than a greedy discrete start. Keep the better of the
 	// two (multi-start local search).
-	if alt, err := solveCoordinate(p, SumThroughput); err == nil {
+	if alt, err := solveCoordinate(p, st.obj); err == nil {
 		sweeps += alt.PolishSweeps
 		if alt.Objective > obj+1e-12 {
 			assign = alt.Assign
@@ -442,6 +496,63 @@ func ProportionalFair(n, s float64) float64 {
 		return -n * math.Log(s)
 	}
 	return 0
+}
+
+// MaxMinSurrogateAlpha is the finite fairness exponent the smooth
+// solvers substitute for the α→∞ max-min utility: the true max-min
+// objective is non-smooth (a min over cells) and has no useful
+// gradient, while the α-fair family converges to it as α grows. α=8 is
+// steep enough that starving any user dominates every aggregate gain
+// the solvers can express, yet keeps S^(α−2) within float64 range on
+// realistic rate spreads. Exact max-min semantics (lexicographic
+// Score comparisons) live in the discrete probe loops, not here.
+const MaxMinSurrogateAlpha = 8.0
+
+// surrogateAlpha maps a utility to the finite exponent the smooth
+// solvers use: its own α, or MaxMinSurrogateAlpha for max-min.
+func surrogateAlpha(u model.Utility) float64 {
+	if u.MaxMin {
+		return MaxMinSurrogateAlpha
+	}
+	return u.Alpha
+}
+
+// perUserUtil is u_α(x) for a finite exponent α ≥ 0 and x > 0 — the
+// solver-local scalar the α-fair gradient and cell terms are built
+// from (model.Utility.PerUser without the max-min and non-positive
+// special cases, which cannot occur inside the relaxation).
+func perUserUtil(a, x float64) float64 {
+	switch a {
+	case 0:
+		return x
+	case 1:
+		return math.Log(x)
+	}
+	return math.Pow(x, 1-a) / (1 - a)
+}
+
+// AlphaFairCell returns the separable cell term of the α-fair
+// objective for the given utility: every user on a cell with
+// inverse-rate sum s receives throughput 1/s, so a cell of mass n
+// contributes n·u_α(1/s) = n·s^(α−1)/(1−α). α=0 returns SumThroughput
+// itself (same function value, same bit patterns — the zero utility
+// keeps the solver bit-identical to the pre-utility code) and α=1
+// returns ProportionalFair; max-min maps to its smooth surrogate
+// exponent (MaxMinSurrogateAlpha).
+func AlphaFairCell(u model.Utility) CellObjective {
+	a := surrogateAlpha(u)
+	switch a {
+	case 0:
+		return SumThroughput
+	case 1:
+		return ProportionalFair
+	}
+	return func(n, s float64) float64 {
+		if n > 0 && s > 0 {
+			return n * math.Pow(s, a-1) / (1 - a)
+		}
+		return 0
+	}
 }
 
 // Total evaluates a separable objective on per-extender loads, summing

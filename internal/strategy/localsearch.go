@@ -36,6 +36,12 @@ func newLocalSearch(name string, method localsearch.Method) Factory {
 			Seed:   cfg.Seed,
 			Budget: cfg.Budget,
 		}
+		if cfg.Alpha != 0 {
+			// Config.Alpha re-aims the whole search family at the
+			// α-fair objective: deficit ordering, move acceptance and
+			// annealing temperature all follow the utility's Score.
+			opts.Model.Utility = model.AlphaFair(cfg.Alpha)
+		}
 		if method == localsearch.Annealing {
 			// Only the annealer draws randomness; hand it the
 			// instance rng so Config.Rng keeps working.
@@ -60,6 +66,7 @@ func lsStats(name string, n *model.Network, res *localsearch.Result, total time.
 		Commits:     res.Commits,
 		Improving:   res.Improving,
 		Aggregate:   res.Aggregate,
+		Utility:     res.Utility,
 		Trajectory:  res.Trajectory,
 		Stop:        res.Stop.String(),
 	}

@@ -109,11 +109,13 @@ type Stats struct {
 	// aggregate. Improving/Commits is the improving-move ratio.
 	Commits   int
 	Improving int
-	// Aggregate is the solve's final objective (total throughput,
-	// Mbps); Trajectory is the local-search family's best-so-far curve
-	// — entry 0 after seeding, then one entry per improvement. Nil for
-	// strategies that do not track it.
+	// Aggregate is the solve's final total throughput (Mbps) and
+	// Utility its value under the solve's utility family (equal to
+	// Aggregate for sum-rate); Trajectory is the local-search family's
+	// best-so-far curve — entry 0 after seeding, then one entry per
+	// improvement. Nil for strategies that do not track it.
 	Aggregate  float64
+	Utility    float64
 	Trajectory []float64
 	// Stop records why an anytime solve returned ("optimum", "probes",
 	// "moves", "time", "ctx", "frozen"); empty for non-anytime
@@ -138,6 +140,13 @@ type Config struct {
 	// (DESIGN.md §7). It is deliberately NOT defaulted to NumCPU: under
 	// per-trial fan-out the trials already saturate the cores.
 	Workers int
+	// Alpha is the fairness exponent consumed by the parameterized
+	// utility strategies: wolt-alpha solves under model.AlphaFair(Alpha)
+	// (0 = sum-rate, 1 = proportional fair, math.Inf(1) = max-min), and
+	// the local-search family adopts it as ModelOpts.Utility when
+	// non-zero. Fixed-utility strategies (wolt, wolt-pf, wolt-fair)
+	// ignore it.
+	Alpha float64
 	// Seed derives the instance's private rng when Rng is nil.
 	Seed int64
 	// Rng, when non-nil, is used directly by randomized strategies.

@@ -42,8 +42,8 @@ func testNetwork(t *testing.T, users, extenders int) *model.Network {
 func TestRegistryCoversAllStrategies(t *testing.T) {
 	want := []string{
 		"greedy", "optimal", "random", "rssi", "selfish",
-		"wolt", "wolt-anneal", "wolt-coordinate", "wolt-fair",
-		"wolt-hillclimb", "wolt-incremental", "wolt-kopt",
+		"wolt", "wolt-alpha", "wolt-anneal", "wolt-coordinate", "wolt-fair",
+		"wolt-hillclimb", "wolt-incremental", "wolt-kopt", "wolt-pf",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -245,6 +245,7 @@ func TestOnlineAndReassignerForms(t *testing.T) {
 	}
 	reassigner := map[string]bool{
 		"wolt": true, "wolt-coordinate": true, "wolt-fair": true,
+		"wolt-pf": true, "wolt-alpha": true,
 		"wolt-incremental": true, "rssi": true,
 		"wolt-hillclimb": true, "wolt-kopt": true, "wolt-anneal": true,
 	}

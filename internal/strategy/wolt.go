@@ -9,11 +9,24 @@ import (
 )
 
 func init() {
-	Register("wolt", newWOLT("wolt", core.Phase2ProjectedGradient))
-	Register("wolt-coordinate", newWOLT("wolt-coordinate", core.Phase2Coordinate))
-	Register("wolt-fair", func(cfg Config) Strategy {
-		return &fairStrategy{cfg: cfg}
+	Register("wolt", newWOLT("wolt", core.Phase2ProjectedGradient, model.Utility{}))
+	Register("wolt-coordinate", newWOLT("wolt-coordinate", core.Phase2Coordinate, model.Utility{}))
+	// The utility family: wolt-pf is the α=1 (proportional-fair) member,
+	// wolt-alpha the parameterized one (Config.Alpha; 0 reproduces wolt
+	// bit-for-bit, math.Inf(1) is max-min via its smooth Phase II
+	// surrogate). Both run the full two-phase machinery — Phase I
+	// coverage seeding, then the α-fair projected-gradient Phase II —
+	// and emit the same per-solve Stats as every other variant.
+	Register("wolt-pf", newWOLT("wolt-pf", 0, model.ProportionalFairness()))
+	Register("wolt-alpha", func(cfg Config) Strategy {
+		return newWOLT("wolt-alpha", 0, model.AlphaFair(cfg.Alpha))(cfg)
 	})
+	// Deprecated: wolt-fair is a compatibility alias for the α=1 member
+	// (use wolt-pf). It now goes through the common woltStrategy
+	// machinery, so — unlike the pre-utility shim it replaces — it
+	// emits full per-solve Stats (phase timings, augmentations,
+	// aggregate and utility) like the other variants.
+	Register("wolt-fair", newWOLT("wolt-fair", 0, model.ProportionalFairness()))
 	Register("wolt-incremental", func(cfg Config) Strategy {
 		budget := cfg.Budget.Moves
 		switch {
@@ -72,17 +85,27 @@ func woltStats(name string, n *model.Network, res *core.Result, total time.Durat
 }
 
 // woltStrategy runs the full two-phase algorithm (projected-gradient or
-// coordinate Phase II); epochs recompute from scratch.
+// coordinate Phase II) under a fixed utility member; epochs recompute
+// from scratch.
 type woltStrategy struct {
 	name    string
 	cfg     Config
 	opts    core.Options
 	scratch core.Scratch
+	eval    model.EvalScratch
 }
 
-func newWOLT(name string, solver core.Phase2Solver) Factory {
+// newWOLT builds the factory of a two-phase variant. A zero solver
+// keeps Config.Core.Solver (defaulting to projected gradient); a zero
+// utility keeps Config.Core.Utility, so the plain variants stay
+// bit-identical to the pre-utility registry.
+func newWOLT(name string, solver core.Phase2Solver, utility model.Utility) Factory {
 	return func(cfg Config) Strategy {
-		return &woltStrategy{name: name, cfg: cfg, opts: coreOptions(cfg, solver)}
+		opts := coreOptions(cfg, solver)
+		if !utility.IsSumRate() {
+			opts.Utility = utility
+		}
+		return &woltStrategy{name: name, cfg: cfg, opts: opts}
 	}
 }
 
@@ -96,7 +119,20 @@ func (w *woltStrategy) Solve(n *model.Network) (model.Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.cfg.emit(woltStats(w.name, n, res, time.Since(start), 0))
+	st := woltStats(w.name, n, res, time.Since(start), 0)
+	if w.cfg.Observer != nil {
+		// One full evaluation per observed solve prices the result in
+		// the caller's model (and its utility member) — the common
+		// stats path every variant, including the fairness members,
+		// now reports through.
+		evalOpts := w.cfg.ModelOpts
+		evalOpts.Utility = w.opts.Utility
+		if ev, everr := model.EvaluateWith(&w.eval, n, res.Assign, evalOpts); everr == nil {
+			st.Aggregate = ev.Aggregate
+			st.Utility = ev.Utility
+		}
+	}
+	w.cfg.emit(st)
 	return res.Assign, nil
 }
 
@@ -104,31 +140,6 @@ func (w *woltStrategy) Solve(n *model.Network) (model.Assignment, error) {
 // association at every epoch; the previous assignment is ignored.
 func (w *woltStrategy) Reassign(n *model.Network, _ model.Assignment) (model.Assignment, error) {
 	return w.Solve(n)
-}
-
-// fairStrategy is the proportional-fairness variant: Phase I unchanged,
-// Phase II maximizes Σ log(throughput).
-type fairStrategy struct {
-	cfg Config
-}
-
-// Name implements Strategy.
-func (f *fairStrategy) Name() string { return "wolt-fair" }
-
-// Solve implements Strategy.
-func (f *fairStrategy) Solve(n *model.Network) (model.Assignment, error) {
-	start := time.Now()
-	res, err := core.AssignProportionalFair(n, f.cfg.Core)
-	if err != nil {
-		return nil, err
-	}
-	f.cfg.emit(woltStats("wolt-fair", n, res, time.Since(start), 0))
-	return res.Assign, nil
-}
-
-// Reassign implements Reassigner.
-func (f *fairStrategy) Reassign(n *model.Network, _ model.Assignment) (model.Assignment, error) {
-	return f.Solve(n)
 }
 
 // incrementalStrategy is the budgeted re-association extension: Reassign
@@ -181,6 +192,7 @@ func (s *incrementalStrategy) Reassign(n *model.Network, prev model.Assignment) 
 		st.Commits = res.Search.Commits
 		st.Improving = res.Search.Improving
 		st.Aggregate = res.Search.Aggregate
+		st.Utility = res.Search.Utility
 		st.Trajectory = res.Search.Trajectory
 		st.Stop = res.Search.Stop.String()
 	}

@@ -87,6 +87,20 @@ if [ -n "$bad" ]; then
 	echo "scan reports and budgets are the only interface; do not reach the model or algorithm layers" >&2
 	exit 1
 fi
+# internal/model is the evaluation-layer leaf: the network model, the
+# delta evaluator, and the utility family (model.Utility — every α-fair
+# objective definition) all live here, beneath every solver. Utility
+# semantics must not leak upward into nlp/core/localsearch-specific
+# definitions, and model must not reach up either: its non-test files
+# are stdlib-only (tests may use internal/seed for derived streams).
+bad=$(grep -rnF '"github.com/plcwifi/wolt/internal/' --include='*.go' ./internal/model/ \
+	| grep -v '_test\.go:' || true)
+if [ -n "$bad" ]; then
+	echo "import lint: internal/model must stay a stdlib-only leaf package:" >&2
+	echo "$bad" >&2
+	echo "utility/objective definitions belong in internal/model; solvers adapt to them, not vice versa" >&2
+	exit 1
+fi
 # internal/stats is a leaf utility (streaming quantile sketches for
 # host-side measurements): stdlib only, so every layer — harness, CLI,
 # experiments — may use it without dragging plane or algorithm code
