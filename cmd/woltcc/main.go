@@ -1,6 +1,11 @@
 // Command woltcc runs the WOLT Central Controller: it listens for user
 // agents (see cmd/woltagent), collects their scan reports, computes
-// associations under the configured policy and pushes directives.
+// associations under the configured policy and pushes directives. Each
+// connection's codec is negotiated from its first byte: new agents
+// speak the length-prefixed binary framing (internal/wire), legacy
+// agents' newline-delimited JSON keeps working unchanged. Upgrade
+// controllers before agents — an old controller cannot read the binary
+// hello.
 //
 // With -shards N the controller runs as a sharded control plane: a
 // deterministic consistent-hash ring partitions the extenders across N

@@ -36,8 +36,9 @@ import (
 	"github.com/plcwifi/wolt/internal/workload"
 )
 
-// Plane is the control-plane operation surface the harness drives. Both
-// *shard.Coordinator and *control.Engine satisfy it.
+// Plane is the control-plane operation surface the harness drives.
+// *shard.Coordinator, *control.Engine and *TCPPlane all satisfy it (the
+// last drives real sockets and the binary wire codec; see tcpplane.go).
 type Plane interface {
 	Join(userID int, rates, rssi []float64) ([]control.Directive, error)
 	Update(userID int, rates, rssi []float64) ([]control.Directive, error)
@@ -199,6 +200,14 @@ type Result struct {
 	Handoffs         int
 	Reassociations   int
 	DroppedReassigns int
+	// Redirects counts cross-member redirect hops agents followed (TCP
+	// plane only; 0 when client-side routing dialed every owner
+	// directly).
+	Redirects int
+	// DroppedPushes counts directives the members' bounded outbound
+	// queues shed at stalled connections (TCP plane only; a host-load
+	// measurement, not a deterministic counter).
+	DroppedPushes int
 	// HandoffRate is Handoffs per mobility update (0 when mobility is
 	// off) — the cross-shard cost of roaming.
 	HandoffRate float64
@@ -223,6 +232,7 @@ func (r *Result) ScrubHostMetrics() {
 	r.JoinsPerSec = 0
 	r.P50Latency = 0
 	r.P99Latency = 0
+	r.DroppedPushes = 0
 }
 
 // City is a prepared run: deployment, churn trace and per-user streams,
@@ -606,6 +616,22 @@ func (c *City) Run(plane Plane) (Result, error) {
 		res.DroppedReassigns = st.DroppedReassigns
 		if !cfg.SkipFinalAssignment {
 			res.FinalAssignment = p.Stats().Assignment
+		}
+	case *TCPPlane:
+		st, serr := p.Stats()
+		if serr != nil {
+			return res, serr
+		}
+		res.Reassociations = st.Reassociations
+		res.DroppedReassigns = st.DroppedReassigns
+		res.DroppedPushes = st.DroppedPushes
+		res.Redirects = p.RedirectsSeen()
+		// Join replies are the only directives the dispatch path sees
+		// over TCP; the delivered count (async pushes included) is what
+		// the agents metered.
+		res.Directives = p.DirectivesSeen()
+		if !cfg.SkipFinalAssignment {
+			res.FinalAssignment = st.Assignment
 		}
 	}
 	if res.Updates > 0 {

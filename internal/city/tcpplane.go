@@ -1,0 +1,266 @@
+package city
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/plcwifi/wolt/internal/control"
+	"github.com/plcwifi/wolt/internal/shard"
+)
+
+// tcpJoinTimeout is how long one TCP join waits for its association
+// directive when TCPConfig leaves JoinTimeout zero.
+const tcpJoinTimeout = 10 * time.Second
+
+// TCPConfig parameterizes a TCP-backed city plane.
+type TCPConfig struct {
+	// Codec is the agents' wire encoding (default control.CodecBinary;
+	// control.CodecJSON prices the legacy framing for comparison).
+	Codec control.Codec
+	// Peers, when non-empty, attaches to an already-running shard plane:
+	// one advertised address per member ID (shard members hosted in
+	// other processes — how the 10^4-user benchmark stays inside one
+	// process's fd budget). Empty hosts every member in this process on
+	// ephemeral ports.
+	Peers []string
+	// JoinTimeout bounds one join's wait for its directive (default
+	// tcpJoinTimeout).
+	JoinTimeout time.Duration
+	// PushQueueDepth is forwarded to the hosted members (in-process mode
+	// only; see control.ServerConfig.PushQueueDepth).
+	PushQueueDepth int
+	// Logger receives member-server connection errors (in-process mode
+	// only); nil discards them.
+	Logger *log.Logger
+}
+
+// TCPPlane drives the city's churn through real TCP sockets: one
+// control.Agent per present user, joined to the shard member that owns
+// its best-rate extender. It satisfies the Plane interface, so
+// City.Run prices the full wire path — dial, codec, directive push —
+// under the same event streams the in-process planes replay.
+//
+// Routing is computed client-side from the deterministic ring
+// (shard.OwnerMapFor), so steady-state joins dial the owning member
+// directly; the server-side redirect path stays as the safety net and
+// is exercised by tests that dial the wrong member on purpose.
+type TCPPlane struct {
+	codec       control.Codec
+	joinTimeout time.Duration
+	ownerOf     []int
+	addrs       []string
+	plane       *shard.Plane // hosted members; nil when attached to Peers
+
+	mu     sync.Mutex
+	agents map[int]*control.Agent
+	// Closed agents' lifetime counters, folded in at departure so
+	// DirectivesSeen/RedirectsSeen cover the whole run.
+	closedDirectives int
+	closedRedirects  int
+}
+
+// NewTCPPlane builds the TCP-backed plane this city was sized for,
+// either hosting every shard member in-process (Peers empty) or
+// attaching to members running elsewhere.
+func (c *City) NewTCPPlane(tcfg TCPConfig) (*TCPPlane, error) {
+	cfg := c.cfg
+	if tcfg.Codec == "" {
+		tcfg.Codec = control.CodecBinary
+	}
+	if tcfg.JoinTimeout <= 0 {
+		tcfg.JoinTimeout = tcpJoinTimeout
+	}
+	p := &TCPPlane{
+		codec:       tcfg.Codec,
+		joinTimeout: tcfg.JoinTimeout,
+		ownerOf:     shard.OwnerMapFor(cfg.Seed, cfg.Shards, 0, len(c.caps)),
+		agents:      make(map[int]*control.Agent),
+	}
+	if len(tcfg.Peers) > 0 {
+		if len(tcfg.Peers) != cfg.Shards {
+			return nil, fmt.Errorf("city: tcp plane needs %d peer addresses, got %d",
+				cfg.Shards, len(tcfg.Peers))
+		}
+		p.addrs = append([]string(nil), tcfg.Peers...)
+		return p, nil
+	}
+	plane, err := shard.Listen(shard.PlaneConfig{
+		Addr:               "127.0.0.1:0",
+		Member:             -1,
+		Shards:             cfg.Shards,
+		PLCCaps:            c.caps,
+		Policy:             cfg.Policy,
+		Workers:            cfg.Workers,
+		Seed:               cfg.Seed,
+		Budget:             cfg.Budget,
+		ReassignOnLeave:    cfg.ReassignOnLeave,
+		PlacementOnlyJoins: cfg.PlacementOnlyJoins,
+		FullResolveEvery:   cfg.FullResolveEvery,
+		PushQueueDepth:     tcfg.PushQueueDepth,
+		Logger:             tcfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.plane = plane
+	p.addrs = plane.Addrs()
+	return p, nil
+}
+
+// memberFor routes a scan report to the member owning its best-rate
+// extender.
+func (p *TCPPlane) memberFor(rates []float64) (string, error) {
+	best := shard.BestExtender(rates)
+	if best < 0 || best >= len(p.ownerOf) {
+		return "", fmt.Errorf("city: user reaches no extender")
+	}
+	addr := p.addrs[p.ownerOf[best]]
+	if addr == "" {
+		return "", fmt.Errorf("city: no member address for extender %d's owner", best)
+	}
+	return addr, nil
+}
+
+// Join dials the owning member, joins, and waits for the association
+// directive — the full wire round-trip the in-process planes skip.
+func (p *TCPPlane) Join(userID int, rates, rssi []float64) ([]control.Directive, error) {
+	addr, err := p.memberFor(rates)
+	if err != nil {
+		return nil, err
+	}
+	a, err := control.DialCodec(addr, userID, p.codec)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := a.Join(rates, rssi, p.joinTimeout)
+	if err != nil {
+		_ = a.Close()
+		return nil, fmt.Errorf("city: tcp join user %d: %w", userID, err)
+	}
+	p.mu.Lock()
+	p.agents[userID] = a
+	p.mu.Unlock()
+	return []control.Directive{{UserID: userID, Extender: ext}}, nil
+}
+
+// Update reports a fresh scan on the user's existing connection.
+// Resulting re-associations arrive asynchronously on the agents'
+// connections and are metered by DirectivesSeen, not returned here.
+func (p *TCPPlane) Update(userID int, rates, rssi []float64) ([]control.Directive, error) {
+	p.mu.Lock()
+	a := p.agents[userID]
+	p.mu.Unlock()
+	if a == nil {
+		return nil, fmt.Errorf("city: tcp update of absent user %d", userID)
+	}
+	if err := a.UpdateScan(rates, rssi); err != nil {
+		return nil, fmt.Errorf("city: tcp update user %d: %w", userID, err)
+	}
+	return nil, nil
+}
+
+// Leave sends the departure and tears the connection down.
+func (p *TCPPlane) Leave(userID int) ([]control.Directive, bool) {
+	p.mu.Lock()
+	a := p.agents[userID]
+	delete(p.agents, userID)
+	p.mu.Unlock()
+	if a == nil {
+		return nil, false
+	}
+	err := a.Leave()
+	p.mu.Lock()
+	p.closedDirectives += a.Directives()
+	p.closedRedirects += a.Redirects()
+	p.mu.Unlock()
+	if err != nil {
+		return nil, false
+	}
+	return nil, true
+}
+
+// DirectivesSeen totals the association directives delivered to every
+// agent over the run so far (departed users included) — the delivery
+// count the Result reports for a TCP run.
+func (p *TCPPlane) DirectivesSeen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.closedDirectives
+	for _, a := range p.agents {
+		n += a.Directives()
+	}
+	return n
+}
+
+// RedirectsSeen totals the cross-member redirect hops agents followed
+// (0 when client-side routing always dialed the owner directly).
+func (p *TCPPlane) RedirectsSeen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.closedRedirects
+	for _, a := range p.agents {
+		n += a.Redirects()
+	}
+	return n
+}
+
+// Stats merges the member snapshots: directly from the hosted plane, or
+// over the wire (one MsgStats probe per distinct member address) when
+// attached to out-of-process members.
+func (p *TCPPlane) Stats() (shard.Stats, error) {
+	if p.plane != nil {
+		return p.plane.Stats(), nil
+	}
+	st := shard.Stats{Shards: len(p.addrs), Assignment: make(map[int]int)}
+	seen := make(map[string]bool, len(p.addrs))
+	for m, addr := range p.addrs {
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		a, err := control.DialCodec(addr, -(m + 1), p.codec)
+		if err != nil {
+			return st, fmt.Errorf("city: stats probe to member %d: %w", m, err)
+		}
+		es, err := a.Stats(p.joinTimeout)
+		_ = a.Close()
+		if err != nil {
+			return st, fmt.Errorf("city: stats probe to member %d: %w", m, err)
+		}
+		st.Users += es.Users
+		st.Joins += es.Joins
+		st.Leaves += es.Leaves
+		st.Reassociations += es.Reassociations
+		st.DroppedReassigns += es.DroppedReassigns
+		st.DroppedPushes += es.DroppedPushes
+		for id, ext := range es.Assignment {
+			st.Assignment[id] = ext
+		}
+		st.PerShard = append(st.PerShard, es)
+	}
+	return st, nil
+}
+
+// Close tears down every live agent and, in hosted mode, the member
+// servers.
+func (p *TCPPlane) Close() error {
+	p.mu.Lock()
+	agents := p.agents
+	p.agents = make(map[int]*control.Agent)
+	p.mu.Unlock()
+	for _, a := range agents {
+		_ = a.Close()
+	}
+	p.mu.Lock()
+	for _, a := range agents {
+		p.closedDirectives += a.Directives()
+		p.closedRedirects += a.Redirects()
+	}
+	p.mu.Unlock()
+	if p.plane != nil {
+		return p.plane.Close()
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/plcwifi/wolt/internal/model"
@@ -26,12 +27,20 @@ const maxRedirectHops = 8
 // re-associations).
 type Agent struct {
 	userID int
+	codec  Codec
 
 	mu       sync.Mutex
-	jc       *jsonConn
+	lk       link
 	extender int
 	moves    int // directives that changed an existing association
 	lastErr  error
+
+	// associates and redirects count protocol events across the agent's
+	// lifetime (every MsgAssociate seen and every redirect hop followed);
+	// unlike the directives channel they never drop, so harnesses can
+	// meter delivered directives exactly.
+	associates atomic.Int64
+	redirects  atomic.Int64
 
 	// directives and statsReplies are replaced wholesale when a Join
 	// follows a redirect to another shard; always read them through
@@ -45,33 +54,63 @@ type Agent struct {
 	readerWG sync.WaitGroup
 }
 
-// Dial connects an agent to the controller at addr.
+// Dial connects an agent to the controller at addr with the default
+// binary codec.
 func Dial(addr string, userID int) (*Agent, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return DialCodec(addr, userID, CodecBinary)
+}
+
+// DialCodec connects an agent with an explicit codec: CodecBinary (the
+// default framing) or CodecJSON (the legacy fallback — what a
+// not-yet-upgraded agent speaks). The server auto-detects either.
+func DialCodec(addr string, userID int, codec Codec) (*Agent, error) {
+	if codec == "" {
+		codec = CodecBinary
+	}
+	lk, err := dialLink(addr, codec)
 	if err != nil {
-		return nil, fmt.Errorf("control: dial %s: %w", addr, err)
+		return nil, err
 	}
 	a := &Agent{
 		userID:       userID,
-		jc:           newJSONConn(conn),
+		codec:        codec,
+		lk:           lk,
 		extender:     model.Unassigned,
 		directives:   make(chan Message, 16),
 		statsReplies: make(chan Message, 16),
 		done:         make(chan struct{}),
 	}
 	a.readerWG.Add(1)
-	go a.readLoop(a.jc, a.directives, a.statsReplies)
+	go a.readLoop(lk, a.directives, a.statsReplies)
 	go a.keepaliveLoop()
 	return a, nil
 }
 
-// send writes a message on the agent's current connection. jsonConn
-// serializes concurrent writers (keepalive vs Join/UpdateScan).
+// dialLink opens a TCP connection to addr speaking the given codec
+// (binary links announce themselves with the two-byte hello).
+func dialLink(addr string, codec Codec) (link, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("control: dial %s: %w", addr, err)
+	}
+	switch codec {
+	case CodecBinary:
+		return dialWireConn(conn)
+	case CodecJSON:
+		return newJSONConn(conn), nil
+	default:
+		_ = conn.Close()
+		return nil, fmt.Errorf("control: unknown codec %q", codec)
+	}
+}
+
+// send writes a message on the agent's current connection. Both conn
+// types serialize concurrent writers (keepalive vs Join/UpdateScan).
 func (a *Agent) send(m Message) error {
 	a.mu.Lock()
-	jc := a.jc
+	lk := a.lk
 	a.mu.Unlock()
-	return jc.send(m)
+	return lk.send(m)
 }
 
 func (a *Agent) dirCh() chan Message {
@@ -88,17 +127,23 @@ func (a *Agent) statsCh() chan Message {
 
 // readLoop drains one connection; it exits (closing that connection's
 // channels) when the connection dies or is replaced by a redirect.
-func (a *Agent) readLoop(jc *jsonConn, directives, statsReplies chan Message) {
+func (a *Agent) readLoop(lk link, directives, statsReplies chan Message) {
 	defer a.readerWG.Done()
 	defer close(directives)
 	defer close(statsReplies)
 	for {
-		msg, err := jc.recv()
+		msg, err := lk.recv()
 		if err != nil {
 			return
 		}
+		// The binary codec's recv reuses its decode scratch, so slice
+		// fields are only valid until the next recv. No server→agent
+		// message carries meaningful vectors; drop them before the
+		// message outlives this iteration via a channel.
+		msg.Rates, msg.RSSI = nil, nil
 		switch msg.Type {
 		case MsgAssociate:
+			a.associates.Add(1)
 			a.mu.Lock()
 			if a.extender != model.Unassigned && msg.Extender != a.extender {
 				a.moves++
@@ -143,30 +188,30 @@ func (a *Agent) keepaliveLoop() {
 }
 
 // redial replaces the agent's connection with one to addr (following a
-// cross-shard MsgRedirect). Only Join triggers redials, before the agent
-// is associated; concurrent WaitForMove/Stats calls started before the
-// redial observe a closed-connection error.
+// cross-shard MsgRedirect), keeping the codec it dialed with. Only Join
+// triggers redials, before the agent is associated; concurrent
+// WaitForMove/Stats calls started before the redial observe a
+// closed-connection error.
 func (a *Agent) redial(addr string) error {
 	a.mu.Lock()
-	old := a.jc
+	old := a.lk
 	a.mu.Unlock()
 	_ = old.close()
 	a.readerWG.Wait()
 
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	lk, err := dialLink(addr, a.codec)
 	if err != nil {
 		return fmt.Errorf("control: redirect to %s: %w", addr, err)
 	}
-	jc := newJSONConn(conn)
 	directives := make(chan Message, 16)
 	statsReplies := make(chan Message, 16)
 	a.mu.Lock()
-	a.jc = jc
+	a.lk = lk
 	a.directives = directives
 	a.statsReplies = statsReplies
 	a.mu.Unlock()
 	a.readerWG.Add(1)
-	go a.readLoop(jc, directives, statsReplies)
+	go a.readLoop(lk, directives, statsReplies)
 	return nil
 }
 
@@ -200,6 +245,7 @@ func (a *Agent) Join(rates, rssi []float64, timeout time.Duration) (int, error) 
 				}
 			case MsgRedirect:
 				hops++
+				a.redirects.Add(1)
 				if hops > maxRedirectHops {
 					return 0, fmt.Errorf("control: join: gave up after %d redirects", hops-1)
 				}
@@ -231,6 +277,19 @@ func (a *Agent) Moves() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.moves
+}
+
+// Directives returns how many association directives this agent has
+// received over its lifetime (join confirmations and re-associations;
+// exact — unlike the notification channel, this count never drops).
+func (a *Agent) Directives() int {
+	return int(a.associates.Load())
+}
+
+// Redirects returns how many cross-shard redirect hops this agent has
+// followed.
+func (a *Agent) Redirects() int {
+	return int(a.redirects.Load())
 }
 
 // Err returns the last error message the controller pushed to this agent
@@ -322,9 +381,9 @@ func (a *Agent) Close() error {
 		close(a.done)
 	}
 	a.mu.Lock()
-	jc := a.jc
+	lk := a.lk
 	a.mu.Unlock()
-	err := jc.close()
+	err := lk.close()
 	a.readerWG.Wait()
 	return err
 }

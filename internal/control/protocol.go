@@ -1,11 +1,13 @@
 // Package control implements WOLT's control plane (§V-A of the paper): a
-// Central Controller (CC) process and per-user agents that talk JSON over
-// TCP. An agent scans the reachable extenders, estimates its WiFi rate to
-// each (from the NIC's modulation and coding feedback — here, the radio
-// model), and reports the estimates to the CC; the CC runs the configured
-// association policy (WOLT, Greedy or RSSI) and pushes association
-// directives back. WOLT may re-associate existing users when topology
-// changes; Greedy and RSSI never do.
+// Central Controller (CC) process and per-user agents that talk a
+// length-prefixed binary protocol over TCP (newline-delimited JSON
+// remains as a negotiated fallback for old agents). An agent scans the
+// reachable extenders, estimates its WiFi rate to each (from the NIC's
+// modulation and coding feedback — here, the radio model), and reports
+// the estimates to the CC; the CC runs the configured association
+// policy (WOLT, Greedy or RSSI) and pushes association directives back.
+// WOLT may re-associate existing users when topology changes; Greedy
+// and RSSI never do.
 //
 // The package is layered (DESIGN.md §9): Engine is the transport-free
 // policy/state core (association bookkeeping plus strategy execution),
@@ -13,6 +15,11 @@
 // user-side client. internal/shard composes several Engines behind a
 // consistent-hash ring; the MsgRedirect message is how a shard member
 // bounces an agent to the shard that owns its best-rate extender.
+//
+// The message types and the binary frame codec live in internal/wire
+// (DESIGN.md §15) and are aliased here; this file owns the two conn
+// implementations (wireConn, jsonConn) and the per-connection codec
+// negotiation both ends perform.
 package control
 
 import (
@@ -22,86 +29,230 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/plcwifi/wolt/internal/wire"
 )
 
-// MsgType discriminates protocol messages.
-type MsgType string
+// MsgType discriminates protocol messages (defined in internal/wire).
+type MsgType = wire.MsgType
 
-// Message types exchanged between agents and the controller.
+// Message types exchanged between agents and the controller; see the
+// internal/wire constants for per-type semantics.
 const (
-	// MsgJoin is sent by an agent when it needs an association. It
-	// carries the agent's user ID and its scan report.
-	MsgJoin MsgType = "join"
-	// MsgLeave is sent by an agent that is disconnecting.
-	MsgLeave MsgType = "leave"
-	// MsgUpdate is sent by an associated agent whose radio environment
-	// changed (mobility): it carries a fresh scan report. The controller
-	// may push re-association directives in response.
-	MsgUpdate MsgType = "update"
-	// MsgAssociate is sent by the CC to direct an agent to an extender.
-	MsgAssociate MsgType = "associate"
-	// MsgRedirect is sent by a shard-member CC that does not own the
-	// joining user's best-rate extender: Addr names the member that does,
-	// and the agent re-sends its join there (cross-shard handoff).
-	MsgRedirect MsgType = "redirect"
-	// MsgPing is an agent keepalive. The controller ignores it, but the
-	// bytes reset the server-side read deadline, so a healthy idle agent
-	// is never dropped as stalled.
-	MsgPing MsgType = "ping"
-	// MsgStats asks the CC for a snapshot of controller statistics.
-	MsgStats MsgType = "stats"
-	// MsgStatsReply answers MsgStats.
-	MsgStatsReply MsgType = "stats_reply"
-	// MsgError reports a protocol or policy failure to the agent.
-	MsgError MsgType = "error"
+	MsgJoin       = wire.MsgJoin
+	MsgLeave      = wire.MsgLeave
+	MsgUpdate     = wire.MsgUpdate
+	MsgAssociate  = wire.MsgAssociate
+	MsgRedirect   = wire.MsgRedirect
+	MsgPing       = wire.MsgPing
+	MsgStats      = wire.MsgStats
+	MsgStatsReply = wire.MsgStatsReply
+	MsgError      = wire.MsgError
 )
 
-// Message is the single wire format; fields are used according to Type.
-type Message struct {
-	Type MsgType `json:"type"`
-	// UserID identifies the agent (join, leave, associate).
-	UserID int `json:"userId,omitempty"`
-	// Rates is the scan report: estimated WiFi PHY rate in Mbps to each
-	// extender, indexed by extender ID (join).
-	Rates []float64 `json:"ratesMbps,omitempty"`
-	// RSSI is the scan report's signal strengths in dBm (join).
-	RSSI []float64 `json:"rssiDbm,omitempty"`
-	// Extender is the association directive target (associate). It is
-	// deliberately NOT omitempty: extender 0 is a valid directive target
-	// and must appear explicitly on the wire rather than lean on Go's
-	// zero-value decoding.
-	Extender int `json:"extender"`
-	// Reassociation marks a directive that moves an already-associated
-	// user (associate). Like Extender it is always serialized: "false"
-	// is a statement (first association), not an absence.
-	Reassociation bool `json:"reassociation"`
-	// Addr is the address of the shard member the agent should re-join
-	// (redirect).
-	Addr string `json:"addr,omitempty"`
-	// Stats is the controller snapshot (stats_reply).
-	Stats *Stats `json:"stats,omitempty"`
-	// Error carries a human-readable failure description (error).
-	Error string `json:"error,omitempty"`
+// Message is the single wire format; fields are used according to Type
+// (defined in internal/wire, which also owns both encodings).
+type Message = wire.Message
+
+// Stats is a controller snapshot (defined in internal/wire so stats
+// replies can cross the wire in either codec).
+type Stats = wire.Stats
+
+// Codec selects a connection's message encoding. Servers never need
+// one — they negotiate per connection from the client's first byte.
+type Codec string
+
+const (
+	// CodecBinary is the length-prefixed binary framing (internal/wire),
+	// the default: 0 allocs/op at steady state and an order of magnitude
+	// cheaper than JSON per message.
+	CodecBinary Codec = "binary"
+	// CodecJSON is the legacy newline-delimited JSON framing, kept as a
+	// negotiated fallback so old agents still connect (and as the
+	// differential baseline the codec tests compare against).
+	CodecJSON Codec = "json"
+)
+
+// link is the framed-connection surface both codecs implement: one
+// message out (send), a burst coalesced into one write (sendBatch), one
+// message in (recv), plus deadline plumbing. Server and Agent speak
+// only to this interface; which codec backs it is decided per
+// connection at handshake time.
+type link interface {
+	send(m Message) error
+	sendBatch(msgs []Message) error
+	recv() (Message, error)
+	close() error
+	setTimeouts(read, write time.Duration)
 }
 
-// Stats is a controller snapshot.
-type Stats struct {
-	Policy         string      `json:"policy"`
-	Users          int         `json:"users"`
-	Joins          int         `json:"joins"`
-	Leaves         int         `json:"leaves"`
-	Reassociations int         `json:"reassociations"`
-	// DroppedReassigns counts departures under ReassignOnLeave whose
-	// re-solve failed: the leave stood, the rebalance was dropped.
-	DroppedReassigns int         `json:"droppedReassigns"`
-	Assignment       map[int]int `json:"assignment"`
+// negotiate inspects a just-accepted connection's first byte and builds
+// the matching link (server side). Binary clients open with
+// wire.Hello+version; anything else — in practice '{' — is a legacy
+// JSON agent. The peek honors readTimeout so a connect-and-say-nothing
+// client cannot pin the handler goroutine.
+func negotiate(c net.Conn, readTimeout, writeTimeout time.Duration) (link, error) {
+	br := bufio.NewReaderSize(c, connReadBuf)
+	if readTimeout > 0 {
+		if err := c.SetReadDeadline(time.Now().Add(readTimeout)); err != nil {
+			return nil, err
+		}
+	}
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("control: handshake read: %w", err)
+	}
+	var lk link
+	if first[0] == wire.Hello {
+		version, err := handshakeVersion(br)
+		if err != nil {
+			return nil, err
+		}
+		if version != wire.Version1 {
+			return nil, fmt.Errorf("control: unsupported wire version %d", version)
+		}
+		lk = newWireConn(c, br)
+	} else {
+		lk = newJSONConnReader(c, br)
+	}
+	lk.setTimeouts(readTimeout, writeTimeout)
+	return lk, nil
 }
 
-// jsonConn wraps a TCP connection with newline-delimited JSON framing.
-// sendMu serializes writers: the server pushes directives to a connection
-// from recompute paths while that connection's own handler goroutine may
-// be replying to a stats request, and the agent's keepalive ticker writes
-// concurrently with Join/UpdateScan.
+// handshakeVersion consumes the two-byte binary hello and returns the
+// offered version.
+func handshakeVersion(br *bufio.Reader) (byte, error) {
+	if _, err := br.Discard(1); err != nil {
+		return 0, err
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("control: handshake read: %w", err)
+	}
+	return version, nil
+}
+
+// connReadBuf sizes each connection's buffered reader. Steady-state
+// frames are a few hundred bytes (a scan report is 8 bytes per
+// extender); at city scale (10^4+ concurrent connections in one
+// process) the default 4 KiB bufio buffers are the dominant per-user
+// memory cost, so both codecs share this smaller size.
+const connReadBuf = 1024
+
+// wireConn wraps a TCP connection with the internal/wire binary
+// framing. sendMu serializes writers (the server's outbound writer
+// goroutine vs the handler's direct replies; the agent's keepalive
+// ticker vs Join/UpdateScan) and guards the reused encode buffer.
+// recvMsg/recvBuf are the decode scratch: recv is only ever called from
+// one goroutine (the server handler or the agent read loop), and each
+// returned Message is consumed before the next recv, so its slices may
+// alias the scratch — the discipline that makes the steady-state
+// exchange allocation-free in both directions.
+type wireConn struct {
+	c net.Conn
+	r *bufio.Reader
+
+	sendMu sync.Mutex
+	encBuf []byte
+
+	recvMsg Message
+	recvBuf []byte
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+}
+
+func newWireConn(c net.Conn, r *bufio.Reader) *wireConn {
+	if r == nil {
+		r = bufio.NewReaderSize(c, connReadBuf)
+	}
+	return &wireConn{c: c, r: r}
+}
+
+// dialWireConn builds the client side of a binary connection: the
+// two-byte hello is written eagerly so the server can negotiate before
+// the first frame arrives.
+func dialWireConn(c net.Conn) (*wireConn, error) {
+	if _, err := c.Write([]byte{wire.Hello, wire.Version1}); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("control: wire handshake: %w", err)
+	}
+	return newWireConn(c, nil), nil
+}
+
+func (wc *wireConn) setTimeouts(read, write time.Duration) {
+	wc.readTimeout, wc.writeTimeout = read, write
+}
+
+func (wc *wireConn) send(m Message) error {
+	wc.sendMu.Lock()
+	defer wc.sendMu.Unlock()
+	var err error
+	wc.encBuf, err = wire.AppendFrame(wc.encBuf[:0], &m)
+	if err != nil {
+		return err
+	}
+	if err := armWrite(wc.c, wc.writeTimeout); err != nil {
+		return err
+	}
+	_, err = wc.c.Write(wc.encBuf)
+	return err
+}
+
+// sendBatch coalesces a burst of messages at the frame level: every
+// frame is appended to one reused buffer under ONE lock acquisition and
+// handed to the kernel as ONE write — a recompute that moves k users
+// costs one syscall per connection, not k.
+func (wc *wireConn) sendBatch(msgs []Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	wc.sendMu.Lock()
+	defer wc.sendMu.Unlock()
+	buf := wc.encBuf[:0]
+	var err error
+	for i := range msgs {
+		if buf, err = wire.AppendFrame(buf, &msgs[i]); err != nil {
+			wc.encBuf = buf[:0]
+			return err
+		}
+	}
+	wc.encBuf = buf
+	if err := armWrite(wc.c, wc.writeTimeout); err != nil {
+		return err
+	}
+	_, err = wc.c.Write(buf)
+	return err
+}
+
+func (wc *wireConn) recv() (Message, error) {
+	if wc.readTimeout > 0 {
+		if err := wc.c.SetReadDeadline(time.Now().Add(wc.readTimeout)); err != nil {
+			return Message{}, err
+		}
+	}
+	if err := wire.ReadFrame(wc.r, &wc.recvMsg, &wc.recvBuf); err != nil {
+		return Message{}, err
+	}
+	return wc.recvMsg, nil
+}
+
+func (wc *wireConn) close() error {
+	return wc.c.Close()
+}
+
+// armWrite applies a write deadline to the burst that follows. Callers
+// hold the conn's send mutex.
+func armWrite(c net.Conn, timeout time.Duration) error {
+	if timeout > 0 {
+		return c.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	return nil
+}
+
+// jsonConn wraps a TCP connection with newline-delimited JSON framing —
+// the legacy codec, negotiated per connection for old agents. sendMu
+// serializes writers exactly like wireConn's.
 type jsonConn struct {
 	c      net.Conn
 	r      *bufio.Reader
@@ -116,14 +267,24 @@ type jsonConn struct {
 }
 
 func newJSONConn(c net.Conn) *jsonConn {
+	return newJSONConnReader(c, bufio.NewReaderSize(c, connReadBuf))
+}
+
+// newJSONConnReader builds a jsonConn over an existing buffered reader
+// (the negotiation path has already peeked into it).
+func newJSONConnReader(c net.Conn, r *bufio.Reader) *jsonConn {
 	w := bufio.NewWriter(c)
-	return &jsonConn{c: c, r: bufio.NewReader(c), w: w, enc: json.NewEncoder(w)}
+	return &jsonConn{c: c, r: r, w: w, enc: json.NewEncoder(w)}
+}
+
+func (jc *jsonConn) setTimeouts(read, write time.Duration) {
+	jc.readTimeout, jc.writeTimeout = read, write
 }
 
 func (jc *jsonConn) send(m Message) error {
 	jc.sendMu.Lock()
 	defer jc.sendMu.Unlock()
-	if err := jc.armWrite(); err != nil {
+	if err := armWrite(jc.c, jc.writeTimeout); err != nil {
 		return err
 	}
 	if err := jc.enc.Encode(m); err != nil {
@@ -142,7 +303,7 @@ func (jc *jsonConn) sendBatch(msgs []Message) error {
 	}
 	jc.sendMu.Lock()
 	defer jc.sendMu.Unlock()
-	if err := jc.armWrite(); err != nil {
+	if err := armWrite(jc.c, jc.writeTimeout); err != nil {
 		return err
 	}
 	for i := range msgs {
@@ -151,15 +312,6 @@ func (jc *jsonConn) sendBatch(msgs []Message) error {
 		}
 	}
 	return jc.w.Flush()
-}
-
-// armWrite applies the connection's write deadline to the burst that
-// follows. Callers hold sendMu.
-func (jc *jsonConn) armWrite() error {
-	if jc.writeTimeout > 0 {
-		return jc.c.SetWriteDeadline(time.Now().Add(jc.writeTimeout))
-	}
-	return nil
 }
 
 func (jc *jsonConn) recv() (Message, error) {

@@ -5,6 +5,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/plcwifi/wolt/internal/model"
@@ -15,6 +16,10 @@ import (
 // connection when ServerConfig leaves the timeouts zero. Agents keep
 // idle connections alive with MsgPing well inside this window.
 const DefaultIOTimeout = 30 * time.Second
+
+// DefaultPushQueueDepth bounds each connection's outbound directive
+// queue (in batches) when ServerConfig leaves PushQueueDepth zero.
+const DefaultPushQueueDepth = 256
 
 // ServerConfig configures a central controller.
 type ServerConfig struct {
@@ -40,6 +45,12 @@ type ServerConfig struct {
 	// ReassignOnLeave lets reassigning policies re-solve on departures
 	// (see EngineConfig.ReassignOnLeave).
 	ReassignOnLeave bool
+	// PlacementOnlyJoins routes joins through the policy's online
+	// placement form (see EngineConfig.PlacementOnlyJoins).
+	PlacementOnlyJoins bool
+	// FullResolveEvery, under PlacementOnlyJoins, forces a full re-solve
+	// on every Nth join (see EngineConfig.FullResolveEvery).
+	FullResolveEvery int
 	// ReadTimeout bounds one message read per connection: a stalled
 	// agent is disconnected (and treated as departed if it had joined)
 	// instead of pinning a server goroutine forever. Zero selects
@@ -48,6 +59,12 @@ type ServerConfig struct {
 	// WriteTimeout bounds one message write per connection. Zero selects
 	// DefaultIOTimeout; negative disables the deadline.
 	WriteTimeout time.Duration
+	// PushQueueDepth bounds each connection's outbound directive queue,
+	// in batches. When a slow reader's queue is full, further pushes to
+	// it are dropped and counted in Stats.DroppedPushes instead of
+	// stalling the engine-order push path behind one stuck socket. Zero
+	// selects DefaultPushQueueDepth.
+	PushQueueDepth int
 	// Redirect, when set, is consulted before every join: returning
 	// (addr, true) answers the agent with MsgRedirect instead of
 	// admitting it — the shard layer's cross-shard handoff hook.
@@ -57,9 +74,11 @@ type ServerConfig struct {
 }
 
 // Server is the WOLT Central Controller's TCP transport: it accepts
-// agent connections, decodes protocol messages, and forwards them to a
-// policy Engine. All association policy and user state live in the
-// Engine; the Server only moves messages.
+// agent connections, negotiates a codec per connection (binary framing
+// for new agents, newline JSON for old ones), decodes protocol
+// messages, and forwards them to a policy Engine. All association
+// policy and user state live in the Engine; the Server only moves
+// messages.
 type Server struct {
 	cfg      ServerConfig
 	engine   *Engine
@@ -72,24 +91,84 @@ type Server struct {
 	opMu sync.Mutex
 
 	mu        sync.Mutex
-	conns     map[*jsonConn]struct{}
-	userConns map[int]*jsonConn
+	conns     map[*serverConn]struct{}
+	userConns map[int]*serverConn
+
+	// droppedPushes counts directives discarded because their target
+	// connection's outbound queue was full (surfaced in StatsSnapshot).
+	droppedPushes atomic.Int64
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
+// serverConn is one accepted connection: the raw conn (registered
+// before codec negotiation so Close can unblock the handshake read),
+// the negotiated link, and a bounded outbound queue drained by a
+// dedicated writer goroutine. The queue decouples the engine's
+// lock-ordered push path from each socket's drain rate: a stalled
+// reader fills its own queue and starts shedding directives instead of
+// blocking pushes to everyone else behind its write deadline.
+type serverConn struct {
+	c  net.Conn
+	lk link // set by handle after negotiation, before the writer starts
+
+	outMu     sync.Mutex
+	out       chan []Message
+	outClosed bool
+
+	// dead flips after the first write error so queued batches behind it
+	// are skipped instead of each eating a full write-deadline stall.
+	dead atomic.Bool
+}
+
+// enqueue hands a batch to the connection's writer without blocking.
+// It reports how many directives were shed (queue full); a closed
+// outbox (connection tearing down) sheds silently — those users are
+// departing, not stalled.
+func (sc *serverConn) enqueue(msgs []Message) (dropped int) {
+	sc.outMu.Lock()
+	defer sc.outMu.Unlock()
+	if sc.outClosed {
+		return 0
+	}
+	select {
+	case sc.out <- msgs:
+		return 0
+	default:
+		return len(msgs)
+	}
+}
+
+func (sc *serverConn) closeOutbox() {
+	sc.outMu.Lock()
+	defer sc.outMu.Unlock()
+	if !sc.outClosed {
+		sc.outClosed = true
+		close(sc.out)
+	}
+}
+
+// close tears down the transport. The raw conn is closed directly (not
+// through lk, which may not exist yet mid-handshake); both codecs close
+// the same underlying socket.
+func (sc *serverConn) close() error {
+	return sc.c.Close()
+}
+
 // NewServer starts a controller listening on addr (e.g. "127.0.0.1:0").
 func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	engine, err := NewEngine(EngineConfig{
-		PLCCaps:         cfg.PLCCaps,
-		Owned:           cfg.Owned,
-		Policy:          cfg.Policy,
-		ModelOpts:       cfg.ModelOpts,
-		Workers:         cfg.Workers,
-		Seed:            cfg.Seed,
-		Budget:          cfg.Budget,
-		ReassignOnLeave: cfg.ReassignOnLeave,
+		PLCCaps:            cfg.PLCCaps,
+		Owned:              cfg.Owned,
+		Policy:             cfg.Policy,
+		ModelOpts:          cfg.ModelOpts,
+		Workers:            cfg.Workers,
+		Seed:               cfg.Seed,
+		Budget:             cfg.Budget,
+		ReassignOnLeave:    cfg.ReassignOnLeave,
+		PlacementOnlyJoins: cfg.PlacementOnlyJoins,
+		FullResolveEvery:   cfg.FullResolveEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -100,6 +179,9 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = DefaultIOTimeout
 	}
+	if cfg.PushQueueDepth <= 0 {
+		cfg.PushQueueDepth = DefaultPushQueueDepth
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("control: listen: %w", err)
@@ -108,8 +190,8 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		cfg:       cfg,
 		engine:    engine,
 		listener:  ln,
-		conns:     make(map[*jsonConn]struct{}),
-		userConns: make(map[int]*jsonConn),
+		conns:     make(map[*serverConn]struct{}),
+		userConns: make(map[int]*serverConn),
 		closed:    make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -135,17 +217,21 @@ func (s *Server) Close() error {
 	close(s.closed)
 	err := s.listener.Close()
 	s.mu.Lock()
-	for jc := range s.conns {
-		_ = jc.close()
+	for sc := range s.conns {
+		_ = sc.close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
 }
 
-// StatsSnapshot returns the controller's counters and current assignment.
+// StatsSnapshot returns the controller's counters and current
+// assignment, including the transport-level DroppedPushes count (the
+// engine knows nothing about sockets).
 func (s *Server) StatsSnapshot() Stats {
-	return s.engine.Stats()
+	st := s.engine.Stats()
+	st.DroppedPushes = int(s.droppedPushes.Load())
+	return st
 }
 
 func (s *Server) acceptLoop() {
@@ -161,26 +247,37 @@ func (s *Server) acceptLoop() {
 				return
 			}
 		}
-		jc := newJSONConn(conn)
-		if s.cfg.ReadTimeout > 0 {
-			jc.readTimeout = s.cfg.ReadTimeout
-		}
-		if s.cfg.WriteTimeout > 0 {
-			jc.writeTimeout = s.cfg.WriteTimeout
-		}
+		sc := &serverConn{c: conn, out: make(chan []Message, s.cfg.PushQueueDepth)}
 		s.wg.Add(1)
-		go s.handle(jc)
+		go s.handle(sc)
 	}
 }
 
-func (s *Server) handle(jc *jsonConn) {
+// connWriter drains one connection's outbound queue. Batches enqueued
+// after a write error are skipped (not re-counted as drops — the
+// handler is already tearing the connection down as a departure).
+func (s *Server) connWriter(sc *serverConn) {
+	defer s.wg.Done()
+	for msgs := range sc.out {
+		if sc.dead.Load() {
+			continue
+		}
+		if err := sc.lk.sendBatch(msgs); err != nil {
+			sc.dead.Store(true)
+			s.logf("push %d directives: %v", len(msgs), err)
+		}
+	}
+}
+
+func (s *Server) handle(sc *serverConn) {
 	defer s.wg.Done()
 	// Register under the same lock that Close sweeps the map with, and
 	// re-check the shutdown flag: a connection accepted concurrently
 	// with Close could otherwise register after the sweep and leave this
-	// goroutine blocked in recv forever.
+	// goroutine blocked in the handshake read forever. Registration
+	// happens BEFORE negotiation for the same reason.
 	s.mu.Lock()
-	s.conns[jc] = struct{}{}
+	s.conns[sc] = struct{}{}
 	var shuttingDown bool
 	select {
 	case <-s.closed:
@@ -190,21 +287,30 @@ func (s *Server) handle(jc *jsonConn) {
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
-		delete(s.conns, jc)
+		delete(s.conns, sc)
 		s.mu.Unlock()
-		_ = jc.close()
+		sc.closeOutbox()
+		_ = sc.close()
 	}()
 	if shuttingDown {
 		return
 	}
+	lk, err := negotiate(sc.c, s.cfg.ReadTimeout, s.cfg.WriteTimeout)
+	if err != nil {
+		s.logf("handshake: %v", err)
+		return
+	}
+	sc.lk = lk
+	s.wg.Add(1)
+	go s.connWriter(sc)
 	var joinedUser = -1
 	for {
-		msg, err := jc.recv()
+		msg, err := lk.recv()
 		if err != nil {
 			// Connection gone (or its read deadline expired): treat as
 			// an implicit leave.
 			if joinedUser >= 0 {
-				s.removeUser(joinedUser, jc)
+				s.removeUser(joinedUser, sc)
 			}
 			return
 		}
@@ -212,45 +318,45 @@ func (s *Server) handle(jc *jsonConn) {
 		case MsgJoin:
 			if s.cfg.Redirect != nil {
 				if addr, ok := s.cfg.Redirect(msg.UserID, msg.Rates); ok {
-					_ = jc.send(Message{Type: MsgRedirect, UserID: msg.UserID, Addr: addr})
+					_ = lk.send(Message{Type: MsgRedirect, UserID: msg.UserID, Addr: addr})
 					continue
 				}
 			}
-			if err := s.join(jc, msg); err != nil {
-				_ = jc.send(Message{Type: MsgError, Error: err.Error()})
+			if err := s.join(sc, msg); err != nil {
+				_ = lk.send(Message{Type: MsgError, Error: err.Error()})
 				continue
 			}
 			joinedUser = msg.UserID
 		case MsgUpdate:
 			if joinedUser < 0 || msg.UserID != joinedUser {
-				_ = jc.send(Message{Type: MsgError, Error: "update before join"})
+				_ = lk.send(Message{Type: MsgError, Error: "update before join"})
 				continue
 			}
 			if err := s.update(msg); err != nil {
-				_ = jc.send(Message{Type: MsgError, Error: err.Error()})
+				_ = lk.send(Message{Type: MsgError, Error: err.Error()})
 			}
 		case MsgLeave:
 			if joinedUser >= 0 {
-				s.removeUser(joinedUser, jc)
+				s.removeUser(joinedUser, sc)
 				joinedUser = -1
 			}
 			return
 		case MsgPing:
 			// Keepalive: the read itself refreshed the deadline.
 		case MsgStats:
-			stats := s.engine.Stats()
-			if err := jc.send(Message{Type: MsgStatsReply, Stats: &stats}); err != nil {
+			stats := s.StatsSnapshot()
+			if err := lk.send(Message{Type: MsgStatsReply, Stats: &stats}); err != nil {
 				return
 			}
 		default:
-			_ = jc.send(Message{Type: MsgError, Error: fmt.Sprintf("unexpected message %q", msg.Type)})
+			_ = lk.send(Message{Type: MsgError, Error: fmt.Sprintf("unexpected message %q", msg.Type)})
 		}
 	}
 }
 
 // join admits the agent through the engine and pushes the resulting
 // directives (the joining user's own directive included).
-func (s *Server) join(jc *jsonConn, msg Message) error {
+func (s *Server) join(sc *serverConn, msg Message) error {
 	s.opMu.Lock()
 	defer s.opMu.Unlock()
 	dirs, err := s.engine.Join(msg.UserID, msg.Rates, msg.RSSI)
@@ -258,7 +364,7 @@ func (s *Server) join(jc *jsonConn, msg Message) error {
 		return err
 	}
 	s.mu.Lock()
-	s.userConns[msg.UserID] = jc
+	s.userConns[msg.UserID] = sc
 	s.mu.Unlock()
 	s.pushDirectives(dirs)
 	return nil
@@ -278,11 +384,11 @@ func (s *Server) update(msg Message) error {
 // removeUser drops a departed user from the engine. The connection guard
 // prevents a stale handler (e.g. a user ID that re-joined on a new
 // connection) from unmapping the live one.
-func (s *Server) removeUser(id int, jc *jsonConn) {
+func (s *Server) removeUser(id int, sc *serverConn) {
 	s.opMu.Lock()
 	defer s.opMu.Unlock()
 	s.mu.Lock()
-	if cur, ok := s.userConns[id]; ok && cur == jc {
+	if cur, ok := s.userConns[id]; ok && cur == sc {
 		delete(s.userConns, id)
 	} else if ok {
 		s.mu.Unlock()
@@ -301,15 +407,20 @@ func (s *Server) removeUser(id int, jc *jsonConn) {
 //
 // A churn burst is coalesced: one pass under s.mu resolves every
 // directive's connection, directives sharing a connection are grouped
-// (preserving engine order within each), and each connection gets a
-// single batched write — one lock round-trip and one flush per
-// connection instead of one per directive.
+// (preserving engine order within each), and each connection's batch is
+// handed to its writer goroutine as one unit — the writer turns it into
+// a single coalesced write. Enqueueing never blocks: each connection's
+// queue is bounded, and a slow reader's overflow is shed and counted
+// (Stats.DroppedPushes) rather than stalling every other agent's push
+// behind one stuck socket. Per-connection FIFO order is preserved by
+// the queue, so the directives an agent does receive are in engine
+// order even when some in between were shed.
 func (s *Server) pushDirectives(dirs []Directive) {
 	if len(dirs) == 0 {
 		return
 	}
 	type batch struct {
-		jc   *jsonConn
+		sc   *serverConn
 		msgs []Message
 	}
 	// Directive bursts rarely span many distinct connections relative to
@@ -318,8 +429,8 @@ func (s *Server) pushDirectives(dirs []Directive) {
 	batches := make([]batch, 0, 8)
 	s.mu.Lock()
 	for _, d := range dirs {
-		jc := s.userConns[d.UserID]
-		if jc == nil {
+		sc := s.userConns[d.UserID]
+		if sc == nil {
 			continue
 		}
 		msg := Message{
@@ -330,20 +441,21 @@ func (s *Server) pushDirectives(dirs []Directive) {
 		}
 		found := false
 		for i := range batches {
-			if batches[i].jc == jc {
+			if batches[i].sc == sc {
 				batches[i].msgs = append(batches[i].msgs, msg)
 				found = true
 				break
 			}
 		}
 		if !found {
-			batches = append(batches, batch{jc: jc, msgs: []Message{msg}})
+			batches = append(batches, batch{sc: sc, msgs: []Message{msg}})
 		}
 	}
 	s.mu.Unlock()
 	for i := range batches {
-		if err := batches[i].jc.sendBatch(batches[i].msgs); err != nil {
-			s.logf("push %d directives: %v", len(batches[i].msgs), err)
+		if dropped := batches[i].sc.enqueue(batches[i].msgs); dropped > 0 {
+			s.droppedPushes.Add(int64(dropped))
+			s.logf("push queue full: dropped %d directives", dropped)
 		}
 	}
 }

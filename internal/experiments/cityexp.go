@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"github.com/plcwifi/wolt/internal/city"
+	"github.com/plcwifi/wolt/internal/control"
 	"github.com/plcwifi/wolt/internal/parallel"
 	"github.com/plcwifi/wolt/internal/seed"
 	"github.com/plcwifi/wolt/internal/strategy"
@@ -19,6 +20,9 @@ var cityShardCounts = []int{2, 4}
 // wall-clock measurements of this host and excluded from the determinism
 // contract.
 type CityRun struct {
+	// Plane names the control plane driven: "coordinator" (in-process),
+	// "tcp" (sockets, binary codec) or "tcp-json" (sockets, legacy JSON).
+	Plane       string
 	Shards      int
 	TargetUsers int
 	// Lanes is the number of dispatch worker lanes driving the plane
@@ -62,6 +66,15 @@ type CityResult struct {
 func City(opts Options) (*CityResult, error) {
 	opts = opts.withDefaults(3)
 	target := 10 * opts.Users
+	planeName := opts.Plane
+	if planeName == "" {
+		planeName = "coordinator"
+	}
+	switch planeName {
+	case "coordinator", "tcp", "tcp-json":
+	default:
+		return nil, fmt.Errorf("experiments: unknown city plane %q", planeName)
+	}
 
 	// Lane axis: sequential only by default; Options.Concurrency > 1 adds
 	// a concurrent-dispatch row per shard count. Trial seeds are derived
@@ -86,7 +99,7 @@ func City(opts Options) (*CityResult, error) {
 		if eps < 1 {
 			eps = 1
 		}
-		return city.Run(city.Config{
+		return runCityPlane(city.Config{
 			Shards:            shards,
 			ExtendersPerShard: eps,
 			TargetUsers:       target,
@@ -100,7 +113,7 @@ func City(opts Options) (*CityResult, error) {
 			Workers:           opts.Workers,
 			Concurrency:       laneChoices[li],
 			Seed:              seed.Derive(opts.Seed, seed.CityTrial, int64(si*opts.Trials+trial)),
-		})
+		}, planeName)
 	})
 	if err != nil {
 		return nil, err
@@ -109,7 +122,7 @@ func City(opts Options) (*CityResult, error) {
 	res := &CityResult{Trials: opts.Trials}
 	for si, shards := range cityShardCounts {
 		for li, lanes := range laneChoices {
-			run := CityRun{Shards: shards, TargetUsers: target, Lanes: lanes}
+			run := CityRun{Plane: planeName, Shards: shards, TargetUsers: target, Lanes: lanes}
 			for t := 0; t < opts.Trials; t++ {
 				r := measured[si*perShard+li*opts.Trials+t]
 				run.Events += float64(r.Events)
@@ -146,17 +159,44 @@ func City(opts Options) (*CityResult, error) {
 	return res, nil
 }
 
+// runCityPlane prepares a city and replays it against the selected
+// plane kind: the in-process coordinator, or a TCP plane hosting its
+// shard members in-process on ephemeral ports (binary or JSON codec).
+func runCityPlane(cfg city.Config, planeName string) (city.Result, error) {
+	c, err := city.New(cfg)
+	if err != nil {
+		return city.Result{}, err
+	}
+	if planeName == "coordinator" {
+		coord, err := c.NewCoordinator()
+		if err != nil {
+			return city.Result{}, err
+		}
+		return c.Run(coord)
+	}
+	codec := control.CodecBinary
+	if planeName == "tcp-json" {
+		codec = control.CodecJSON
+	}
+	plane, err := c.NewTCPPlane(city.TCPConfig{Codec: codec})
+	if err != nil {
+		return city.Result{}, err
+	}
+	defer plane.Close()
+	return c.Run(plane)
+}
+
 // Tables implements Tabler.
 func (r *CityResult) Tables() []Table {
 	t := Table{
 		Caption: fmt.Sprintf("City harness — event-driven churn/roaming on sharded planes, wolt-hillclimb @200 probes (%d trials; latency columns are wall-clock)",
 			r.Trials),
-		Header: []string{"shards", "lanes", "target users", "events", "joins", "updates",
+		Header: []string{"plane", "shards", "lanes", "target users", "events", "joins", "updates",
 			"handoffs", "handoff rate", "reassoc", "joins/sec", "p50 us", "p99 us"},
 	}
 	for _, run := range r.Runs {
 		t.Rows = append(t.Rows, []string{
-			strconv.Itoa(run.Shards), strconv.Itoa(run.Lanes), strconv.Itoa(run.TargetUsers),
+			run.Plane, strconv.Itoa(run.Shards), strconv.Itoa(run.Lanes), strconv.Itoa(run.TargetUsers),
 			f1(run.Events), f1(run.Joins), f1(run.Updates),
 			f1(run.Handoffs), strconv.FormatFloat(run.HandoffRate, 'f', 3, 64),
 			f1(run.Reassociations), f1(run.JoinsPerSec), f1(run.P50Micros), f1(run.P99Micros),

@@ -134,6 +134,11 @@ type Options struct {
 	// dispatch lanes (city.Config.Concurrency). <= 1 keeps the
 	// sequential-only table.
 	Concurrency int
+	// Plane selects the city experiment's control plane: "" or
+	// "coordinator" for the in-process sharded coordinator, "tcp" for
+	// real sockets with the binary wire codec, "tcp-json" for sockets
+	// with the legacy JSON framing (the codec-comparison row).
+	Plane string
 	// Ctx cancels a running experiment between units of work; nil means
 	// context.Background(). On cancellation the driver returns promptly
 	// with the context's error (the lowest-index task error otherwise).

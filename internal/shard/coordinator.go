@@ -77,6 +77,10 @@ type Stats struct {
 	// DroppedReassigns sums the members' dropped leave-time rebalances
 	// (control.Stats.DroppedReassigns across PerShard).
 	DroppedReassigns int
+	// DroppedPushes sums the members' transport-level shed directives
+	// (control.Stats.DroppedPushes across PerShard; always 0 for the
+	// in-process coordinator, which has no sockets).
+	DroppedPushes int
 	// Assignment is the merged user→extender map (global extender IDs).
 	// Stats leaves it nil — at city scale the copy is an O(users)
 	// allocation; call StatsWithAssignment when the full map is wanted.

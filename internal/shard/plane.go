@@ -13,6 +13,7 @@ import (
 	"github.com/plcwifi/wolt/internal/control"
 	"github.com/plcwifi/wolt/internal/model"
 	"github.com/plcwifi/wolt/internal/seed"
+	"github.com/plcwifi/wolt/internal/strategy"
 )
 
 // PlaneConfig configures a sharded TCP control plane.
@@ -44,6 +45,17 @@ type PlaneConfig struct {
 	// VirtualNodes is the per-member virtual node count (<= 0 selects
 	// DefaultVirtualNodes).
 	VirtualNodes int
+	// Budget, ReassignOnLeave, PlacementOnlyJoins and FullResolveEvery
+	// configure the member engines' warm-path behavior exactly like
+	// Config does for the in-process coordinator (see
+	// control.ServerConfig).
+	Budget             strategy.Budget
+	ReassignOnLeave    bool
+	PlacementOnlyJoins bool
+	FullResolveEvery   int
+	// PushQueueDepth bounds each member connection's outbound directive
+	// queue (see control.ServerConfig.PushQueueDepth).
+	PushQueueDepth int
 	// ReadTimeout/WriteTimeout are passed to every member server (see
 	// control.ServerConfig).
 	ReadTimeout  time.Duration
@@ -127,16 +139,21 @@ func Listen(cfg PlaneConfig) (*Plane, error) {
 			listenAddr = net.JoinHostPort(host, "0")
 		}
 		srv, err := control.NewServer(listenAddr, control.ServerConfig{
-			PLCCaps:      cfg.PLCCaps,
-			Owned:        owned[m],
-			Policy:       cfg.Policy,
-			ModelOpts:    cfg.ModelOpts,
-			Workers:      cfg.Workers,
-			Seed:         seed.Derive(cfg.Seed, seed.ShardEngine, int64(m)),
-			ReadTimeout:  cfg.ReadTimeout,
-			WriteTimeout: cfg.WriteTimeout,
-			Redirect:     p.redirectFor(m),
-			Logger:       cfg.Logger,
+			PLCCaps:            cfg.PLCCaps,
+			Owned:              owned[m],
+			Policy:             cfg.Policy,
+			ModelOpts:          cfg.ModelOpts,
+			Workers:            cfg.Workers,
+			Seed:               seed.Derive(cfg.Seed, seed.ShardEngine, int64(m)),
+			Budget:             cfg.Budget,
+			ReassignOnLeave:    cfg.ReassignOnLeave,
+			PlacementOnlyJoins: cfg.PlacementOnlyJoins,
+			FullResolveEvery:   cfg.FullResolveEvery,
+			PushQueueDepth:     cfg.PushQueueDepth,
+			ReadTimeout:        cfg.ReadTimeout,
+			WriteTimeout:       cfg.WriteTimeout,
+			Redirect:           p.redirectFor(m),
+			Logger:             cfg.Logger,
 		})
 		if err != nil {
 			_ = p.Close()
@@ -230,6 +247,8 @@ func (p *Plane) Stats() Stats {
 		st.Joins += es.Joins
 		st.Leaves += es.Leaves
 		st.Reassociations += es.Reassociations
+		st.DroppedReassigns += es.DroppedReassigns
+		st.DroppedPushes += es.DroppedPushes
 		for id, ext := range es.Assignment {
 			st.Assignment[id] = ext
 		}

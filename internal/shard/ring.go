@@ -128,6 +128,26 @@ func (r *Ring) OwnerMap(numExtenders int) []int {
 	return owners
 }
 
+// OwnerMapFor recomputes the deterministic extender→member map Listen
+// derives from (seed, shards, virtualNodes): any process sharing those
+// three values routes identically without asking the plane. Clients use
+// it to dial the owning member directly and skip the redirect hop.
+func OwnerMapFor(seed int64, shards, virtualNodes, numExtenders int) []int {
+	ring := NewRing(seed, virtualNodes)
+	for m := 0; m < shards; m++ {
+		ring.Add(m)
+	}
+	return ring.OwnerMap(numExtenders)
+}
+
+// BestExtender returns the index of the highest positive rate (ties go
+// to the lowest extender ID), or -1 when the user reaches nothing. This
+// is the plane's routing key: a user belongs to the shard owning its
+// best-rate extender.
+func BestExtender(rates []float64) int {
+	return bestExtender(rates)
+}
+
 // bestExtender returns the index of the highest positive rate (ties go
 // to the lowest extender ID), or -1 when the user reaches nothing. This
 // is the routing key: a user belongs to the shard owning its best-rate

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// benchScan is the steady-state hot message: a 64-extender scan report
+// (the city TCP benchmark's deployment width).
+func benchScan() Message {
+	m := Message{Type: MsgJoin, UserID: 123456, Rates: make([]float64, 64), RSSI: make([]float64, 64)}
+	for i := range m.Rates {
+		m.Rates[i] = 866.0 / float64(1+i)
+		m.RSSI[i] = -55 - float64(i)
+	}
+	return m
+}
+
+// BenchmarkWireEncodeDecode prices one steady-state exchange — a scan
+// report encoded+decoded plus a directive encoded+decoded — through
+// reused buffers, the unit of work the agent↔server hot path performs
+// per churn event. The allocs/op column must be 0 (also asserted by
+// TestWireSteadyStateAllocs).
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	join := benchScan()
+	dir := Message{Type: MsgAssociate, UserID: 123456, Extender: 17, Reassociation: true}
+	var buf, scratch []byte
+	var m Message
+	rd := bytes.NewReader(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf = buf[:0]
+		if buf, err = AppendFrame(buf, &join); err != nil {
+			b.Fatal(err)
+		}
+		if buf, err = AppendFrame(buf, &dir); err != nil {
+			b.Fatal(err)
+		}
+		rd.Reset(buf)
+		if err := ReadFrame(rd, &m, &scratch); err != nil {
+			b.Fatal(err)
+		}
+		if err := ReadFrame(rd, &m, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJSONEncodeDecode is the same exchange through the legacy
+// newline-delimited JSON codec — the baseline the binary codec replaces
+// (BENCH_wire.json records both).
+func BenchmarkJSONEncodeDecode(b *testing.B) {
+	join := benchScan()
+	dir := Message{Type: MsgAssociate, UserID: 123456, Extender: 17, Reassociation: true}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := enc.Encode(join); err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.Encode(dir); err != nil {
+			b.Fatal(err)
+		}
+		dec := json.NewDecoder(&buf)
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.Decode(&m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package wire is the WOLT control plane's wire layer: the protocol
+// message types shared by agents and controllers, and a length-prefixed
+// binary codec for them built for the city-scale hot path (scan reports
+// up, association directives down, thousands of times per second per
+// member).
+//
+// Frame layout (DESIGN.md §15):
+//
+//	[4B little-endian length][1B message type][payload]
+//
+// The length covers the type byte and the payload. The payload encodes
+// every Message field in a fixed order — varints for the integer and
+// string-length fields, one byte for booleans, raw little-endian IEEE
+// 754 words for the float64 rate/RSSI vectors — so there is no field
+// tagging, no reflection and no text to parse. Encoding appends to a
+// caller-owned buffer and decoding reuses the slices of a caller-owned
+// Message, which is how the conn layer reaches 0 allocs/op at steady
+// state (pinned by TestWireSteadyStateAllocs).
+//
+// A connection opens with the two-byte hello [Hello, Version1]. Hello
+// (0xA7) can never begin a newline-delimited JSON message, so a server
+// peeking one byte at accept time distinguishes a binary-codec peer from
+// a legacy JSON agent and falls back per connection — old agents keep
+// working against new controllers (internal/control negotiates; this
+// package only defines the bytes).
+//
+// The package is a stdlib-only leaf importable solely from
+// internal/control and internal/shard (scripts/lint-imports.sh): every
+// other layer speaks through the control plane's types, which alias the
+// ones defined here.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Handshake bytes. A binary-codec client writes [Hello, Version1]
+// before its first frame; servers peek the first byte to negotiate.
+const (
+	// Hello is the binary-codec magic byte. 0xA7 is outside ASCII and
+	// can never start a JSON message ('{' = 0x7B), so the negotiation
+	// needs exactly one peeked byte.
+	Hello byte = 0xA7
+	// Version1 is the only frame-layout version; a server closes
+	// connections offering a version it does not speak.
+	Version1 byte = 1
+)
+
+// MaxFrame bounds one frame's length field (64 MiB). A stats reply
+// carrying a million-user assignment map fits with an order of
+// magnitude to spare; anything larger is a corrupt or hostile peer and
+// is rejected before any allocation happens.
+const MaxFrame = 1 << 26
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+// Message types exchanged between agents and the controller.
+const (
+	// MsgJoin is sent by an agent when it needs an association. It
+	// carries the agent's user ID and its scan report.
+	MsgJoin MsgType = "join"
+	// MsgLeave is sent by an agent that is disconnecting.
+	MsgLeave MsgType = "leave"
+	// MsgUpdate is sent by an associated agent whose radio environment
+	// changed (mobility): it carries a fresh scan report. The controller
+	// may push re-association directives in response.
+	MsgUpdate MsgType = "update"
+	// MsgAssociate is sent by the CC to direct an agent to an extender.
+	MsgAssociate MsgType = "associate"
+	// MsgRedirect is sent by a shard-member CC that does not own the
+	// joining user's best-rate extender: Addr names the member that does,
+	// and the agent re-sends its join there (cross-shard handoff).
+	MsgRedirect MsgType = "redirect"
+	// MsgPing is an agent keepalive. The controller ignores it, but the
+	// bytes reset the server-side read deadline, so a healthy idle agent
+	// is never dropped as stalled.
+	MsgPing MsgType = "ping"
+	// MsgStats asks the CC for a snapshot of controller statistics.
+	MsgStats MsgType = "stats"
+	// MsgStatsReply answers MsgStats.
+	MsgStatsReply MsgType = "stats_reply"
+	// MsgError reports a protocol or policy failure to the agent.
+	MsgError MsgType = "error"
+)
+
+// Message is the single wire format; fields are used according to Type.
+// The JSON tags define the legacy newline-delimited JSON encoding the
+// binary codec replaced (still spoken to old agents after negotiation).
+type Message struct {
+	Type MsgType `json:"type"`
+	// UserID identifies the agent (join, leave, associate).
+	UserID int `json:"userId,omitempty"`
+	// Rates is the scan report: estimated WiFi PHY rate in Mbps to each
+	// extender, indexed by extender ID (join).
+	Rates []float64 `json:"ratesMbps,omitempty"`
+	// RSSI is the scan report's signal strengths in dBm (join).
+	RSSI []float64 `json:"rssiDbm,omitempty"`
+	// Extender is the association directive target (associate). It is
+	// deliberately NOT omitempty: extender 0 is a valid directive target
+	// and must appear explicitly on the wire rather than lean on Go's
+	// zero-value decoding. (The binary codec has no optional fields at
+	// all — every field is always encoded, so extender 0 cannot be
+	// conflated with an absent one there either.)
+	Extender int `json:"extender"`
+	// Reassociation marks a directive that moves an already-associated
+	// user (associate). Like Extender it is always serialized: "false"
+	// is a statement (first association), not an absence.
+	Reassociation bool `json:"reassociation"`
+	// Addr is the address of the shard member the agent should re-join
+	// (redirect).
+	Addr string `json:"addr,omitempty"`
+	// Stats is the controller snapshot (stats_reply).
+	Stats *Stats `json:"stats,omitempty"`
+	// Error carries a human-readable failure description (error).
+	Error string `json:"error,omitempty"`
+}
+
+// Stats is a controller snapshot.
+type Stats struct {
+	Policy         string `json:"policy"`
+	Users          int    `json:"users"`
+	Joins          int    `json:"joins"`
+	Leaves         int    `json:"leaves"`
+	Reassociations int    `json:"reassociations"`
+	// DroppedReassigns counts departures under ReassignOnLeave whose
+	// re-solve failed: the leave stood, the rebalance was dropped.
+	DroppedReassigns int `json:"droppedReassigns"`
+	// DroppedPushes counts directives the server discarded because the
+	// target connection's bounded outbound queue was full (a stalled
+	// agent; see control.ServerConfig.PushQueueDepth).
+	DroppedPushes int         `json:"droppedPushes"`
+	Assignment    map[int]int `json:"assignment"`
+}
+
+// typeCode maps a MsgType to its one-byte wire code. Code 0 is reserved
+// so a zeroed header byte is always invalid.
+func typeCode(t MsgType) (byte, error) {
+	switch t {
+	case MsgJoin:
+		return 1, nil
+	case MsgLeave:
+		return 2, nil
+	case MsgUpdate:
+		return 3, nil
+	case MsgAssociate:
+		return 4, nil
+	case MsgRedirect:
+		return 5, nil
+	case MsgPing:
+		return 6, nil
+	case MsgStats:
+		return 7, nil
+	case MsgStatsReply:
+		return 8, nil
+	case MsgError:
+		return 9, nil
+	}
+	return 0, fmt.Errorf("wire: unencodable message type %q", t)
+}
+
+// codeType is typeCode's inverse; the returned MsgType values are the
+// package constants, so decoding a type never allocates.
+func codeType(c byte) (MsgType, error) {
+	switch c {
+	case 1:
+		return MsgJoin, nil
+	case 2:
+		return MsgLeave, nil
+	case 3:
+		return MsgUpdate, nil
+	case 4:
+		return MsgAssociate, nil
+	case 5:
+		return MsgRedirect, nil
+	case 6:
+		return MsgPing, nil
+	case 7:
+		return MsgStats, nil
+	case 8:
+		return MsgStatsReply, nil
+	case 9:
+		return MsgError, nil
+	}
+	return "", fmt.Errorf("wire: unknown message type code %d", c)
+}
+
+// AppendFrame appends m's complete frame (length header included) to dst
+// and returns the extended slice. It allocates only when dst lacks
+// capacity, so a conn reusing its buffer encodes at 0 allocs/op. The
+// one encode error is a Type outside the protocol's message set; dst is
+// returned unextended then.
+func AppendFrame(dst []byte, m *Message) ([]byte, error) {
+	code, err := typeCode(m.Type)
+	if err != nil {
+		return dst, err
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, code)
+	dst = binary.AppendVarint(dst, int64(m.UserID))
+	dst = binary.AppendVarint(dst, int64(m.Extender))
+	dst = appendBool(dst, m.Reassociation)
+	dst = appendFloats(dst, m.Rates)
+	dst = appendFloats(dst, m.RSSI)
+	dst = appendString(dst, m.Addr)
+	dst = appendString(dst, m.Error)
+	if m.Stats == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = appendStats(dst, m.Stats)
+	}
+	frameLen := len(dst) - start - 4
+	if frameLen > MaxFrame {
+		return dst[:start], fmt.Errorf("wire: frame length %d exceeds limit %d", frameLen, MaxFrame)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(frameLen))
+	return dst, nil
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendFloats(dst []byte, v []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	for _, f := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendStats(dst []byte, st *Stats) []byte {
+	dst = appendString(dst, st.Policy)
+	dst = binary.AppendVarint(dst, int64(st.Users))
+	dst = binary.AppendVarint(dst, int64(st.Joins))
+	dst = binary.AppendVarint(dst, int64(st.Leaves))
+	dst = binary.AppendVarint(dst, int64(st.Reassociations))
+	dst = binary.AppendVarint(dst, int64(st.DroppedReassigns))
+	dst = binary.AppendVarint(dst, int64(st.DroppedPushes))
+	dst = binary.AppendUvarint(dst, uint64(len(st.Assignment)))
+	for id, ext := range st.Assignment {
+		dst = binary.AppendVarint(dst, int64(id))
+		dst = binary.AppendVarint(dst, int64(ext))
+	}
+	return dst
+}
+
+// frameReader is a bounds-checked cursor over one frame's payload. The
+// first decode error sticks; every later read returns zero values, so
+// DecodeFrame checks err exactly once at the end.
+type frameReader struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (r *frameReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated or corrupt %s at offset %d", what, r.off)
+	}
+}
+
+func (r *frameReader) varint(what string) int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.p[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return int(v)
+}
+
+func (r *frameReader) uvarint(what string) int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.p[r.off:])
+	if n <= 0 || v > MaxFrame {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return int(v)
+}
+
+func (r *frameReader) bool(what string) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.p) || r.p[r.off] > 1 {
+		r.fail(what)
+		return false
+	}
+	v := r.p[r.off] == 1
+	r.off++
+	return v
+}
+
+// floats decodes a length-prefixed float64 vector into dst's capacity,
+// allocating only on growth. A zero-length vector yields dst[:0] —
+// which is nil when dst started nil, matching the JSON codec's
+// omitempty round-trip (nil in, nil out on a fresh Message).
+func (r *frameReader) floats(dst []float64, what string) []float64 {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return dst[:0]
+	}
+	if n > (len(r.p)-r.off)/8 {
+		r.fail(what)
+		return dst[:0]
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.p[r.off:]))
+		r.off += 8
+	}
+	return dst
+}
+
+// string decodes a length-prefixed string. Zero-length strings are ""
+// without allocating; anything longer is one string copy (redirect
+// addresses and error texts — never the steady-state path).
+func (r *frameReader) string(what string) string {
+	n := r.uvarint(what)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	if n > len(r.p)-r.off {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.p[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// DecodeFrame decodes one frame body (type byte + payload, the length
+// header already consumed) into m, reusing m's Rates/RSSI capacity.
+// Every Message field is overwritten — a reused m never leaks state
+// between frames. Trailing bytes after the last field are an error:
+// frames are exact, not extensible-by-garbage.
+func DecodeFrame(body []byte, m *Message) error {
+	if len(body) < 1 {
+		return fmt.Errorf("wire: empty frame")
+	}
+	t, err := codeType(body[0])
+	if err != nil {
+		return err
+	}
+	r := frameReader{p: body, off: 1}
+	m.Type = t
+	m.UserID = r.varint("userId")
+	m.Extender = r.varint("extender")
+	m.Reassociation = r.bool("reassociation")
+	m.Rates = r.floats(m.Rates, "rates")
+	m.RSSI = r.floats(m.RSSI, "rssi")
+	m.Addr = r.string("addr")
+	m.Error = r.string("error")
+	if r.bool("stats presence") {
+		st := &Stats{}
+		st.Policy = r.string("stats.policy")
+		st.Users = r.varint("stats.users")
+		st.Joins = r.varint("stats.joins")
+		st.Leaves = r.varint("stats.leaves")
+		st.Reassociations = r.varint("stats.reassociations")
+		st.DroppedReassigns = r.varint("stats.droppedReassigns")
+		st.DroppedPushes = r.varint("stats.droppedPushes")
+		n := r.uvarint("stats.assignment")
+		if r.err == nil && n > 0 {
+			// Each pair is at least 2 bytes; reject counts the remaining
+			// payload cannot possibly hold before allocating the map.
+			if n > (len(r.p)-r.off)/2 {
+				r.fail("stats.assignment")
+			} else {
+				st.Assignment = make(map[int]int, n)
+				for i := 0; i < n; i++ {
+					id := r.varint("stats.assignment key")
+					ext := r.varint("stats.assignment value")
+					st.Assignment[id] = ext
+				}
+			}
+		}
+		m.Stats = st
+	} else {
+		m.Stats = nil
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(body) {
+		return fmt.Errorf("wire: %d trailing bytes after message", len(body)-r.off)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r and decodes it into
+// m, growing *buf as the frame body scratch (reused across calls: 0
+// allocs/op at steady state). Returns any transport error verbatim
+// (io.EOF on a clean close before a header).
+func ReadFrame(r io.Reader, m *Message, buf *[]byte) error {
+	// The header is read through *buf rather than a stack array: a local
+	// array passed through the io.Reader interface escapes, costing one
+	// allocation per frame — the exact thing this path exists to avoid.
+	if cap(*buf) < 4 {
+		*buf = make([]byte, 64)
+	}
+	hdr := (*buf)[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr))
+	if n < 1 || n > MaxFrame {
+		return fmt.Errorf("wire: bad frame length %d", n)
+	}
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	body := (*buf)[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return DecodeFrame(body, m)
+}

@@ -101,6 +101,35 @@ if [ -n "$bad" ]; then
 	echo "utility/objective definitions belong in internal/model; solvers adapt to them, not vice versa" >&2
 	exit 1
 fi
+# internal/wire is the binary wire codec: a stdlib-only leaf beneath
+# the control plane. It defines the frame layout and the Message/Stats
+# types that internal/control re-exports as aliases; pulling any other
+# internal package into it would couple the on-the-wire format to model
+# or plane internals. No test-file exemption — even its fuzzers need
+# nothing above stdlib.
+bad=$(grep -rnF '"github.com/plcwifi/wolt/internal/' --include='*.go' ./internal/wire/ || true)
+if [ -n "$bad" ]; then
+	echo "import lint: internal/wire must stay a stdlib-only leaf package:" >&2
+	echo "$bad" >&2
+	echo "the wire codec defines the protocol; planes adapt to it, not vice versa" >&2
+	exit 1
+fi
+# Conversely, only the transport layers — internal/control (links,
+# codec negotiation) and internal/shard (redirect framing) — may import
+# internal/wire directly. Everyone above them uses the control-package
+# aliases (control.Message, control.Stats), so the codec can evolve
+# behind one seam. Test files inside those two packages are covered by
+# the path allowlist; tests elsewhere must also go through control.
+bad=$(grep -rnF '"github.com/plcwifi/wolt/internal/wire"' --include='*.go' . \
+	| grep -v '^\./internal/wire/' \
+	| grep -v '^\./internal/control/' \
+	| grep -v '^\./internal/shard/' || true)
+if [ -n "$bad" ]; then
+	echo "import lint: internal/wire imported outside the transport layer (control, shard):" >&2
+	echo "$bad" >&2
+	echo "use the control-package aliases (control.Message, control.Stats) instead" >&2
+	exit 1
+fi
 # internal/stats is a leaf utility (streaming quantile sketches for
 # host-side measurements): stdlib only, so every layer — harness, CLI,
 # experiments — may use it without dragging plane or algorithm code
